@@ -1,0 +1,28 @@
+// Ablation: the Budget_Ratio knob of MIRS_HC's iterative backtracking.
+// Low ratios give up early (II bumps instead of ejection work, worse
+// SigmaII but fast); high ratios buy schedule quality with scheduling
+// time. The paper does not publish its ratio; this bench justifies our
+// default of 6 attempts per node.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace hcrf;
+
+int main() {
+  std::printf("Ablation: Budget_Ratio on a %zu-loop slice, 4C16S64/2-1\n\n",
+              bench::SuiteSlice(300).size());
+  const workload::Suite suite = bench::SuiteSlice(300);
+  const MachineConfig m = bench::MakeMachine("4C16S64/2-1");
+
+  std::printf("%-8s %-10s %-8s %-10s %-8s\n", "ratio", "SigmaII", "%MII",
+              "sched s", "failed");
+  for (double ratio : {1.0, 2.0, 4.0, 6.0, 8.0, 16.0}) {
+    perf::RunOptions opt;
+    opt.mirs.budget_ratio = ratio;
+    const perf::SuiteMetrics sm = perf::RunSuite(suite, m, opt);
+    std::printf("%-8.0f %-10ld %-8.1f %-10.2f %-8d\n", ratio, sm.sum_ii,
+                sm.PctAtMII(), sm.sched_seconds, sm.failed);
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation: the Select_Cluster heuristic (paper Section 5.1) against naive
+// round-robin and first-fit policies, and the sensitivity of the pure
+// clustered organization to the number of inter-cluster buses (a parameter
+// the paper does not publish; our default is x/2).
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace hcrf;
+
+namespace {
+
+void Policies(const char* rf) {
+  const workload::Suite suite = bench::SuiteSlice(300);
+  const MachineConfig m = bench::MakeMachine(rf);
+  std::printf("-- cluster selection on %s --\n", rf);
+  std::printf("%-12s %-10s %-8s %-8s\n", "policy", "SigmaII", "%MII",
+              "failed");
+  for (core::ClusterPolicy p :
+       {core::ClusterPolicy::kBalanced, core::ClusterPolicy::kRoundRobin,
+        core::ClusterPolicy::kFirstFit}) {
+    perf::RunOptions opt;
+    opt.mirs.cluster_policy = p;
+    const perf::SuiteMetrics sm = perf::RunSuite(suite, m, opt);
+    std::printf("%-12s %-10ld %-8.1f %-8d\n",
+                std::string(ToString(p)).c_str(), sm.sum_ii, sm.PctAtMII(),
+                sm.failed);
+  }
+  std::printf("\n");
+}
+
+void Buses() {
+  const workload::Suite suite = bench::SuiteSlice(300);
+  std::printf("-- bus count on 4C32 (default nb = x/2 = 2) --\n");
+  std::printf("%-8s %-10s %-8s %-8s\n", "buses", "SigmaII", "%MII", "failed");
+  for (int nb : {1, 2, 3, 4}) {
+    MachineConfig m = bench::MakeMachine("4C32/1-1");
+    m.rf.buses = nb;
+    const perf::SuiteMetrics sm = perf::RunSuite(suite, m);
+    std::printf("%-8d %-10ld %-8.1f %-8d\n", nb, sm.sum_ii, sm.PctAtMII(),
+                sm.failed);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: cluster selection policy and bus bandwidth\n\n");
+  Policies("4C32/1-1");
+  Policies("4C16S64/2-1");
+  Buses();
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Ablation: binding-prefetch policy (paper Section 6.2). Selective binding
+// prefetching ([30]) should keep most of the stall reduction of
+// prefetch-everything ([4]) while avoiding its RecMII and prologue
+// penalties; hierarchical organizations absorb the extra register pressure
+// in the shared bank.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace hcrf;
+
+int main() {
+  std::printf("Ablation: binding prefetch policy (real memory, 300-loop "
+              "slice)\n\n");
+  const workload::Suite suite = bench::SuiteSlice(300);
+
+  for (const char* rf : {"S64", "4C32/1-1", "4C32S16/1-1"}) {
+    const MachineConfig m = bench::MakeMachine(rf);
+    std::printf("-- %s --\n", rf);
+    std::printf("%-12s %-14s %-14s %-12s %-8s\n", "policy", "useful cyc",
+                "stall cyc", "SigmaII", "failed");
+    for (memsim::PrefetchMode mode :
+         {memsim::PrefetchMode::kNone, memsim::PrefetchMode::kAll,
+          memsim::PrefetchMode::kSelective}) {
+      perf::RunOptions opt;
+      opt.prefetch = mode;
+      opt.simulate_memory = true;
+      const perf::SuiteMetrics sm = perf::RunSuite(suite, m, opt);
+      std::printf("%-12s %-14ld %-14ld %-12ld %-8d\n",
+                  std::string(ToString(mode)).c_str(), sm.useful_cycles,
+                  sm.stall_cycles, sm.sum_ii, sm.failed);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

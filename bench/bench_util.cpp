@@ -1,0 +1,30 @@
+#include "bench_util.h"
+
+namespace hcrf::bench {
+
+const workload::Suite& TheSuite() {
+  static const workload::Suite suite = workload::PerfectSynthetic();
+  return suite;
+}
+
+workload::Suite SuiteSlice(size_t n) {
+  const workload::Suite& full = TheSuite();
+  workload::Suite out;
+  const size_t stride = std::max<size_t>(1, full.size() / n);
+  for (size_t i = 0; i < full.size() && out.size() < n; i += stride) {
+    out.Add(full[i]);
+  }
+  return out;
+}
+
+MachineConfig MakeMachine(const std::string& rf_name, bool characterize,
+                          hw::RFModelMode mode) {
+  MachineConfig m = MachineConfig::WithRF(RFConfig::Parse(rf_name));
+  if (characterize && !m.rf.UnboundedClusterRegs() &&
+      !m.rf.UnboundedSharedRegs()) {
+    m = hw::ApplyCharacterization(m, mode);
+  }
+  return m;
+}
+
+}  // namespace hcrf::bench

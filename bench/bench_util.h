@@ -1,0 +1,57 @@
+// Shared helpers for the paper-reproduction benchmarks: configured
+// machines, the cached synthetic suite and paper reference values.
+//
+// Hardware numbers for the named paper configurations use
+// RFModelMode::kPaperTable (access/area calibrated from Table 5), so the
+// clock and latency columns match the paper exactly; the analytic model is
+// validated separately by table2/table5 and the hwmodel tests.
+#pragma once
+
+#include <string>
+
+#include "hwmodel/characterize.h"
+#include "machine/machine_config.h"
+#include "perf/runner.h"
+#include "perf/tables.h"
+#include "workload/perfect_synth.h"
+#include "workload/workload.h"
+
+namespace hcrf::bench {
+
+/// The synthetic Perfect Club stand-in, built once per process.
+const workload::Suite& TheSuite();
+
+/// A smaller slice of the suite for expensive sweeps (ablation benches);
+/// `n` loops, deterministic.
+workload::Suite SuiteSlice(size_t n);
+
+/// Baseline resources (8 FUs + 4 memory ports) with the named RF
+/// organization and, when `characterize` is set, the clock/latency table
+/// implied by the hardware model.
+MachineConfig MakeMachine(const std::string& rf_name, bool characterize = true,
+                          hw::RFModelMode mode = hw::RFModelMode::kPaperTable);
+
+/// The paper's Table 5 configuration list with its published lp-sp values.
+struct PaperConfig {
+  const char* name;  ///< Parseable ("1C64S32/3-2").
+  const char* label; ///< As printed in the paper ("1C64S32").
+};
+inline constexpr PaperConfig kTable5Configs[] = {
+    {"S128", "S128"},
+    {"S64", "S64"},
+    {"S32", "S32"},
+    {"1C64S32/3-2", "1C64S32"},
+    {"1C32S64/4-2", "1C32S64"},
+    {"2C64/1-1", "2C64"},
+    {"2C32/1-1", "2C32"},
+    {"2C64S32/2-1", "2C64S32"},
+    {"2C32S32/3-1", "2C32S32"},
+    {"4C64/1-1", "4C64"},
+    {"4C32/1-1", "4C32"},
+    {"4C32S16/1-1", "4C32S16"},
+    {"4C16S16/2-1", "4C16S16"},
+    {"8C32S16/1-1", "8C32S16"},
+    {"8C16S16/1-1", "8C16S16"},
+};
+
+}  // namespace hcrf::bench

@@ -1,0 +1,30 @@
+// Reproduces Figure 1: IPC achieved by the workbench as a function of the
+// machine's resources (x functional units + y memory ports), monolithic
+// register file with unbounded registers.
+//
+// Paper reference: the curve grows from about 4 IPC at 4+2 to about 8-9 at
+// 12+6, passing 6.2 at the baseline 8+4 (efficiency > 0.5).
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace hcrf;
+
+int main() {
+  std::printf("Figure 1: IPC vs machine resources (monolithic RF, unbounded "
+              "registers, ideal memory)\n\n");
+  const int shapes[][2] = {{4, 2}, {6, 3}, {8, 4}, {10, 5}, {12, 6}};
+  const double paper_ipc[] = {3.9, 5.1, 6.2, 7.2, 8.1};  // read off Figure 1
+  std::printf("%-8s %-12s %-12s %s\n", "FUs+MP", "IPC", "paper~", "efficiency");
+  int i = 0;
+  for (const auto& s : shapes) {
+    MachineConfig m = MachineConfig::WithRF(RFConfig::Parse("Sinf"));
+    m.num_fus = s[0];
+    m.num_mem_ports = s[1];
+    const perf::SuiteMetrics sm = perf::RunSuite(bench::TheSuite(), m);
+    const double ipc = sm.IPC();
+    std::printf("%d+%-6d %-12.2f %-12.1f %.2f\n", s[0], s[1], ipc,
+                paper_ipc[i++], ipc / (s[0] + s[1]));
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Reproduces Figure 4: cumulative distribution of loops over the number of
+// LoadR (lp) and StoreR (sp) ports per distributed bank they require on
+// average, assuming unbounded inter-level bandwidth and an unbounded
+// shared bank. This is the experiment behind the paper's port design rule
+// (lp-sp = 4-2 / 3-1 / 2-1 / 1-1 for 1/2/4/8 clusters: >95% of loops not
+// communication limited).
+//
+// Paper anchors: at 4 clusters, 87.2% of loops need lp<=1 and 99.3% need
+// lp<=2; 97.3% need sp<=1.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/mirs.h"
+
+using namespace hcrf;
+
+namespace {
+
+void RunClusterDegree(int x) {
+  // Distributed bank sizes from Section 4: 32 registers for 1-2 clusters,
+  // 16 for 4-8 (minimum for schedulability); unbounded here since Figure 4
+  // assumes unbounded resources -- only port *demand* is measured.
+  const std::string name = std::to_string(x) + "CinfSinf/inf-inf";
+  const MachineConfig m = bench::MakeMachine(name, /*characterize=*/false);
+
+  const workload::Suite& suite = bench::TheSuite();
+  std::vector<double> lp_demand;
+  std::vector<double> sp_demand;
+  for (size_t i = 0; i < suite.size(); ++i) {
+    const core::ScheduleResult sr = core::MirsHC(suite[i].ddg, m);
+    if (!sr.ok) continue;
+    lp_demand.push_back(static_cast<double>(sr.stats.loadr_ops) /
+                        (static_cast<double>(sr.ii) * x));
+    sp_demand.push_back(static_cast<double>(sr.stats.storer_ops) /
+                        (static_cast<double>(sr.ii) * x));
+  }
+
+  auto cdf = [](std::vector<double>& v, double k) {
+    const auto n = static_cast<double>(v.size());
+    const auto c = std::count_if(v.begin(), v.end(),
+                                 [k](double d) { return d <= k + 1e-9; });
+    return 100.0 * static_cast<double>(c) / n;
+  };
+
+  std::printf("  %d cluster(s):  lp CDF:", x);
+  for (int k = 0; k <= 4; ++k) std::printf(" <=%d:%5.1f%%", k, cdf(lp_demand, k));
+  std::printf("\n                 sp CDF:");
+  for (int k = 0; k <= 4; ++k) std::printf(" <=%d:%5.1f%%", k, cdf(sp_demand, k));
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 4: CDF of per-bank LoadR/StoreR port demand "
+              "(unbounded registers and bandwidth)\n");
+  std::printf("Paper anchors: 4 clusters: lp<=1 87.2%%, lp<=2 99.3%%; sp<=1 "
+              "97.3%%.\nDesign rule: smallest lp/sp covering >95%% of "
+              "loops.\n\n");
+  for (int x : {1, 2, 4, 8}) RunClusterDegree(x);
+  return 0;
+}

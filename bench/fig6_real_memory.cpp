@@ -1,0 +1,62 @@
+// Reproduces Figure 6: real-memory evaluation with selective binding
+// prefetching. For a representative subset of configurations the figure
+// splits relative execution cycles and relative execution time into useful
+// and stall components (all relative to the useful cycles / time of S64).
+//
+// Paper's qualitative claims reproduced here:
+//  * the centralized organization executes the fewest cycles, but the
+//    picture inverts once multiplied by the cycle time;
+//  * every hierarchical-clustered organization beats monolithic S64
+//    (best speedup about 1.46);
+//  * at equal clustering degree the hierarchical organization tolerates
+//    memory latency better than the pure clustered one (fewer stalls:
+//    4C32S16 vs 4C32).
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace hcrf;
+
+int main() {
+  std::printf("Figure 6: real memory + selective binding prefetching "
+              "(relative to S64 useful)\n\n");
+
+  perf::RunOptions opt;
+  opt.prefetch = memsim::PrefetchMode::kSelective;
+  opt.simulate_memory = true;
+
+  const MachineConfig base = bench::MakeMachine("S64");
+  const perf::SuiteMetrics bm = perf::RunSuite(bench::TheSuite(), base, opt);
+  const double base_cycles = static_cast<double>(bm.useful_cycles);
+  const double base_time = base_cycles * base.clock_ns;
+
+  const char* configs[] = {"S64",         "2C64/1-1",    "4C32/1-1",
+                           "1C32S64/4-2", "2C32S32/3-1", "4C32S16/1-1",
+                           "8C16S16/1-1"};
+
+  std::printf("%-12s %-10s %-10s %-10s %-10s %-10s %s\n", "Config",
+              "cyc usefl", "cyc stall", "time usfl", "time stll",
+              "speedup", "(relative to S64 useful)");
+  for (const char* name : configs) {
+    const MachineConfig m = bench::MakeMachine(name);
+    const perf::SuiteMetrics sm = perf::RunSuite(bench::TheSuite(), m, opt);
+    const double cu = static_cast<double>(sm.useful_cycles) / base_cycles;
+    const double cs = static_cast<double>(sm.stall_cycles) / base_cycles;
+    const double tu = static_cast<double>(sm.useful_cycles) * m.clock_ns /
+                      base_time;
+    const double ts = static_cast<double>(sm.stall_cycles) * m.clock_ns /
+                      base_time;
+    const double base_total =
+        static_cast<double>(bm.useful_cycles + bm.stall_cycles) *
+        base.clock_ns;
+    const double total =
+        static_cast<double>(sm.useful_cycles + sm.stall_cycles) * m.clock_ns;
+    std::printf("%-12s %-10.3f %-10.3f %-10.3f %-10.3f %-10.3f%s\n",
+                RFConfig::Parse(name).ShortName().c_str(), cu, cs, tu, ts,
+                base_total / total, sm.failed ? "  [FAILED LOOPS]" : "");
+  }
+  std::printf("\nPaper: best hierarchical-clustered speedup ~1.46 vs S64; "
+              "4C32 ~1.39; hierarchical\nconfigurations show smaller stall "
+              "fractions than equal-degree clustered ones.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Google-benchmark microbenchmarks of the scheduler stack: MirsHC
+// end-to-end on the classic kernels for each organization family, plus the
+// MII computation and pressure analysis building blocks.
+#include <benchmark/benchmark.h>
+
+#include "core/mirs.h"
+#include "ddg/mii.h"
+#include "hwmodel/characterize.h"
+#include "sched/lifetime.h"
+#include "workload/kernels.h"
+#include "workload/perfect_synth.h"
+
+using namespace hcrf;
+
+namespace {
+
+MachineConfig Machine(const char* rf) {
+  MachineConfig m = MachineConfig::WithRF(RFConfig::Parse(rf));
+  return hw::ApplyCharacterization(m, hw::RFModelMode::kPaperTable);
+}
+
+void BM_MirsHC_Daxpy(benchmark::State& state, const char* rf) {
+  const workload::Loop loop = workload::MakeDaxpy();
+  const MachineConfig m = Machine(rf);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::MirsHC(loop.ddg, m));
+  }
+}
+BENCHMARK_CAPTURE(BM_MirsHC_Daxpy, S128, "S128");
+BENCHMARK_CAPTURE(BM_MirsHC_Daxpy, C4, "4C32/1-1");
+BENCHMARK_CAPTURE(BM_MirsHC_Daxpy, H1, "1C32S64/4-2");
+BENCHMARK_CAPTURE(BM_MirsHC_Daxpy, HC8, "8C16S16/1-1");
+
+void BM_MirsHC_Hydro(benchmark::State& state, const char* rf) {
+  const workload::Loop loop = workload::MakeHydro();
+  const MachineConfig m = Machine(rf);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::MirsHC(loop.ddg, m));
+  }
+}
+BENCHMARK_CAPTURE(BM_MirsHC_Hydro, S128, "S128");
+BENCHMARK_CAPTURE(BM_MirsHC_Hydro, HC4, "4C32S16/1-1");
+
+void BM_MirsHC_SyntheticMix(benchmark::State& state) {
+  workload::SynthParams p;
+  p.num_loops = 32;
+  const workload::Suite suite = workload::PerfectSynthetic(p);
+  const MachineConfig m = Machine("4C16S16/2-1");
+  for (auto _ : state) {
+    for (const auto& loop : suite.loops()) {
+      benchmark::DoNotOptimize(core::MirsHC(loop.ddg, m));
+    }
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) * 32);
+}
+BENCHMARK(BM_MirsHC_SyntheticMix)->Unit(benchmark::kMillisecond);
+
+void BM_ComputeMII(benchmark::State& state) {
+  const workload::Loop loop = workload::MakeNorm2();
+  const MachineConfig m = MachineConfig::Baseline();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeMII(loop.ddg, m));
+  }
+}
+BENCHMARK(BM_ComputeMII);
+
+void BM_Pressure(benchmark::State& state) {
+  const workload::Loop loop = workload::MakeCmul();
+  const MachineConfig m = Machine("S128");
+  const core::ScheduleResult sr = core::MirsHC(loop.ddg, m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::ComputePressure(sr.graph, sr.schedule, m, sr.overrides));
+  }
+}
+BENCHMARK(BM_Pressure);
+
+}  // namespace
+
+BENCHMARK_MAIN();

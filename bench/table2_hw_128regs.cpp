@@ -1,0 +1,48 @@
+// Reproduces Table 2: access time and area of three equal-capacity
+// (128-register) organizations with lp=sp=1, from the analytic register-
+// file model (the paper used CACTI 3.0 adapted to RFs at 0.10 um).
+//
+// Paper reference:
+//   Config    access C / S (ns)    area C / S / total (1e6 lambda^2)
+//   S128      -     / 1.145        -     / 14.91 / 14.91
+//   4C32      0.475 / -            1.07  / -     /  4.29
+//   1C64S64   0.979 / 0.610        10.79 /  2.47 / 13.26
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace hcrf;
+
+namespace {
+
+void Row(const char* name, double paper_c_t, double paper_s_t,
+         double paper_total_area, hw::RFModelMode mode) {
+  MachineConfig m =
+      MachineConfig::WithRF(RFConfig::Parse(name));
+  // Table 2 uses lp=sp=1 for all organizations.
+  if (m.rf.HasClusters()) {
+    m.rf.lp = 1;
+    m.rf.sp = 1;
+  }
+  const hw::Characterization c = hw::Characterize(m, mode);
+  std::printf("%-9s  C %.3f ns (paper %.3f)   S %.3f ns (paper %.3f)   "
+              "total area %6.2f (paper %5.2f)\n",
+              name, c.cluster_bank.access_ns, paper_c_t,
+              c.shared_bank.access_ns, paper_s_t, c.total_area_mlambda2,
+              paper_total_area);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 2: access time and area, 128-register organizations "
+              "(lp=sp=1)\n\n");
+  std::printf("-- analytic model --\n");
+  Row("S128", 0.0, 1.145, 14.91, hw::RFModelMode::kAnalytic);
+  Row("4C32", 0.475, 0.0, 4.29, hw::RFModelMode::kAnalytic);
+  Row("1C64S64", 0.979, 0.610, 13.26, hw::RFModelMode::kAnalytic);
+  std::printf("\nNote: Table 2's 1C64S64 banks (lp=sp=1) do not appear in "
+              "Table 5, so both\ncolumns come from the analytic fit there; "
+              "see EXPERIMENTS.md for fit quality.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Reproduces Table 5: the hardware evaluation of all 15 register-file
+// configurations -- per-bank access time and area, total area, logic depth
+// (FO4), clock cycle, and the memory/FU latencies in cycles of each clock.
+//
+// Two blocks are printed: one from the analytic RF model end to end, and
+// one with the published access/area values (kPaperTable) feeding the same
+// FO4 clock and latency-scaling rules -- the latter reproduces the paper's
+// clock and latency columns exactly (see tests/test_hwmodel.cpp).
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace hcrf;
+
+namespace {
+
+struct PaperRow {
+  double access_c, access_s, area_total;
+  int depth;
+  double clock;
+  int mem, fu;
+};
+
+constexpr PaperRow kPaper[] = {
+    {0.0, 1.145, 14.91, 31, 1.181, 2, 4},   {0.0, 1.021, 12.20, 27, 1.037, 3, 4},
+    {0.0, 0.685, 7.50, 18, 0.713, 3, 4},    {0.943, 0.485, 11.37, 25, 0.965, 3, 4},
+    {0.666, 0.493, 8.12, 17, 0.677, 3, 4},  {0.686, 0.0, 7.98, 18, 0.713, 3, 4},
+    {0.532, 0.0, 4.88, 13, 0.533, 4, 6},    {0.626, 0.493, 7.12, 16, 0.641, 3, 5},
+    {0.515, 0.510, 5.83, 13, 0.533, 4, 6},  {0.531, 0.0, 5.21, 13, 0.533, 4, 6},
+    {0.475, 0.0, 4.29, 12, 0.497, 4, 6},    {0.442, 0.456, 4.38, 11, 0.461, 4, 7},
+    {0.393, 0.483, 4.49, 10, 0.425, 4, 7},  {0.400, 0.532, 5.84, 10, 0.425, 4, 7},
+    {0.360, 0.532, 4.82, 9, 0.389, 5, 8},
+};
+
+void Block(hw::RFModelMode mode) {
+  std::printf("%-9s %-5s  %-18s %-18s %-10s %-12s %-12s %-9s\n", "Config",
+              "lp-sp", "accessC ns(paper)", "accessS ns(paper)",
+              "area(per)", "depth(paper)", "clock(paper)", "Mem/FU(p)");
+  int i = 0;
+  for (const auto& pc : bench::kTable5Configs) {
+    const PaperRow& p = kPaper[i++];
+    MachineConfig m = MachineConfig::WithRF(RFConfig::Parse(pc.name));
+    const hw::Characterization c = hw::Characterize(m, mode);
+    std::printf(
+        "%-9s %d-%d    %6.3f (%6.3f)    %6.3f (%6.3f)    %5.2f(%5.2f) "
+        "%3d (%2d)      %.3f (%.3f) %d/%d (%d/%d)\n",
+        pc.label, m.rf.clusters > 0 ? m.rf.lp : 0,
+        m.rf.clusters > 0 ? m.rf.sp : 0, c.cluster_bank.access_ns, p.access_c,
+        c.shared_bank.access_ns, p.access_s, c.total_area_mlambda2,
+        p.area_total, c.logic_depth_fo4, p.depth, c.clock_ns, p.clock,
+        c.lat.load_hit, c.lat.fadd, p.mem, p.fu);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 5: hardware evaluation of the 15 RF configurations\n");
+  std::printf("\n-- analytic RF model --\n");
+  Block(hw::RFModelMode::kAnalytic);
+  std::printf("\n-- published bank values + FO4/latency rules --\n");
+  Block(hw::RFModelMode::kPaperTable);
+  return 0;
+}

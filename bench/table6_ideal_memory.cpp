@@ -1,0 +1,75 @@
+// Reproduces Table 6: execution cycles, memory traffic and execution time
+// (relative to the monolithic S64 baseline) of the 15 register-file
+// configurations under an ideal memory system.
+//
+// Paper reference (ExeC x1e9, MemTrf x1e9, relative ExeT, speedup):
+//   S128     11.06 17.54 1.085 0.921 | 2C64S32 12.87 17.54 0.685 1.460
+//   S64      11.61 25.77 1.000 1.000 | 2C32S32 14.75 17.54 0.653 1.531
+//   S32      17.72 33.27 1.049 0.953 | 4C64    13.74 17.54 0.608 1.645
+//   1C64S32  12.05 17.54 0.966 1.035 | 4C32    13.77 21.45 0.568 1.761
+//   1C32S64  14.05 17.54 0.790 1.266 | 4C32S16 14.76 17.54 0.565 1.770
+//   2C64     11.60 18.30 0.687 1.456 | 4C16S16 16.91 17.54 0.597 1.675
+//   2C32     16.01 28.89 0.709 1.410 | 8C32S16 14.60 17.54 0.515 1.942
+//                                    | 8C16S16 15.84 17.54 0.511 1.957
+// The reproduced claims: who wins (hierarchical-clustered 8-cluster
+// designs fastest), the ~factor of speedups, and which configurations pay
+// extra memory traffic (spill: S64, S32, 2C32, 4C32, 2C64 slightly).
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace hcrf;
+
+namespace {
+
+struct PaperRow {
+  double exec, traffic, time_rel, speedup;
+};
+
+constexpr PaperRow kPaper[] = {
+    {11.06, 17.54, 1.085, 0.921}, {11.61, 25.77, 1.000, 1.000},
+    {17.72, 33.27, 1.049, 0.953}, {12.05, 17.54, 0.966, 1.035},
+    {14.05, 17.54, 0.790, 1.266}, {11.60, 18.30, 0.687, 1.456},
+    {16.01, 28.89, 0.709, 1.410}, {12.87, 17.54, 0.685, 1.460},
+    {14.75, 17.54, 0.653, 1.531}, {13.74, 17.54, 0.608, 1.645},
+    {13.77, 21.45, 0.568, 1.761}, {14.76, 17.54, 0.565, 1.770},
+    {16.91, 17.54, 0.597, 1.675}, {14.60, 17.54, 0.515, 1.942},
+    {15.84, 17.54, 0.511, 1.957},
+};
+
+}  // namespace
+
+int main() {
+  std::printf("Table 6: performance evaluation, ideal memory (relative to "
+              "S64)\n\n");
+
+  // Baseline first.
+  const MachineConfig base = bench::MakeMachine("S64");
+  const perf::SuiteMetrics base_sm = perf::RunSuite(bench::TheSuite(), base);
+  const double base_time = base_sm.ExecTimeSeconds(base.clock_ns);
+
+  std::printf("%-9s %-6s %-16s %-16s %-15s %-15s\n", "Config", "lp-sp",
+              "ExeC rel(paper)", "MemTrf rel(papr)", "ExeT rel(paper)",
+              "Speedup(paper)");
+  int i = 0;
+  for (const auto& pc : bench::kTable5Configs) {
+    const PaperRow& p = kPaper[i++];
+    const MachineConfig m = bench::MakeMachine(pc.name);
+    const perf::SuiteMetrics sm = perf::RunSuite(bench::TheSuite(), m);
+    const double time = sm.ExecTimeSeconds(m.clock_ns);
+    const double cyc_rel = static_cast<double>(sm.ExecCycles()) /
+                           static_cast<double>(base_sm.ExecCycles());
+    const double trf_rel = static_cast<double>(sm.mem_traffic) /
+                           static_cast<double>(base_sm.mem_traffic);
+    std::printf("%-9s %d-%d    %6.3f (%6.3f)  %6.3f (%6.3f)  %6.3f (%6.3f) "
+                " %6.3f (%6.3f)%s\n",
+                pc.label, m.rf.clusters > 0 ? m.rf.lp : 0,
+                m.rf.clusters > 0 ? m.rf.sp : 0, cyc_rel, p.exec / 11.61,
+                trf_rel, p.traffic / 25.77, time / base_time,
+                p.time_rel, base_time / time, p.speedup,
+                sm.failed > 0 ? "  [FAILED LOOPS]" : "");
+  }
+  std::printf("\n(ExeC and MemTrf shown relative to S64; paper columns "
+              "rescaled the same way.)\n");
+  return 0;
+}

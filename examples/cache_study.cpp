@@ -1,0 +1,68 @@
+// Cache/prefetch study: runs one memory-intensive kernel under a real
+// memory system on a monolithic and a hierarchical-clustered machine, with
+// the three binding-prefetch policies, and reports useful vs stall cycles.
+// Demonstrates the paper's Section 6.2 claim: binding prefetching converts
+// stall cycles into register pressure, and the hierarchical organization
+// absorbs that pressure in the shared bank.
+//
+//   $ ./examples/cache_study
+#include <cstdio>
+
+#include "core/mirs.h"
+#include "hwmodel/characterize.h"
+#include "memsim/prefetch.h"
+#include "memsim/replay.h"
+#include "sched/lifetime.h"
+#include "workload/kernels.h"
+
+using namespace hcrf;
+
+namespace {
+
+void Study(const workload::Loop& loop, const char* rf) {
+  MachineConfig m = MachineConfig::WithRF(RFConfig::Parse(rf));
+  m = hw::ApplyCharacterization(m, hw::RFModelMode::kPaperTable);
+  std::printf("-- %s on %s (clock %.3f ns, miss %d cycles)\n",
+              loop.ddg.name().c_str(), rf, m.clock_ns, m.lat.load_miss);
+  std::printf("   %-10s %8s %8s %10s %10s %8s\n", "policy", "II", "SC",
+              "useful", "stall", "shared");
+  for (const memsim::PrefetchMode mode :
+       {memsim::PrefetchMode::kNone, memsim::PrefetchMode::kAll,
+        memsim::PrefetchMode::kSelective}) {
+    const sched::LatencyOverrides ov =
+        memsim::ClassifyBindingPrefetch(loop.ddg, m, loop.trip, mode);
+    const core::ScheduleResult sr = core::MirsHC(loop.ddg, m, {}, ov);
+    if (!sr.ok) {
+      std::printf("   %-10s scheduling failed\n",
+                  std::string(ToString(mode)).c_str());
+      continue;
+    }
+    const memsim::ReplayResult rr = memsim::ReplayLoop(loop, sr, m);
+    const sched::PressureReport pr =
+        sched::ComputePressure(sr.graph, sr.schedule, m, sr.overrides);
+    std::printf("   %-10s %8d %8d %10ld %10ld %8d\n",
+                std::string(ToString(mode)).c_str(), sr.ii, sr.sc,
+                rr.useful_cycles, rr.stall_cycles, pr.shared_maxlive);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Binding prefetch study (useful vs stall cycles; 'shared' = "
+              "MaxLive of the shared bank)\n\n");
+  workload::Loop big_stream = workload::MakeHydro(8192);
+  big_stream.invocations = 4;
+  Study(big_stream, "S64");
+  std::printf("\n");
+  Study(big_stream, "4C16S64/2-1");
+  std::printf("\n");
+  workload::Loop strided = workload::MakeVadd(4096);
+  strided.invocations = 2;
+  Study(strided, "4C16S64/2-1");
+  std::printf(
+      "\nExpected shape: prefetching eliminates stalls at the cost of\n"
+      "shared-bank pressure; 'selective' keeps the stall win without\n"
+      "penalizing recurrence-bound loops.\n");
+  return 0;
+}

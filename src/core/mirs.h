@@ -1,0 +1,107 @@
+// MIRS_HC: Modulo scheduling with Integrated Register Spilling for
+// Hierarchical Clustered VLIW architectures (the paper's Section 5), and
+// its specializations for monolithic (MIRS [38]), clustered (MIRS for
+// clustered RFs [37]) and hierarchical non-clustered RFs. One engine
+// handles all four organization families, selected by MachineConfig::rf.
+//
+// The scheduler simultaneously performs:
+//  * instruction scheduling (HRMS-style register-sensitive ordering),
+//  * cluster selection (balancing slots, communication and registers),
+//  * insertion of communication ops (Move for pure clustered organizations,
+//    StoreR/LoadR for hierarchical ones) whenever a flow dependence crosses
+//    banks,
+//  * register allocation per bank (MaxLive vs capacity after every
+//    placement),
+//  * spill insertion: cluster bank -> shared bank (hierarchical; free of
+//    memory traffic) and shared bank / cluster bank -> memory.
+//
+// It is iterative with backtracking: when no free slot exists the node is
+// force-placed and the conflicting and dependence-violating nodes are
+// ejected back into the priority list (their communication ops are removed
+// and their original edges restored). The process is governed by a Budget
+// of Budget_Ratio attempts per node; exhausting it restarts the schedule
+// at II+1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ddg/ddg.h"
+#include "machine/machine_config.h"
+#include "sched/lifetime.h"
+#include "sched/schedule.h"
+
+namespace hcrf::core {
+
+enum class ClusterPolicy : std::uint8_t {
+  kBalanced,    ///< Paper's heuristic: slots + communication + registers.
+  kRoundRobin,  ///< Ablation: cyclic assignment.
+  kFirstFit,    ///< Ablation: lowest-index cluster with a free slot.
+};
+
+std::string_view ToString(ClusterPolicy p);
+
+struct MirsOptions {
+  /// Attempts the iterative algorithm may spend per node (Budget_Ratio).
+  double budget_ratio = 6.0;
+  /// Hard II ceiling (fail the loop beyond it; generously above any MII in
+  /// the workload).
+  int max_ii = 2048;
+  /// false selects the non-iterative baseline in the style of [36]: no
+  /// force-and-eject backtracking, spill inserted only between whole
+  /// scheduling passes; used as the Table 4 comparator.
+  bool iterative = true;
+  ClusterPolicy cluster_policy = ClusterPolicy::kBalanced;
+};
+
+/// How a loop's achieved II is bounded (Table 1's classification).
+enum class BoundClass : std::uint8_t { kFU, kMemPort, kRecurrence, kComm };
+
+std::string_view ToString(BoundClass b);
+
+struct ScheduleStats {
+  long attempts = 0;    ///< Budget spent (nodes scheduled, incl. rescheds).
+  long ejections = 0;   ///< Nodes kicked out by force-and-eject.
+  int restarts = 0;     ///< II increments over MII.
+  int comm_ops = 0;     ///< Move/LoadR/StoreR nodes in the final graph.
+  int spill_stores = 0; ///< Spill stores to memory (adds traffic).
+  int spill_loads = 0;  ///< Spill loads from memory (adds traffic).
+  int storer_ops = 0;   ///< StoreR nodes (cluster->shared copies).
+  int loadr_ops = 0;    ///< LoadR nodes (shared->cluster copies).
+  int move_ops = 0;     ///< Move nodes (bus copies).
+};
+
+struct ScheduleResult {
+  bool ok = false;
+  int ii = 0;
+  int sc = 0;  ///< Stage count of the final schedule.
+  int mii = 0;
+  int res_mii = 0;
+  int rec_mii = 0;
+  /// Transformed graph: original operations plus communication and spill
+  /// nodes. Original node ids are preserved.
+  DDG graph;
+  sched::PartialSchedule schedule{1};
+  /// Flow-latency overrides actually used (binding prefetching), indexed
+  /// by ids of `graph`.
+  sched::LatencyOverrides overrides;
+  ScheduleStats stats;
+  BoundClass bound = BoundClass::kFU;
+  /// Loads+stores per iteration in the final graph: the paper's `trf`
+  /// factor of the memory-traffic metric (N * trf).
+  int mem_ops_per_iter = 0;
+};
+
+/// Schedules one loop on the given machine. `load_overrides` (optional)
+/// gives per-load producer latencies on the ids of `loop` — the mechanism
+/// behind binding prefetching (schedule selected loads with miss latency).
+ScheduleResult MirsHC(const DDG& loop, const MachineConfig& m,
+                      const MirsOptions& opt = {},
+                      const sched::LatencyOverrides& load_overrides = {});
+
+/// Classification of the achieved II against its component bounds,
+/// computed on the final transformed graph.
+BoundClass ClassifyBound(const DDG& final_graph, const MachineConfig& m,
+                         int achieved_ii, int rec_mii);
+
+}  // namespace hcrf::core

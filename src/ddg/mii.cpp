@@ -1,0 +1,191 @@
+#include "ddg/mii.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace hcrf {
+
+namespace {
+
+// Is there a cycle with positive total weight lat(e) - ii*dist(e) among the
+// given nodes? Longest-path Bellman-Ford; returns true if relaxation does
+// not converge in |V| rounds.
+bool HasPositiveCycle(const DDG& g, const LatencyTable& lat,
+                      const std::vector<NodeId>& nodes, int ii) {
+  constexpr long kNegInf = std::numeric_limits<long>::min() / 4;
+  std::vector<long> dist(static_cast<size_t>(g.NumSlots()), kNegInf);
+  std::vector<char> member(static_cast<size_t>(g.NumSlots()), 0);
+  for (NodeId v : nodes) {
+    dist[static_cast<size_t>(v)] = 0;
+    member[static_cast<size_t>(v)] = 1;
+  }
+  const int rounds = static_cast<int>(nodes.size());
+  for (int round = 0; round <= rounds; ++round) {
+    bool changed = false;
+    for (NodeId v : nodes) {
+      const long dv = dist[static_cast<size_t>(v)];
+      if (dv == kNegInf) continue;
+      for (const Edge& e : g.OutEdges(v)) {
+        if (!member[static_cast<size_t>(e.dst)]) continue;
+        const long w =
+            g.EdgeLatency(e, lat) - static_cast<long>(ii) * e.distance;
+        if (dv + w > dist[static_cast<size_t>(e.dst)]) {
+          dist[static_cast<size_t>(e.dst)] = dv + w;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) return false;
+  }
+  return true;
+}
+
+int RecMIIOnNodes(const DDG& g, const LatencyTable& lat,
+                  const std::vector<NodeId>& nodes) {
+  if (nodes.empty()) return 1;
+  // Upper bound: sum of all latencies inside the node set.
+  long hi = 1;
+  for (NodeId v : nodes) {
+    hi += lat.Of(g.node(v).op);
+  }
+  long lo = 1;
+  // RecMII is the smallest II such that no positive cycle exists; note that
+  // a zero-weight cycle is fine (the recurrence exactly fits).
+  while (lo < hi) {
+    const long mid = lo + (hi - lo) / 2;
+    if (HasPositiveCycle(g, lat, nodes, static_cast<int>(mid))) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<int>(lo);
+}
+
+}  // namespace
+
+int ResMII(const DDG& g, const MachineConfig& m) {
+  const DDG::OpCounts c = g.CountOps(m.lat);
+  int mii = 1;
+  if (c.compute_occupancy > 0) {
+    mii = std::max(mii, (c.compute_occupancy + m.num_fus - 1) / m.num_fus);
+  }
+  if (c.memory > 0) {
+    mii = std::max(mii, (c.memory + m.num_mem_ports - 1) / m.num_mem_ports);
+  }
+  return mii;
+}
+
+int RecMII(const DDG& g, const LatencyTable& lat) {
+  int mii = 1;
+  for (const std::vector<NodeId>& scc : SCCs(g)) {
+    if (scc.size() == 1) {
+      // Self loop?
+      const NodeId v = scc.front();
+      bool self = false;
+      for (const Edge& e : g.OutEdges(v)) {
+        if (e.dst == v) {
+          self = true;
+          break;
+        }
+      }
+      if (!self) continue;
+    }
+    mii = std::max(mii, RecMIIOnNodes(g, lat, scc));
+  }
+  return mii;
+}
+
+MIIInfo ComputeMII(const DDG& g, const MachineConfig& m) {
+  return MIIInfo{.res_mii = ResMII(g, m), .rec_mii = RecMII(g, m.lat)};
+}
+
+int SccRecMII(const DDG& g, const LatencyTable& lat,
+              const std::vector<NodeId>& scc) {
+  return RecMIIOnNodes(g, lat, scc);
+}
+
+std::vector<std::vector<NodeId>> SCCs(const DDG& g) {
+  // Iterative Tarjan to avoid recursion depth limits on long chains.
+  const NodeId n = g.NumSlots();
+  std::vector<int> index(static_cast<size_t>(n), -1);
+  std::vector<int> low(static_cast<size_t>(n), 0);
+  std::vector<char> on_stack(static_cast<size_t>(n), 0);
+  std::vector<NodeId> stack;
+  std::vector<std::vector<NodeId>> sccs;
+  int counter = 0;
+
+  struct Frame {
+    NodeId v;
+    size_t edge_idx;
+  };
+  std::vector<Frame> call;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (!g.IsAlive(root) || index[static_cast<size_t>(root)] != -1) continue;
+    call.push_back({root, 0});
+    index[static_cast<size_t>(root)] = low[static_cast<size_t>(root)] =
+        counter++;
+    stack.push_back(root);
+    on_stack[static_cast<size_t>(root)] = 1;
+
+    while (!call.empty()) {
+      Frame& f = call.back();
+      const auto& edges = g.OutEdges(f.v);
+      if (f.edge_idx < edges.size()) {
+        const NodeId w = edges[f.edge_idx++].dst;
+        if (index[static_cast<size_t>(w)] == -1) {
+          index[static_cast<size_t>(w)] = low[static_cast<size_t>(w)] =
+              counter++;
+          stack.push_back(w);
+          on_stack[static_cast<size_t>(w)] = 1;
+          call.push_back({w, 0});
+        } else if (on_stack[static_cast<size_t>(w)]) {
+          low[static_cast<size_t>(f.v)] = std::min(
+              low[static_cast<size_t>(f.v)], index[static_cast<size_t>(w)]);
+        }
+      } else {
+        const NodeId v = f.v;
+        call.pop_back();
+        if (!call.empty()) {
+          low[static_cast<size_t>(call.back().v)] =
+              std::min(low[static_cast<size_t>(call.back().v)],
+                       low[static_cast<size_t>(v)]);
+        }
+        if (low[static_cast<size_t>(v)] == index[static_cast<size_t>(v)]) {
+          std::vector<NodeId> scc;
+          NodeId w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[static_cast<size_t>(w)] = 0;
+            scc.push_back(w);
+          } while (w != v);
+          sccs.push_back(std::move(scc));
+        }
+      }
+    }
+  }
+  return sccs;
+}
+
+std::vector<bool> NodesOnRecurrences(const DDG& g) {
+  std::vector<bool> result(static_cast<size_t>(g.NumSlots()), false);
+  for (const std::vector<NodeId>& scc : SCCs(g)) {
+    if (scc.size() > 1) {
+      for (NodeId v : scc) result[static_cast<size_t>(v)] = true;
+    } else {
+      const NodeId v = scc.front();
+      for (const Edge& e : g.OutEdges(v)) {
+        if (e.dst == v) {
+          result[static_cast<size_t>(v)] = true;
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hcrf

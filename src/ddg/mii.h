@@ -1,0 +1,40 @@
+// Minimum initiation interval computation: ResMII (resource bound) and
+// RecMII (recurrence bound), plus recurrence/SCC utilities used by the
+// scheduler's priority ordering and the bound classification of loops.
+#pragma once
+
+#include <vector>
+
+#include "ddg/ddg.h"
+#include "machine/machine_config.h"
+
+namespace hcrf {
+
+/// Resource-constrained MII over the whole machine (cluster-agnostic; the
+/// scheduler discovers the per-cluster constraints dynamically).
+/// Unpipelined operations occupy their FU for their full latency.
+int ResMII(const DDG& g, const MachineConfig& m);
+
+/// Recurrence-constrained MII: the maximum over all dependence cycles of
+/// ceil(sum latency / sum distance). Computed by binary search on II with a
+/// positive-cycle (Bellman-Ford) feasibility test on edge weights
+/// latency(e) - II * distance(e).
+int RecMII(const DDG& g, const LatencyTable& lat);
+
+MIIInfo ComputeMII(const DDG& g, const MachineConfig& m);
+
+/// Strongly connected components (Tarjan). Components are returned in
+/// reverse topological order; single nodes without self loops form trivial
+/// components.
+std::vector<std::vector<NodeId>> SCCs(const DDG& g);
+
+/// Ids of nodes that belong to some dependence cycle (non-trivial SCC or
+/// self loop). These are the "recurrence nodes" that HRMS prioritizes and
+/// that selective binding prefetching schedules with hit latency.
+std::vector<bool> NodesOnRecurrences(const DDG& g);
+
+/// RecMII restricted to one SCC (used to order recurrences by criticality).
+int SccRecMII(const DDG& g, const LatencyTable& lat,
+              const std::vector<NodeId>& scc);
+
+}  // namespace hcrf

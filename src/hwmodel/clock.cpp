@@ -1,0 +1,53 @@
+#include "hwmodel/clock.h"
+
+#include <cmath>
+
+namespace hcrf::hw {
+
+namespace {
+// Logic-depth fit constants (see header).
+constexpr double kDepthOffsetNs = 0.048;
+constexpr double kDepthUnitNs = 0.0359;
+// Total FO4 of logic in each operation class.
+constexpr double kFuFo4 = 68.0;
+constexpr double kDivFo4 = 289.0;   // 68 * 17/4
+constexpr double kSqrtFo4 = 510.0;  // 68 * 30/4
+constexpr double kCacheNs = 1.17;
+constexpr double kMissNs = 10.0;
+
+int CeilDiv(double num, double den) {
+  return static_cast<int>(std::ceil(num / den - 1e-9));
+}
+}  // namespace
+
+int LogicDepthFo4(double access_ns) {
+  const int depth = static_cast<int>(
+      std::lround((access_ns - kDepthOffsetNs) / kDepthUnitNs));
+  return depth < kMinLogicDepth ? kMinLogicDepth : depth;
+}
+
+double ClockNs(int logic_depth_fo4) {
+  return static_cast<double>(logic_depth_fo4) * kFo4Ns + kClockOverheadNs;
+}
+
+LatencyTable ScaleLatencies(int logic_depth_fo4, double shared_access_ns) {
+  const double depth = static_cast<double>(logic_depth_fo4);
+  const double clock = ClockNs(logic_depth_fo4);
+  LatencyTable lat;
+  lat.fadd = std::max(4, CeilDiv(kFuFo4, depth));
+  lat.fmul = lat.fadd;
+  lat.fdiv = std::max(17, CeilDiv(kDivFo4, depth));
+  lat.fsqrt = std::max(30, CeilDiv(kSqrtFo4, depth));
+  lat.load_hit = 1 + CeilDiv(kCacheNs, clock);
+  lat.store = lat.load_hit - 1;
+  lat.load_miss = CeilDiv(kMissNs, clock);
+  lat.move = 1;
+  const int comm =
+      shared_access_ns > 0.0 ? std::max(1, CeilDiv(shared_access_ns, clock))
+                             : 1;
+  lat.loadr = comm;
+  lat.storer = comm;
+  return lat;
+}
+
+}  // namespace hcrf::hw

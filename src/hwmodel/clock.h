@@ -1,0 +1,42 @@
+// Cycle-time model: converts a register-file access time into a pipeline
+// logic depth (in FO4 units, after Hrishikesh et al. [17]) and a clock
+// period, and rescales operation latencies to that clock.
+//
+// Rules recovered from the paper's Table 5 (they reproduce all 15 published
+// configurations exactly: logic depth, clock, FU and memory latencies, and
+// the LoadR/StoreR latencies):
+//
+//   depth      = round((access_ns - 48ps) / 35.9ps)        [>= 6 FO4]
+//   clock_ns   = depth * 36ps + 65ps                        (latch+skew)
+//   fadd/fmul  = max(4,  ceil(68  FO4 / depth))             (fully pipelined)
+//   fdiv       = max(17, ceil(289 FO4 / depth))             (not pipelined)
+//   fsqrt      = max(30, ceil(510 FO4 / depth))
+//   load hit   = 1 + ceil(1.17ns / clock)                   (cache + RF write)
+//   store      = load hit - 1
+//   load miss  = ceil(10ns / clock)                         (Section 2.2)
+//   LoadR/StoreR latency = max(1, ceil(shared access / clock))
+#pragma once
+
+#include "machine/machine_config.h"
+
+namespace hcrf::hw {
+
+/// FO4 inverter delay at 0.10 um drawn gate length, ns.
+inline constexpr double kFo4Ns = 0.036;
+/// Clock overhead (latch + skew), ns.
+inline constexpr double kClockOverheadNs = 0.065;
+/// Minimum useful logic depth per stage (Hrishikesh et al.).
+inline constexpr int kMinLogicDepth = 6;
+
+/// Pipeline logic depth implied by a register-file access time.
+int LogicDepthFo4(double access_ns);
+
+/// Clock period for a given logic depth.
+double ClockNs(int logic_depth_fo4);
+
+/// Operation latencies rescaled to the clock implied by `logic_depth`.
+/// `shared_access_ns` sizes the LoadR/StoreR latency for hierarchical
+/// organizations (pass 0 when there is no shared level above clusters).
+LatencyTable ScaleLatencies(int logic_depth_fo4, double shared_access_ns);
+
+}  // namespace hcrf::hw

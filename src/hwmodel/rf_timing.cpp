@@ -1,0 +1,100 @@
+#include "hwmodel/rf_timing.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hcrf::hw {
+
+namespace {
+
+// Access-time model constants (ns), least-squares calibrated against the 22
+// register banks of the paper's Tables 2/5 (see /tmp-free derivation in
+// EXPERIMENTS.md "hardware model calibration").
+constexpr double kT0 = 0.293749;       // sense amp + output driver
+constexpr double kTDec = 0.005633;     // per decoder level (log2 N)
+constexpr double kTPort = -0.001667;   // per-port line driver sizing credit
+constexpr double kTWire = 0.002548;    // per (port * sqrt(N)) wire RC
+
+// Area model constants (1e6 lambda^2): A = kA * N^kAlphaN * P^kBetaP.
+constexpr double kA = 0.002564;
+constexpr double kAlphaN = 0.476;
+constexpr double kBetaP = 1.831;
+
+struct PaperBank {
+  int nregs;
+  int reads;
+  int writes;
+  double access_ns;
+  double area;
+};
+
+// Every distinct bank shape appearing in the paper's Tables 2 and 5.
+// Port counts derived from the machine shape (8 FUs, 4 memory ports) and
+// each configuration's lp-sp values; see RFConfig::{Cluster,Shared}BankPorts.
+constexpr PaperBank kPaperBanks[] = {
+    // monolithic banks (20 reads = 2*8 FU + 4 mem; 12 writes = 8 + 4)
+    {128, 20, 12, 1.145, 14.91},
+    {64, 20, 12, 1.021, 12.20},
+    {32, 20, 12, 0.685, 7.50},
+    // 1C64S32/3-2: cluster bank 64 regs, R=16+2, W=8+3; shared R=3+4, W=2+4
+    {64, 18, 11, 0.943, 10.07},
+    {32, 7, 6, 0.485, 1.31},
+    // 1C32S64/4-2: cluster 32 regs R=16+2 W=8+4; shared 64 R=4+4 W=2+4
+    {32, 18, 12, 0.666, 6.61},
+    {64, 8, 6, 0.493, 1.50},
+    // 2C64, 2C32 (bus 1-1): R=8+2+1, W=4+2+1
+    {64, 11, 7, 0.686, 3.99},
+    {32, 11, 7, 0.532, 2.44},
+    // 2C64S32/2-1: cluster R=8+1 W=4+2; shared 32 R=2*2+4 W=2*1+4
+    {64, 9, 6, 0.626, 2.81},
+    {32, 8, 6, 0.493, 1.50},
+    // 2C32S32/3-1: cluster R=8+1 W=4+3; shared R=2*3+4 W=2*1+4
+    {32, 9, 7, 0.515, 1.95},
+    {32, 10, 6, 0.510, 1.94},
+    // 4C64, 4C32 (bus 1-1): R=4+1+1, W=2+1+1
+    {64, 6, 4, 0.531, 1.30},
+    {32, 6, 4, 0.475, 1.07},
+    // 4C32S16/1-1: cluster R=4+1 W=2+1; shared 16 R=4+4 W=4+4
+    {32, 5, 3, 0.442, 0.70},
+    {16, 8, 8, 0.456, 1.57},
+    // 4C16S16/2-1: cluster R=4+1 W=2+2; shared R=4*2+4 W=4*1+4
+    {16, 5, 4, 0.393, 0.52},
+    {16, 12, 8, 0.483, 2.42},
+    // 8C32S16, 8C16S16 (1-1): cluster R=2+1 W=1+1; shared R=8+4 W=8+4
+    {32, 3, 2, 0.400, 0.30},
+    {16, 3, 2, 0.360, 0.17},
+    {16, 12, 12, 0.532, 3.45},
+};
+
+}  // namespace
+
+std::optional<BankCharacteristics> PaperBankValue(int nregs, BankPorts ports) {
+  for (const PaperBank& b : kPaperBanks) {
+    if (b.nregs == nregs && b.reads == ports.reads && b.writes == ports.writes) {
+      return BankCharacteristics{b.access_ns, b.area};
+    }
+  }
+  return std::nullopt;
+}
+
+BankCharacteristics CharacterizeBank(int nregs, BankPorts ports,
+                                     RFModelMode mode) {
+  if (nregs <= 0) {
+    throw std::invalid_argument("CharacterizeBank: nregs must be positive");
+  }
+  if (ports.reads <= 0 || ports.writes <= 0) {
+    throw std::invalid_argument("CharacterizeBank: bank needs R and W ports");
+  }
+  if (mode == RFModelMode::kPaperTable) {
+    if (auto v = PaperBankValue(nregs, ports)) return *v;
+  }
+  const double n = static_cast<double>(nregs);
+  const double p = static_cast<double>(ports.Total());
+  BankCharacteristics out;
+  out.access_ns =
+      kT0 + kTDec * std::log2(n) + kTPort * p + kTWire * p * std::sqrt(n);
+  out.area_mlambda2 = kA * std::pow(n, kAlphaN) * std::pow(p, kBetaP);
+  return out;
+}
+
+}  // namespace hcrf::hw

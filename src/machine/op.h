@@ -1,0 +1,63 @@
+// Operation classes executed by the VLIW core modelled in this library.
+//
+// The paper's machine executes floating-point arithmetic on general-purpose
+// functional units, memory accesses on load/store units (memory ports), and
+// two kinds of data-movement operations introduced by the register-file
+// organization itself:
+//   * Move    - inter-cluster copy over a bus (pure clustered organizations),
+//   * LoadR   - copy shared-bank register -> cluster-bank register,
+//   * StoreR  - copy cluster-bank register -> shared-bank register.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace hcrf {
+
+/// Classes of operations known to the scheduler and the machine model.
+enum class OpClass : std::uint8_t {
+  kFAdd,    ///< FP addition/subtraction (fully pipelined).
+  kFMul,    ///< FP multiplication (fully pipelined).
+  kFDiv,    ///< FP division (not pipelined).
+  kFSqrt,   ///< FP square root (not pipelined).
+  kLoad,    ///< Memory load through a memory port.
+  kStore,   ///< Memory store through a memory port.
+  kMove,    ///< Inter-cluster register copy over a bus (clustered RFs).
+  kLoadR,   ///< Shared bank -> cluster bank copy (hierarchical RFs).
+  kStoreR,  ///< Cluster bank -> shared bank copy (hierarchical RFs).
+};
+
+inline constexpr int kNumOpClasses = 9;
+
+/// True for operations executed on a general-purpose functional unit.
+constexpr bool IsCompute(OpClass op) {
+  return op == OpClass::kFAdd || op == OpClass::kFMul || op == OpClass::kFDiv ||
+         op == OpClass::kFSqrt;
+}
+
+/// True for operations that use a memory port (access the L1 cache).
+constexpr bool IsMemory(OpClass op) {
+  return op == OpClass::kLoad || op == OpClass::kStore;
+}
+
+/// True for data-movement operations inserted by the scheduler to satisfy
+/// the register-file organization (they use neither FUs nor memory ports).
+constexpr bool IsCommunication(OpClass op) {
+  return op == OpClass::kMove || op == OpClass::kLoadR ||
+         op == OpClass::kStoreR;
+}
+
+/// True for operations whose result defines a register value. StoreR
+/// defines one too: the copy of its operand in the shared bank.
+constexpr bool DefinesValue(OpClass op) { return op != OpClass::kStore; }
+
+/// True for operations that occupy their resource for the full latency
+/// (division and square root are not pipelined in the paper's machine).
+constexpr bool IsUnpipelined(OpClass op) {
+  return op == OpClass::kFDiv || op == OpClass::kFSqrt;
+}
+
+/// Short mnemonic used by the code generator and debug dumps.
+std::string_view ToString(OpClass op);
+
+}  // namespace hcrf

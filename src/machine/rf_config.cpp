@@ -1,0 +1,192 @@
+#include "machine/rf_config.h"
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+
+namespace hcrf {
+
+namespace {
+
+// Parses either a decimal integer or the token "inf"; advances `s`.
+int ParseCount(std::string_view& s, std::string_view what) {
+  if (s.substr(0, 3) == "inf") {
+    s.remove_prefix(3);
+    return RFConfig::kUnbounded;
+  }
+  int value = 0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr == begin) {
+    throw std::invalid_argument("RFConfig::Parse: expected number for " +
+                                std::string(what) + " in '" + std::string(s) +
+                                "'");
+  }
+  s.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  if (value <= 0) {
+    throw std::invalid_argument("RFConfig::Parse: " + std::string(what) +
+                                " must be positive");
+  }
+  return value;
+}
+
+std::string CountToString(int v) {
+  return v >= RFConfig::kUnbounded ? "inf" : std::to_string(v);
+}
+
+}  // namespace
+
+std::string_view ToString(RFKind kind) {
+  switch (kind) {
+    case RFKind::kMonolithic: return "monolithic";
+    case RFKind::kClustered: return "clustered";
+    case RFKind::kHierarchical: return "hierarchical";
+    case RFKind::kHierarchicalClustered: return "hierarchical-clustered";
+  }
+  return "?";
+}
+
+RFKind RFConfig::Kind() const {
+  if (clusters == 0) return RFKind::kMonolithic;
+  if (shared_regs == 0) return RFKind::kClustered;
+  if (clusters == 1) return RFKind::kHierarchical;
+  return RFKind::kHierarchicalClustered;
+}
+
+int RFConfig::DefaultLp(int clusters, bool hierarchical) {
+  if (!hierarchical) return 1;  // bus input ports, Table 5 uses 1-1
+  switch (clusters) {
+    case 1: return 4;
+    case 2: return 3;
+    case 4: return 2;
+    default: return 1;
+  }
+}
+
+int RFConfig::DefaultSp(int clusters, bool hierarchical) {
+  if (!hierarchical) return 1;
+  switch (clusters) {
+    case 1: return 2;
+    default: return 1;
+  }
+}
+
+RFConfig RFConfig::Parse(std::string_view name) {
+  std::string_view s = name;
+  RFConfig cfg;
+  if (s.empty()) throw std::invalid_argument("RFConfig::Parse: empty name");
+
+  if (s.front() != 'S') {
+    cfg.clusters = ParseCount(s, "cluster count");
+    if (s.empty() || s.front() != 'C') {
+      throw std::invalid_argument("RFConfig::Parse: expected 'C' in '" +
+                                  std::string(name) + "'");
+    }
+    s.remove_prefix(1);
+    cfg.cluster_regs = ParseCount(s, "cluster registers");
+  }
+  if (!s.empty() && s.front() == 'S') {
+    s.remove_prefix(1);
+    cfg.shared_regs = ParseCount(s, "shared registers");
+  }
+  if (cfg.clusters == 0 && cfg.shared_regs == 0) {
+    throw std::invalid_argument("RFConfig::Parse: no banks in '" +
+                                std::string(name) + "'");
+  }
+
+  if (!s.empty() && s.front() == '/') {
+    s.remove_prefix(1);
+    cfg.lp = ParseCount(s, "lp");
+    if (s.empty() || s.front() != '-') {
+      throw std::invalid_argument("RFConfig::Parse: expected '-' in port "
+                                  "suffix of '" + std::string(name) + "'");
+    }
+    s.remove_prefix(1);
+    cfg.sp = ParseCount(s, "sp");
+  } else {
+    cfg.lp = DefaultLp(cfg.clusters, cfg.IsHierarchical() || cfg.IsMonolithic());
+    cfg.sp = DefaultSp(cfg.clusters, cfg.IsHierarchical() || cfg.IsMonolithic());
+  }
+  if (!s.empty()) {
+    throw std::invalid_argument("RFConfig::Parse: trailing characters in '" +
+                                std::string(name) + "'");
+  }
+  if (cfg.IsPureClustered()) {
+    cfg.buses = cfg.UnboundedPorts() ? kUnbounded
+                                     : std::max(1, cfg.clusters / 2);
+  }
+  return cfg;
+}
+
+std::string RFConfig::ShortName() const {
+  std::string out;
+  if (clusters > 0) {
+    out += CountToString(clusters);
+    out += 'C';
+    out += CountToString(cluster_regs);
+  }
+  if (shared_regs > 0) {
+    out += 'S';
+    out += CountToString(shared_regs);
+  }
+  return out;
+}
+
+std::string RFConfig::Name() const {
+  std::string out = ShortName();
+  if (clusters > 0) {
+    out += '/';
+    out += CountToString(lp);
+    out += '-';
+    out += CountToString(sp);
+  }
+  return out;
+}
+
+BankPorts RFConfig::ClusterBankPorts(int num_fus, int num_mem_ports) const {
+  if (clusters == 0) return {0, 0};
+  const int fus = num_fus / clusters;
+  BankPorts p;
+  p.reads = 2 * fus;
+  p.writes = fus;
+  if (IsPureClustered()) {
+    const int mem = num_mem_ports / clusters;
+    p.reads += mem;   // store data reads
+    p.writes += mem;  // load result writes
+    p.reads += std::min(sp, kUnbounded);   // bus output drivers
+    p.writes += std::min(lp, kUnbounded);  // bus input receivers
+  } else {
+    p.reads += std::min(sp, kUnbounded);   // StoreR reads the cluster bank
+    p.writes += std::min(lp, kUnbounded);  // LoadR writes the cluster bank
+  }
+  return p;
+}
+
+BankPorts RFConfig::SharedBankPorts(int num_fus, int num_mem_ports) const {
+  if (!HasSharedBank()) return {0, 0};
+  BankPorts p;
+  if (IsMonolithic()) {
+    p.reads = 2 * num_fus + num_mem_ports;
+    p.writes = num_fus + num_mem_ports;
+  } else {
+    // LoadR reads the shared bank (lp per cluster); stores to memory read it.
+    p.reads = clusters * std::min(lp, kUnbounded) + num_mem_ports;
+    // StoreR writes the shared bank (sp per cluster); loads from memory
+    // write it.
+    p.writes = clusters * std::min(sp, kUnbounded) + num_mem_ports;
+  }
+  return p;
+}
+
+long RFConfig::TotalRegs() const {
+  const long cluster_total =
+      clusters > 0
+          ? static_cast<long>(clusters) *
+                std::min(cluster_regs, kUnbounded)
+          : 0L;
+  const long total = cluster_total + std::min(shared_regs, kUnbounded);
+  return std::min<long>(total, kUnbounded);
+}
+
+}  // namespace hcrf

@@ -1,0 +1,62 @@
+#include "memsim/cache.h"
+
+#include <cstddef>
+
+namespace hcrf::memsim {
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  ways_.assign(static_cast<size_t>(cfg_.NumSets()) *
+                   static_cast<size_t>(cfg_.associativity),
+               Way{});
+}
+
+void Cache::Reset() {
+  for (Way& w : ways_) w = Way{};
+  tick_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+bool Cache::Access(std::uint64_t addr) {
+  const std::uint64_t line = addr / static_cast<std::uint64_t>(cfg_.line_bytes);
+  const std::uint64_t set =
+      line % static_cast<std::uint64_t>(cfg_.NumSets());
+  const std::uint64_t tag = line / static_cast<std::uint64_t>(cfg_.NumSets());
+  Way* base = &ways_[static_cast<size_t>(set) *
+                     static_cast<size_t>(cfg_.associativity)];
+  ++tick_;
+  Way* victim = base;
+  for (int a = 0; a < cfg_.associativity; ++a) {
+    Way& w = base[a];
+    if (w.valid && w.tag == tag) {
+      w.lru = tick_;
+      ++hits_;
+      return true;
+    }
+    if (!w.valid || w.lru < victim->lru) {
+      if (!victim->valid && w.valid) continue;  // prefer invalid victims
+      victim = &w;
+    }
+  }
+  // Miss: fill.
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  ++misses_;
+  return false;
+}
+
+bool Cache::Probe(std::uint64_t addr) const {
+  const std::uint64_t line = addr / static_cast<std::uint64_t>(cfg_.line_bytes);
+  const std::uint64_t set =
+      line % static_cast<std::uint64_t>(cfg_.NumSets());
+  const std::uint64_t tag = line / static_cast<std::uint64_t>(cfg_.NumSets());
+  const Way* base = &ways_[static_cast<size_t>(set) *
+                           static_cast<size_t>(cfg_.associativity)];
+  for (int a = 0; a < cfg_.associativity; ++a) {
+    if (base[a].valid && base[a].tag == tag) return true;
+  }
+  return false;
+}
+
+}  // namespace hcrf::memsim

@@ -1,0 +1,53 @@
+// Lockup-free L1 data cache model (paper Section 6.2): 32 KB, 32-byte
+// lines, multi-ported, up to 8 outstanding misses (MSHRs), write-allocate.
+// Associativity is not specified in the paper; we use 2-way LRU.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hcrf::memsim {
+
+struct CacheConfig {
+  long size_bytes = 32 * 1024;
+  int line_bytes = 32;
+  int associativity = 2;
+  int mshrs = 8;
+
+  long NumSets() const { return size_bytes / (line_bytes * associativity); }
+};
+
+/// Timing-free tag array: Lookup returns hit/miss and updates LRU and
+/// contents (fill on miss). Miss overlap timing is handled by LoopReplay,
+/// which owns the MSHR occupancy model.
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg = {});
+
+  /// Accesses one address; returns true on hit. Misses allocate (both
+  /// loads and stores: write-allocate).
+  bool Access(std::uint64_t addr);
+
+  /// True if the address's line is currently resident (no state change).
+  bool Probe(std::uint64_t addr) const;
+
+  void Reset();
+
+  long hits() const { return hits_; }
+  long misses() const { return misses_; }
+  const CacheConfig& config() const { return cfg_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    std::uint64_t lru = 0;  ///< Larger = more recently used.
+  };
+  CacheConfig cfg_;
+  std::vector<Way> ways_;  ///< sets * associativity, set-major.
+  std::uint64_t tick_ = 0;
+  long hits_ = 0;
+  long misses_ = 0;
+};
+
+}  // namespace hcrf::memsim

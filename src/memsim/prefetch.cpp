@@ -1,0 +1,38 @@
+#include "memsim/prefetch.h"
+
+#include "ddg/mii.h"
+
+namespace hcrf::memsim {
+
+std::string_view ToString(PrefetchMode mode) {
+  switch (mode) {
+    case PrefetchMode::kNone: return "none";
+    case PrefetchMode::kAll: return "all-miss";
+    case PrefetchMode::kSelective: return "selective";
+  }
+  return "?";
+}
+
+sched::LatencyOverrides ClassifyBindingPrefetch(const DDG& loop,
+                                                const MachineConfig& m,
+                                                long trip,
+                                                PrefetchMode mode) {
+  sched::LatencyOverrides ov;
+  if (mode == PrefetchMode::kNone) return ov;
+  ov.producer_latency.assign(static_cast<size_t>(loop.NumSlots()), 0);
+
+  const bool selective = mode == PrefetchMode::kSelective;
+  const std::vector<bool> on_rec =
+      selective ? NodesOnRecurrences(loop) : std::vector<bool>();
+  const bool short_trip = selective && trip < kShortTripThreshold;
+
+  for (NodeId v = 0; v < loop.NumSlots(); ++v) {
+    if (!loop.IsAlive(v) || loop.node(v).op != OpClass::kLoad) continue;
+    if (short_trip) continue;
+    if (selective && on_rec[static_cast<size_t>(v)]) continue;
+    ov.producer_latency[static_cast<size_t>(v)] = m.lat.load_miss;
+  }
+  return ov;
+}
+
+}  // namespace hcrf::memsim

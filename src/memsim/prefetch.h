@@ -1,0 +1,37 @@
+// Binding-prefetch policies (paper Section 6.2, after [4] and the
+// selective policy of [30]): binding prefetching schedules load operations
+// assuming cache-miss latency, converting stall cycles into register
+// pressure -- which the hierarchical organizations absorb in the shared
+// bank.
+//
+// The selective policy schedules with *hit* latency: loads inside
+// recurrences (lengthening a cycle raises RecMII directly), loads of loops
+// with short trip counts (long prologues would dominate), and spill loads
+// (excluded automatically: spill nodes are created later by the
+// scheduler). All other loads are bound to miss latency.
+#pragma once
+
+#include "ddg/ddg.h"
+#include "machine/machine_config.h"
+#include "sched/lifetime.h"
+
+namespace hcrf::memsim {
+
+enum class PrefetchMode {
+  kNone,       ///< All loads scheduled with hit latency.
+  kAll,        ///< All loads with miss latency ([4]).
+  kSelective,  ///< The paper's policy ([30]).
+};
+
+std::string_view ToString(PrefetchMode mode);
+
+/// Trip counts below this schedule all loads with hit latency under the
+/// selective policy (avoids long prologues/epilogues).
+inline constexpr long kShortTripThreshold = 48;
+
+/// Producer-latency overrides implementing the chosen policy for `loop`.
+sched::LatencyOverrides ClassifyBindingPrefetch(const DDG& loop,
+                                                const MachineConfig& m,
+                                                long trip, PrefetchMode mode);
+
+}  // namespace hcrf::memsim

@@ -1,0 +1,110 @@
+#include "memsim/replay.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace hcrf::memsim {
+
+namespace {
+
+/// Address-space layout: each array id gets its own 1 MiB region, offset by
+/// a per-array scatter so regions do not alias to the same cache sets.
+std::uint64_t ArrayBase(std::int32_t array_id) {
+  const std::uint64_t id = static_cast<std::uint32_t>(array_id);
+  return (id << 20) + ((id * 7919u) % 997u) * 32u;
+}
+
+struct MemOp {
+  int cycle;          ///< Issue cycle within the (normalized) kernel body.
+  bool is_load;
+  bool bound_miss;    ///< Scheduled assuming miss latency (prefetched).
+  std::int32_t array;
+  std::int64_t base;
+  std::int64_t stride;
+};
+
+}  // namespace
+
+ReplayResult ReplayLoop(const workload::Loop& loop,
+                        const core::ScheduleResult& sr,
+                        const MachineConfig& m,
+                        const CacheConfig& cache_cfg) {
+  ReplayResult out;
+  const int ii = sr.ii;
+  const long n_total = loop.TotalIterations();
+  out.useful_cycles =
+      static_cast<long>(ii) *
+      (n_total + static_cast<long>(sr.sc - 1) * loop.invocations);
+
+  // Collect memory operations of the kernel, ordered by issue cycle.
+  std::vector<MemOp> ops;
+  for (NodeId v = 0; v < sr.graph.NumSlots(); ++v) {
+    if (!sr.graph.IsAlive(v)) continue;
+    const Node& n = sr.graph.node(v);
+    if (!IsMemory(n.op) || !n.mem.has_value()) continue;
+    MemOp op;
+    op.cycle = sr.schedule.CycleOf(v);
+    op.is_load = n.op == OpClass::kLoad;
+    op.bound_miss =
+        op.is_load && sr.overrides.For(v, m.lat.load_hit) >= m.lat.load_miss;
+    op.array = n.mem->array_id;
+    op.base = n.mem->base;
+    op.stride = n.mem->stride;
+    ops.push_back(op);
+  }
+  std::sort(ops.begin(), ops.end(),
+            [](const MemOp& a, const MemOp& b) { return a.cycle < b.cycle; });
+  if (ops.empty()) return out;
+
+  Cache cache(cache_cfg);
+  const int miss_lat = m.lat.load_miss;
+  const int hit_lat = m.lat.load_hit;
+  const int mshrs = cache_cfg.mshrs;
+
+  // One invocation against the current cache state; returns stall cycles.
+  auto run_invocation = [&]() -> long {
+    long stall = 0;
+    // Completion times of outstanding misses (absolute cycles).
+    std::priority_queue<long, std::vector<long>, std::greater<>> inflight;
+    for (long i = 0; i < loop.trip; ++i) {
+      const long iter_base = i * ii + stall;
+      for (const MemOp& op : ops) {
+        const long issue = iter_base + op.cycle;
+        // Retire completed misses.
+        while (!inflight.empty() && inflight.top() <= issue) inflight.pop();
+        const std::uint64_t addr = ArrayBase(op.array) +
+                                   static_cast<std::uint64_t>(
+                                       op.base + op.stride * i);
+        ++out.accesses;
+        const bool hit = cache.Access(addr);
+        if (hit) continue;
+        ++out.misses;
+        // MSHR pressure: stall until a slot frees.
+        long extra = 0;
+        if (static_cast<int>(inflight.size()) >= mshrs) {
+          extra = std::max(extra, inflight.top() - issue);
+          inflight.pop();
+        }
+        const long completion = issue + extra + miss_lat;
+        inflight.push(completion);
+        if (op.is_load && !op.bound_miss) {
+          // The core expects the value hit_lat cycles after issue.
+          extra += miss_lat - hit_lat;
+        }
+        stall += extra;
+      }
+    }
+    return stall;
+  };
+
+  const long cold = run_invocation();
+  long warm = 0;
+  if (loop.invocations > 1) {
+    warm = run_invocation();
+  }
+  out.stall_cycles = cold + warm * (loop.invocations - 1);
+  return out;
+}
+
+}  // namespace hcrf::memsim

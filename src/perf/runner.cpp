@@ -1,0 +1,86 @@
+#include "perf/runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "memsim/replay.h"
+
+namespace hcrf::perf {
+
+namespace {
+
+LoopMetrics RunOne(const workload::Loop& loop, const MachineConfig& m,
+                   const RunOptions& opt) {
+  LoopMetrics lm;
+  const sched::LatencyOverrides overrides = memsim::ClassifyBindingPrefetch(
+      loop.ddg, m, loop.trip, opt.prefetch);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::ScheduleResult sr =
+      core::MirsHC(loop.ddg, m, opt.mirs, overrides);
+  const auto t1 = std::chrono::steady_clock::now();
+  lm.sched_seconds =
+      std::chrono::duration<double>(t1 - t0).count();
+
+  lm.ok = sr.ok;
+  if (!sr.ok) return lm;
+
+  lm.ii = sr.ii;
+  lm.sc = sr.sc;
+  lm.mii = sr.mii;
+  lm.bound = sr.bound;
+  lm.trf = sr.mem_ops_per_iter;
+  lm.comm_ops = sr.stats.comm_ops;
+  lm.spill_memory_ops = sr.stats.spill_loads + sr.stats.spill_stores;
+
+  const long n_total = loop.TotalIterations();
+  lm.useful_cycles =
+      static_cast<long>(sr.ii) *
+      (n_total + static_cast<long>(sr.sc - 1) * loop.invocations);
+  lm.mem_traffic = n_total * lm.trf;
+  lm.ops_executed = static_cast<long>(loop.ddg.NumNodes()) * n_total;
+
+  if (opt.simulate_memory) {
+    const memsim::ReplayResult rr = memsim::ReplayLoop(loop, sr, m);
+    lm.stall_cycles = rr.stall_cycles;
+  }
+  return lm;
+}
+
+}  // namespace
+
+std::vector<LoopMetrics> RunSuiteDetailed(const workload::Suite& suite,
+                                          const MachineConfig& m,
+                                          const RunOptions& opt) {
+  std::vector<LoopMetrics> out(suite.size());
+  const int threads =
+      opt.threads > 0
+          ? opt.threads
+          : static_cast<int>(
+                std::max(1u, std::thread::hardware_concurrency()));
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      const size_t i = next.fetch_add(1);
+      if (i >= suite.size()) return;
+      out[i] = RunOne(suite[i], m, opt);
+    }
+  };
+  if (threads <= 1 || suite.size() < 2) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  return out;
+}
+
+SuiteMetrics RunSuite(const workload::Suite& suite, const MachineConfig& m,
+                      const RunOptions& opt) {
+  return Aggregate(RunSuiteDetailed(suite, m, opt));
+}
+
+}  // namespace hcrf::perf

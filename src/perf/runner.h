@@ -1,0 +1,32 @@
+// Suite runner: schedules every loop of a workload on a machine
+// configuration (in parallel across loops; scheduling is embarrassingly
+// parallel) and aggregates the paper's metrics.
+#pragma once
+
+#include <vector>
+
+#include "memsim/prefetch.h"
+#include "perf/metrics.h"
+#include "workload/workload.h"
+
+namespace hcrf::perf {
+
+struct RunOptions {
+  core::MirsOptions mirs;
+  memsim::PrefetchMode prefetch = memsim::PrefetchMode::kNone;
+  /// Simulate the cache to obtain stall cycles (Figure 6's real-memory
+  /// scenario); otherwise stalls are 0 (ideal memory).
+  bool simulate_memory = false;
+  /// Worker threads; 0 = hardware concurrency.
+  int threads = 0;
+};
+
+/// Per-loop results, in suite order.
+std::vector<LoopMetrics> RunSuiteDetailed(const workload::Suite& suite,
+                                          const MachineConfig& m,
+                                          const RunOptions& opt = {});
+
+SuiteMetrics RunSuite(const workload::Suite& suite, const MachineConfig& m,
+                      const RunOptions& opt = {});
+
+}  // namespace hcrf::perf

@@ -1,0 +1,44 @@
+#include "perf/tables.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace hcrf::perf {
+
+std::string Table::Num(double v, int prec) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return os.str();
+}
+
+std::string Table::VsPaper(double measured, double paper, int prec) {
+  return Num(measured, prec) + " (" + Num(paper, prec) + ")";
+}
+
+void Table::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << "  " << std::left << std::setw(static_cast<int>(widths[i]))
+         << cell;
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  size_t total = 2;
+  for (size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& r : rows_) print_row(r);
+}
+
+}  // namespace hcrf::perf

@@ -1,0 +1,55 @@
+// Bank placement rules: in which register bank a value lives and from which
+// bank an operation reads its operands, as a function of the RF
+// organization. This is the single source of truth used by the scheduler
+// (communication insertion), the lifetime/pressure analysis and the
+// schedule validator.
+//
+// Rules (paper Sections 3-4):
+//  * Monolithic: everything lives in the shared bank.
+//  * Pure clustered: values live in the producer's cluster bank; memory
+//    ports are per cluster, so loads define and stores read locally; Move
+//    reads a remote cluster bank and defines in its own cluster.
+//  * Hierarchical (clustered or not): memory ports hang off the shared
+//    bank, so Load defines a shared-bank value and Store reads the shared
+//    bank; StoreR defines shared, LoadR reads shared and defines in its
+//    cluster; compute ops read and define in their cluster bank.
+#pragma once
+
+#include "machine/machine_config.h"
+#include "machine/op.h"
+
+namespace hcrf::sched {
+
+/// Bank identifier: kSharedBank or a cluster index [0, x).
+using BankId = int;
+inline constexpr BankId kSharedBank = -1;
+
+/// Bank in which the value defined by an op placed on `cluster` lives.
+/// Precondition: DefinesValue(op).
+inline BankId DefBank(OpClass op, int cluster, const RFConfig& rf) {
+  if (rf.IsMonolithic()) return kSharedBank;
+  if (op == OpClass::kStoreR) return kSharedBank;
+  if (op == OpClass::kLoad && rf.IsHierarchical()) return kSharedBank;
+  return cluster;
+}
+
+/// Bank from which an op placed on `cluster` reads its flow operands.
+/// Move is special: it reads the producer's bank by construction; callers
+/// must not use ReadBank for Move sources.
+inline BankId ReadBank(OpClass op, int cluster, const RFConfig& rf) {
+  if (rf.IsMonolithic()) return kSharedBank;
+  if (op == OpClass::kLoadR) return kSharedBank;
+  if (op == OpClass::kStore && rf.IsHierarchical()) return kSharedBank;
+  return cluster;
+}
+
+/// Capacity of a bank in registers (kUnbounded-aware).
+inline long BankCapacity(BankId bank, const RFConfig& rf) {
+  if (bank == kSharedBank) {
+    return rf.IsMonolithic() ? rf.shared_regs
+                             : (rf.HasSharedBank() ? rf.shared_regs : 0);
+  }
+  return rf.cluster_regs;
+}
+
+}  // namespace hcrf::sched

@@ -1,0 +1,63 @@
+#include "sched/codegen.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace hcrf::sched {
+
+std::string RenderKernel(const DDG& g, const PartialSchedule& sched,
+                         const MachineConfig& m) {
+  const int ii = sched.ii();
+  // Normalized copy for stable stage numbering.
+  PartialSchedule norm = sched;
+  norm.Normalize();
+
+  std::map<int, std::vector<std::string>> rows;
+  for (NodeId v = 0; v < g.NumSlots(); ++v) {
+    if (!g.IsAlive(v)) continue;
+    const Placement& p = norm.Of(v);
+    const int row = ((p.cycle % ii) + ii) % ii;
+    const int stage = p.cycle / ii;
+    std::ostringstream op;
+    op << ToString(g.node(v).op) << "%" << v;
+    if (m.NumClusters() > 1) op << " [cl" << p.cluster << "]";
+    op << " (s" << stage << ")";
+    rows[row].push_back(op.str());
+  }
+
+  std::ostringstream out;
+  out << "; kernel II=" << ii << " SC=" << norm.StageCount() << "\n";
+  for (int r = 0; r < ii; ++r) {
+    out << "  cycle " << r << ": ";
+    auto it = rows.find(r);
+    if (it == rows.end()) {
+      out << "nop\n";
+      continue;
+    }
+    std::sort(it->second.begin(), it->second.end());
+    for (size_t i = 0; i < it->second.size(); ++i) {
+      if (i > 0) out << " || ";
+      out << it->second[i];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+CodegenStats ComputeCodegenStats(const DDG& g, const PartialSchedule& sched) {
+  CodegenStats s;
+  s.ii = sched.ii();
+  s.stage_count = sched.StageCount();
+  s.kernel_ops = g.NumNodes();
+  s.prologue_stages = s.stage_count - 1;
+  // Prologue: stages fill one at a time; epilogue drains symmetrically. A
+  // software-pipelined loop with SC stages replicates on average half the
+  // kernel in each of prologue and epilogue.
+  s.code_size_ops =
+      s.kernel_ops + (s.stage_count - 1) * s.kernel_ops;  // prologue+epilogue
+  return s;
+}
+
+}  // namespace hcrf::sched

@@ -1,0 +1,35 @@
+// VLIW code generation from a complete modulo schedule: kernel table
+// (II rows, one column per issue resource), register assignment with
+// modulo-renaming copies elided (we assume rotating register files as in
+// the Cydra-5/HP-PlayDoh lineage the paper builds on), and prologue /
+// epilogue stage counts.
+//
+// The emitted text is assembly-like, intended for the examples and for
+// debugging schedulers; it is not bit-exact machine code.
+#pragma once
+
+#include <string>
+
+#include "ddg/ddg.h"
+#include "machine/machine_config.h"
+#include "sched/schedule.h"
+
+namespace hcrf::sched {
+
+struct CodegenStats {
+  int ii = 0;
+  int stage_count = 0;
+  int kernel_ops = 0;
+  int prologue_stages = 0;  ///< SC - 1 filling stages.
+  int code_size_ops = 0;    ///< kernel + prologue + epilogue op slots.
+};
+
+/// Renders the kernel as text. One line per kernel row; each scheduled
+/// operation is shown as  op%id [cl<cluster>] (stage s).
+std::string RenderKernel(const DDG& g, const PartialSchedule& sched,
+                         const MachineConfig& m);
+
+/// Summary statistics used by the examples and by code-size accounting.
+CodegenStats ComputeCodegenStats(const DDG& g, const PartialSchedule& sched);
+
+}  // namespace hcrf::sched

@@ -1,0 +1,170 @@
+#include "sched/mrt.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace hcrf::sched {
+
+std::string_view ToString(ResKind kind) {
+  switch (kind) {
+    case ResKind::kFU: return "fu";
+    case ResKind::kMemPort: return "memport";
+    case ResKind::kLoadRPort: return "loadr-port";
+    case ResKind::kStoreRPort: return "storer-port";
+    case ResKind::kBusInPort: return "bus-in";
+    case ResKind::kBusOutPort: return "bus-out";
+    case ResKind::kBus: return "bus";
+  }
+  return "?";
+}
+
+std::vector<ResUse> ResourceNeeds(OpClass op, int cluster, int src_cluster,
+                                  const MachineConfig& m) {
+  std::vector<ResUse> needs;
+  if (IsCompute(op)) {
+    const int dur = IsUnpipelined(op) ? m.lat.Of(op) : 1;
+    needs.push_back({ResKind::kFU, cluster, dur});
+  } else if (IsMemory(op)) {
+    const int c = m.rf.IsPureClustered() ? cluster : 0;
+    needs.push_back({ResKind::kMemPort, c, 1});
+  } else if (op == OpClass::kLoadR) {
+    needs.push_back({ResKind::kLoadRPort, cluster, 1});
+  } else if (op == OpClass::kStoreR) {
+    needs.push_back({ResKind::kStoreRPort, cluster, 1});
+  } else if (op == OpClass::kMove) {
+    needs.push_back({ResKind::kBusOutPort, src_cluster, 1});
+    needs.push_back({ResKind::kBusInPort, cluster, 1});
+    needs.push_back({ResKind::kBus, 0, 1});
+  }
+  return needs;
+}
+
+ModuloReservationTable::ModuloReservationTable(const MachineConfig& m, int ii)
+    : machine_(m), ii_(ii) {
+  if (ii <= 0) throw std::invalid_argument("MRT: II must be positive");
+  const RFConfig& rf = m.rf;
+  const int clusters = m.NumClusters();
+  auto clamp_ports = [](int p) {
+    return std::min(p, 1 << 20);  // "unbounded" still needs finite storage
+  };
+  capacity_.assign(kNumResKinds, {});
+  capacity_[static_cast<int>(ResKind::kFU)]
+      .assign(static_cast<size_t>(clusters), m.FusPerCluster());
+  if (rf.IsPureClustered()) {
+    capacity_[static_cast<int>(ResKind::kMemPort)]
+        .assign(static_cast<size_t>(clusters), m.MemPortsPerCluster());
+  } else {
+    capacity_[static_cast<int>(ResKind::kMemPort)].assign(1, m.num_mem_ports);
+  }
+  capacity_[static_cast<int>(ResKind::kLoadRPort)]
+      .assign(static_cast<size_t>(clusters),
+              rf.IsHierarchical() ? clamp_ports(rf.lp) : 0);
+  capacity_[static_cast<int>(ResKind::kStoreRPort)]
+      .assign(static_cast<size_t>(clusters),
+              rf.IsHierarchical() ? clamp_ports(rf.sp) : 0);
+  capacity_[static_cast<int>(ResKind::kBusInPort)]
+      .assign(static_cast<size_t>(clusters),
+              rf.IsPureClustered() ? clamp_ports(rf.lp) : 0);
+  capacity_[static_cast<int>(ResKind::kBusOutPort)]
+      .assign(static_cast<size_t>(clusters),
+              rf.IsPureClustered() ? clamp_ports(rf.sp) : 0);
+  capacity_[static_cast<int>(ResKind::kBus)].assign(
+      1, rf.IsPureClustered() ? clamp_ports(rf.buses) : 0);
+
+  occ_.resize(kNumResKinds);
+  for (int k = 0; k < kNumResKinds; ++k) {
+    occ_[static_cast<size_t>(k)].resize(capacity_[static_cast<size_t>(k)].size());
+    for (auto& per_cluster : occ_[static_cast<size_t>(k)]) {
+      per_cluster.assign(static_cast<size_t>(ii_), Slot{});
+    }
+  }
+}
+
+int ModuloReservationTable::Capacity(ResKind kind, int cluster) const {
+  const auto& v = capacity_[static_cast<size_t>(kind)];
+  if (static_cast<size_t>(cluster) >= v.size()) return 0;
+  return v[static_cast<size_t>(cluster)];
+}
+
+int ModuloReservationTable::Usage(ResKind kind, int cluster, int row) const {
+  const auto& v = occ_[static_cast<size_t>(kind)];
+  if (static_cast<size_t>(cluster) >= v.size()) return 0;
+  return static_cast<int>(
+      v[static_cast<size_t>(cluster)][static_cast<size_t>(Row(row))]
+          .occupants.size());
+}
+
+bool ModuloReservationTable::CanPlace(const std::vector<ResUse>& needs,
+                                      int cycle) const {
+  for (const ResUse& use : needs) {
+    const int cap = Capacity(use.kind, use.cluster);
+    if (cap <= 0) return false;
+    for (int d = 0; d < use.duration; ++d) {
+      const int row = Row(cycle + d);
+      if (Usage(use.kind, use.cluster, row) >= cap) return false;
+    }
+    // Unpipelined ops longer than the kernel conflict with themselves.
+    if (use.duration > ii_) return false;
+  }
+  return true;
+}
+
+void ModuloReservationTable::Place(NodeId node,
+                                   const std::vector<ResUse>& needs,
+                                   int cycle) {
+  assert(!placed_.contains(node));
+  assert(CanPlace(needs, cycle));
+  for (const ResUse& use : needs) {
+    auto& per_cluster =
+        occ_[static_cast<size_t>(use.kind)][static_cast<size_t>(use.cluster)];
+    for (int d = 0; d < use.duration; ++d) {
+      per_cluster[static_cast<size_t>(Row(cycle + d))].occupants.push_back(
+          node);
+    }
+  }
+  placed_.emplace(node, std::make_pair(cycle, needs));
+}
+
+void ModuloReservationTable::Remove(NodeId node) {
+  auto it = placed_.find(node);
+  if (it == placed_.end()) return;
+  const auto& [cycle, needs] = it->second;
+  for (const ResUse& use : needs) {
+    auto& per_cluster =
+        occ_[static_cast<size_t>(use.kind)][static_cast<size_t>(use.cluster)];
+    for (int d = 0; d < use.duration; ++d) {
+      auto& occupants =
+          per_cluster[static_cast<size_t>(Row(cycle + d))].occupants;
+      auto pos = std::find(occupants.begin(), occupants.end(), node);
+      assert(pos != occupants.end());
+      occupants.erase(pos);
+    }
+  }
+  placed_.erase(it);
+}
+
+std::vector<NodeId> ModuloReservationTable::ConflictingNodes(
+    const std::vector<ResUse>& needs, int cycle) const {
+  std::vector<NodeId> result;
+  for (const ResUse& use : needs) {
+    const int cap = Capacity(use.kind, use.cluster);
+    if (cap <= 0) continue;  // structurally impossible; caller handles
+    for (int d = 0; d < use.duration; ++d) {
+      const int row = Row(cycle + d);
+      const auto& occupants =
+          occ_[static_cast<size_t>(use.kind)][static_cast<size_t>(use.cluster)]
+              [static_cast<size_t>(row)]
+                  .occupants;
+      if (static_cast<int>(occupants.size()) < cap) continue;
+      for (NodeId n : occupants) {
+        if (std::find(result.begin(), result.end(), n) == result.end()) {
+          result.push_back(n);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hcrf::sched

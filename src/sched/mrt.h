@@ -1,0 +1,98 @@
+// Modulo reservation table: tracks resource usage of a partial modulo
+// schedule at a fixed initiation interval II. All placements are recorded
+// at `cycle mod II`; unpipelined operations occupy their functional unit
+// for their full latency.
+//
+// Modelled resources:
+//   kFU          per cluster     general-purpose functional units
+//   kMemPort     per cluster for pure clustered organizations, otherwise
+//                one global pool (hierarchical organizations attach the
+//                memory ports to the shared bank)
+//   kLoadRPort   per cluster     shared->cluster transfer ports (lp)
+//   kStoreRPort  per cluster     cluster->shared transfer ports (sp)
+//   kBusIn/Out   per cluster     bus receive (lp) / drive (sp) ports of
+//                                pure clustered organizations
+//   kBus         global          inter-cluster buses (nb)
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ddg/ddg.h"
+#include "machine/machine_config.h"
+
+namespace hcrf::sched {
+
+enum class ResKind : std::uint8_t {
+  kFU,
+  kMemPort,
+  kLoadRPort,
+  kStoreRPort,
+  kBusInPort,
+  kBusOutPort,
+  kBus,
+};
+inline constexpr int kNumResKinds = 7;
+
+std::string_view ToString(ResKind kind);
+
+/// One resource requirement: `count` is implicitly 1; `duration` cycles
+/// starting at the placement cycle (duration > 1 only for unpipelined FUs).
+struct ResUse {
+  ResKind kind;
+  int cluster;  ///< Cluster index, or 0 for global resources.
+  int duration;
+};
+
+/// Resource requirements of one operation placement.
+/// `src_cluster` is only consulted for Move (the bus-drive side).
+std::vector<ResUse> ResourceNeeds(OpClass op, int cluster, int src_cluster,
+                                  const MachineConfig& m);
+
+class ModuloReservationTable {
+ public:
+  ModuloReservationTable(const MachineConfig& m, int ii);
+
+  int ii() const { return ii_; }
+  const MachineConfig& machine() const { return machine_; }
+
+  /// True if all of `needs` have a free unit at `cycle` (mod II).
+  bool CanPlace(const std::vector<ResUse>& needs, int cycle) const;
+
+  /// Records the placement. Precondition: CanPlace (checked in debug).
+  void Place(NodeId node, const std::vector<ResUse>& needs, int cycle);
+
+  /// Removes a previously placed node (no-op if absent).
+  void Remove(NodeId node);
+
+  bool IsPlaced(NodeId node) const { return placed_.contains(node); }
+
+  /// Nodes whose reservations block placing `needs` at `cycle`. Used by
+  /// Force_and_Eject: ejecting these (plus dependence violators) makes the
+  /// forced placement legal. Deduplicated, insertion order.
+  std::vector<NodeId> ConflictingNodes(const std::vector<ResUse>& needs,
+                                       int cycle) const;
+
+  /// Occupancy of a resource at a kernel row (for debugging/validation).
+  int Usage(ResKind kind, int cluster, int row) const;
+  int Capacity(ResKind kind, int cluster) const;
+
+ private:
+  struct Slot {
+    std::vector<NodeId> occupants;
+  };
+  // occ_[kind][cluster][row]
+  std::vector<std::vector<std::vector<Slot>>> occ_;
+  std::vector<std::vector<int>> capacity_;  // [kind][cluster]
+  std::unordered_map<NodeId, std::pair<int, std::vector<ResUse>>> placed_;
+  MachineConfig machine_;
+  int ii_;
+
+  int Row(int cycle) const {
+    const int r = cycle % ii_;
+    return r < 0 ? r + ii_ : r;
+  }
+};
+
+}  // namespace hcrf::sched

@@ -1,0 +1,290 @@
+#include "sched/ordering.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+#include "ddg/mii.h"
+
+namespace hcrf::sched {
+
+DepthHeight ComputeDepthHeight(const DDG& g, const LatencyTable& lat) {
+  const size_t n = static_cast<size_t>(g.NumSlots());
+  DepthHeight dh;
+  dh.depth.assign(n, 0);
+  dh.height.assign(n, 0);
+
+  // Topological order of the distance-0 subgraph (acyclic by construction:
+  // a valid loop has no zero-distance dependence cycles).
+  std::vector<int> indeg(n, 0);
+  for (NodeId v = 0; v < g.NumSlots(); ++v) {
+    if (!g.IsAlive(v)) continue;
+    for (const Edge& e : g.OutEdges(v)) {
+      if (e.distance == 0) ++indeg[static_cast<size_t>(e.dst)];
+    }
+  }
+  std::vector<NodeId> topo;
+  topo.reserve(n);
+  for (NodeId v = 0; v < g.NumSlots(); ++v) {
+    if (g.IsAlive(v) && indeg[static_cast<size_t>(v)] == 0) topo.push_back(v);
+  }
+  for (size_t i = 0; i < topo.size(); ++i) {
+    const NodeId v = topo[i];
+    for (const Edge& e : g.OutEdges(v)) {
+      if (e.distance != 0) continue;
+      const long cand = dh.depth[static_cast<size_t>(v)] + g.EdgeLatency(e, lat);
+      dh.depth[static_cast<size_t>(e.dst)] =
+          std::max(dh.depth[static_cast<size_t>(e.dst)], cand);
+      if (--indeg[static_cast<size_t>(e.dst)] == 0) topo.push_back(e.dst);
+    }
+  }
+  for (size_t i = topo.size(); i-- > 0;) {
+    const NodeId v = topo[i];
+    for (const Edge& e : g.OutEdges(v)) {
+      if (e.distance != 0) continue;
+      dh.height[static_cast<size_t>(v)] =
+          std::max(dh.height[static_cast<size_t>(v)],
+                   dh.height[static_cast<size_t>(e.dst)] + g.EdgeLatency(e, lat));
+    }
+  }
+  return dh;
+}
+
+namespace {
+
+// Reachability (over all edges, any distance) from `seeds` in the given
+// direction. Returns a membership bitmap.
+std::vector<char> Reach(const DDG& g, const std::vector<char>& seeds,
+                        bool forward) {
+  std::vector<char> seen = seeds;
+  std::queue<NodeId> q;
+  for (NodeId v = 0; v < g.NumSlots(); ++v) {
+    if (seeds[static_cast<size_t>(v)]) q.push(v);
+  }
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    const auto& edges = forward ? g.OutEdges(v) : g.InEdges(v);
+    for (const Edge& e : edges) {
+      const NodeId w = forward ? e.dst : e.src;
+      if (!seen[static_cast<size_t>(w)]) {
+        seen[static_cast<size_t>(w)] = 1;
+        q.push(w);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+std::vector<NodeId> HrmsOrder(const DDG& g, const LatencyTable& lat) {
+  const size_t n = static_cast<size_t>(g.NumSlots());
+  const DepthHeight dh = ComputeDepthHeight(g, lat);
+
+  // Recurrence sets by descending RecMII.
+  struct RecSet {
+    std::vector<NodeId> nodes;
+    int rec_mii;
+  };
+  std::vector<RecSet> rec_sets;
+  const std::vector<bool> on_rec = NodesOnRecurrences(g);
+  for (const std::vector<NodeId>& scc : SCCs(g)) {
+    const bool is_rec =
+        scc.size() > 1 || (scc.size() == 1 && on_rec[static_cast<size_t>(scc[0])]);
+    if (!is_rec) continue;
+    rec_sets.push_back(RecSet{scc, SccRecMII(g, lat, scc)});
+  }
+  std::stable_sort(rec_sets.begin(), rec_sets.end(),
+                   [](const RecSet& a, const RecSet& b) {
+                     return a.rec_mii > b.rec_mii;
+                   });
+
+  // Build the sequence of node sets: each recurrence set is augmented with
+  // the nodes on paths between it and the union of the previous sets.
+  std::vector<char> placed_in_set(n, 0);
+  std::vector<std::vector<NodeId>> sets;
+  for (const RecSet& rs : rec_sets) {
+    std::vector<NodeId> set;
+    std::vector<char> cur(n, 0);
+    for (NodeId v : rs.nodes) cur[static_cast<size_t>(v)] = 1;
+    if (!sets.empty()) {
+      std::vector<char> prev(n, 0);
+      bool any_prev = false;
+      for (const auto& s : sets) {
+        for (NodeId v : s) {
+          prev[static_cast<size_t>(v)] = 1;
+          any_prev = true;
+        }
+      }
+      if (any_prev) {
+        // Path nodes: descendants of prev that are ancestors of cur, or
+        // descendants of cur that are ancestors of prev.
+        const auto desc_prev = Reach(g, prev, /*forward=*/true);
+        const auto anc_prev = Reach(g, prev, /*forward=*/false);
+        const auto desc_cur = Reach(g, cur, /*forward=*/true);
+        const auto anc_cur = Reach(g, cur, /*forward=*/false);
+        for (NodeId v = 0; v < g.NumSlots(); ++v) {
+          const size_t i = static_cast<size_t>(v);
+          if (!g.IsAlive(v) || placed_in_set[i] || cur[i]) continue;
+          if ((desc_prev[i] && anc_cur[i]) || (desc_cur[i] && anc_prev[i])) {
+            set.push_back(v);
+            placed_in_set[i] = 1;
+          }
+        }
+      }
+    }
+    for (NodeId v : rs.nodes) {
+      if (!placed_in_set[static_cast<size_t>(v)]) {
+        set.push_back(v);
+        placed_in_set[static_cast<size_t>(v)] = 1;
+      }
+    }
+    if (!set.empty()) sets.push_back(std::move(set));
+  }
+  // Remaining nodes form the final set.
+  {
+    std::vector<NodeId> rest;
+    for (NodeId v = 0; v < g.NumSlots(); ++v) {
+      if (g.IsAlive(v) && !placed_in_set[static_cast<size_t>(v)]) {
+        rest.push_back(v);
+      }
+    }
+    if (!rest.empty()) sets.push_back(std::move(rest));
+  }
+
+  // Inner ordering: alternating top-down / bottom-up sweeps (SMS).
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<char> ordered(n, 0);
+
+  auto in_set = [&](const std::vector<NodeId>& s, std::vector<char>& bitmap) {
+    std::fill(bitmap.begin(), bitmap.end(), 0);
+    for (NodeId v : s) bitmap[static_cast<size_t>(v)] = 1;
+  };
+
+  std::vector<char> member(n, 0);
+  for (const std::vector<NodeId>& s : sets) {
+    in_set(s, member);
+    std::vector<char> done(n, 0);
+    size_t remaining = s.size();
+
+    auto preds_of_ordered = [&]() {
+      std::vector<NodeId> r;
+      for (NodeId v : s) {
+        if (done[static_cast<size_t>(v)]) continue;
+        for (const Edge& e : g.OutEdges(v)) {
+          if (ordered[static_cast<size_t>(e.dst)]) {
+            r.push_back(v);
+            break;
+          }
+        }
+      }
+      return r;
+    };
+    auto succs_of_ordered = [&]() {
+      std::vector<NodeId> r;
+      for (NodeId v : s) {
+        if (done[static_cast<size_t>(v)]) continue;
+        for (const Edge& e : g.InEdges(v)) {
+          if (ordered[static_cast<size_t>(e.src)]) {
+            r.push_back(v);
+            break;
+          }
+        }
+      }
+      return r;
+    };
+
+    while (remaining > 0) {
+      bool top_down = true;
+      std::vector<NodeId> r = preds_of_ordered();
+      if (!r.empty()) {
+        top_down = false;  // these feed ordered nodes: go bottom-up
+      } else {
+        r = succs_of_ordered();
+        if (!r.empty()) {
+          top_down = true;
+        } else {
+          // Fresh seed: the unordered node with the greatest height
+          // (critical source first).
+          NodeId best = kNoNode;
+          for (NodeId v : s) {
+            if (done[static_cast<size_t>(v)]) continue;
+            if (best == kNoNode ||
+                dh.height[static_cast<size_t>(v)] >
+                    dh.height[static_cast<size_t>(best)]) {
+              best = v;
+            }
+          }
+          r.push_back(best);
+          top_down = true;
+        }
+      }
+
+      while (!r.empty()) {
+        if (top_down) {
+          while (!r.empty()) {
+            // Max height first (keeps critical paths tight).
+            auto it = std::max_element(
+                r.begin(), r.end(), [&](NodeId a, NodeId b) {
+                  if (dh.height[static_cast<size_t>(a)] !=
+                      dh.height[static_cast<size_t>(b)]) {
+                    return dh.height[static_cast<size_t>(a)] <
+                           dh.height[static_cast<size_t>(b)];
+                  }
+                  return a > b;
+                });
+            const NodeId v = *it;
+            r.erase(it);
+            if (done[static_cast<size_t>(v)]) continue;
+            done[static_cast<size_t>(v)] = 1;
+            ordered[static_cast<size_t>(v)] = 1;
+            order.push_back(v);
+            --remaining;
+            for (const Edge& e : g.OutEdges(v)) {
+              if (member[static_cast<size_t>(e.dst)] &&
+                  !done[static_cast<size_t>(e.dst)]) {
+                r.push_back(e.dst);
+              }
+            }
+          }
+          top_down = false;
+          for (NodeId v : preds_of_ordered()) r.push_back(v);
+        } else {
+          while (!r.empty()) {
+            auto it = std::max_element(
+                r.begin(), r.end(), [&](NodeId a, NodeId b) {
+                  if (dh.depth[static_cast<size_t>(a)] !=
+                      dh.depth[static_cast<size_t>(b)]) {
+                    return dh.depth[static_cast<size_t>(a)] <
+                           dh.depth[static_cast<size_t>(b)];
+                  }
+                  return a > b;
+                });
+            const NodeId v = *it;
+            r.erase(it);
+            if (done[static_cast<size_t>(v)]) continue;
+            done[static_cast<size_t>(v)] = 1;
+            ordered[static_cast<size_t>(v)] = 1;
+            order.push_back(v);
+            --remaining;
+            for (const Edge& e : g.InEdges(v)) {
+              if (member[static_cast<size_t>(e.src)] &&
+                  !done[static_cast<size_t>(e.src)]) {
+                r.push_back(e.src);
+              }
+            }
+          }
+          top_down = true;
+          for (NodeId v : succs_of_ordered()) r.push_back(v);
+        }
+      }
+    }
+  }
+
+  assert(order.size() == static_cast<size_t>(g.NumNodes()));
+  return order;
+}
+
+}  // namespace hcrf::sched

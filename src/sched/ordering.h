@@ -1,0 +1,35 @@
+// Register-sensitive node ordering in the spirit of HRMS (Hypernode
+// Reduction Modulo Scheduling, Llosa et al. MICRO-28) as used by MIRS and
+// MIRS_HC: nodes are pre-ordered so that every node (except the first of an
+// independent component) has an already-ordered predecessor or successor
+// when it is scheduled, which keeps lifetimes short, and recurrences are
+// ordered first, most critical (highest RecMII) first.
+//
+// We implement the Swing-Modulo-Scheduling formulation of this ordering
+// (same research group, equivalent intent): recurrence sets sorted by
+// RecMII descending, each set extended with the nodes on paths to the
+// previously ordered sets, inner ordering by alternating top-down /
+// bottom-up sweeps prioritized by depth/height.
+#pragma once
+
+#include <vector>
+
+#include "ddg/ddg.h"
+#include "machine/machine_config.h"
+
+namespace hcrf::sched {
+
+/// Node priorities: position in the returned vector is the scheduling
+/// order (front = highest priority).
+std::vector<NodeId> HrmsOrder(const DDG& g, const LatencyTable& lat);
+
+/// Longest path (sum of latencies over distance-0 edges) from sources to
+/// each node ("depth") and to sinks ("height"); used by the ordering and
+/// by the schedulers' start-cycle estimates.
+struct DepthHeight {
+  std::vector<long> depth;
+  std::vector<long> height;
+};
+DepthHeight ComputeDepthHeight(const DDG& g, const LatencyTable& lat);
+
+}  // namespace hcrf::sched

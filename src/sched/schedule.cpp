@@ -1,0 +1,43 @@
+#include "sched/schedule.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace hcrf::sched {
+
+int PartialSchedule::MinCycle() const {
+  int m = std::numeric_limits<int>::max();
+  for (const Placement& p : slots_) {
+    if (p.scheduled) m = std::min(m, p.cycle);
+  }
+  return m == std::numeric_limits<int>::max() ? 0 : m;
+}
+
+int PartialSchedule::MaxCycle() const {
+  int m = std::numeric_limits<int>::min();
+  for (const Placement& p : slots_) {
+    if (p.scheduled) m = std::max(m, p.cycle);
+  }
+  return m == std::numeric_limits<int>::min() ? 0 : m;
+}
+
+int PartialSchedule::StageCount() const {
+  if (num_scheduled_ == 0) return 1;
+  const int min_cycle = MinCycle();
+  const int max_cycle = MaxCycle();
+  // Normalize the minimum into [0, II) and count spanned stages.
+  const int base = min_cycle - (((min_cycle % ii_) + ii_) % ii_);
+  return (max_cycle - base) / ii_ + 1;
+}
+
+void PartialSchedule::Normalize() {
+  if (num_scheduled_ == 0) return;
+  const int min_cycle = MinCycle();
+  const int shift = ((min_cycle % ii_) + ii_) % ii_ - min_cycle;
+  if (shift == 0) return;
+  for (Placement& p : slots_) {
+    if (p.scheduled) p.cycle += shift;
+  }
+}
+
+}  // namespace hcrf::sched

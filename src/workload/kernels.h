@@ -1,0 +1,50 @@
+// Hand-written dependence graphs of classic numerical kernels. These are
+// the loops the paper's introduction motivates (numerical/multimedia inner
+// loops); they are used by the examples, the unit tests and the
+// micro-benchmarks, and they anchor the synthetic suite's realism.
+#pragma once
+
+#include "workload/workload.h"
+
+namespace hcrf::workload {
+
+/// y[i] = a * x[i] + y[i]          (BLAS daxpy; invariant a)
+Loop MakeDaxpy(long trip = 1000);
+
+/// s += x[i] * y[i]                (dot product; sum recurrence)
+Loop MakeDot(long trip = 1000);
+
+/// c[i] = a[i] + b[i]              (vector add; memory bound)
+Loop MakeVadd(long trip = 1000);
+
+/// b[i] = w * (a[i-1] + a[i] + a[i+1])   (3-point stencil)
+Loop MakeStencil3(long trip = 1000);
+
+/// x[i] = q + y[i]*(r*z[i+10] + t*z[i+11])  (Livermore kernel 1, hydro)
+Loop MakeHydro(long trip = 990);
+
+/// x[i] = a * x[i-1] + b[i]        (first-order linear recurrence)
+Loop MakeFirstOrderRec(long trip = 1000);
+
+/// s += sqrt(x[i]*x[i] + y[i]*y[i])  (2-norm accumulation; sqrt latency)
+Loop MakeNorm2(long trip = 500);
+
+/// c[i] = a[i] / b[i]              (element-wise division; unpipelined FU)
+Loop MakeVdiv(long trip = 500);
+
+/// (cr,ci)[i] = (ar,ai)[i] * (br,bi)[i]   (complex multiply, 4 mul 2 add)
+Loop MakeCmul(long trip = 800);
+
+/// y[r] += A[r][i] * x[i]          (matvec inner loop; y[r] reduction)
+Loop MakeMatvecRow(long trip = 400);
+
+/// Horner evaluation p = p*x + c[i]  (tight mul+add recurrence)
+Loop MakeHorner(long trip = 600);
+
+/// y[i] = sum_k w[k] * x[i+k], k unrolled 4x  (FIR tap; compute heavy)
+Loop MakeFir4(long trip = 1000);
+
+/// All kernels above, as a small named suite.
+Suite KernelSuite();
+
+}  // namespace hcrf::workload

@@ -1,0 +1,56 @@
+// Synthetic stand-in for the paper's workbench: the 1258 software-
+// pipelineable innermost loops of the Perfect Club as emitted by the
+// ICTINEO front end.
+//
+// The generator is seeded and fully deterministic. Its knobs were tuned so
+// the generated suite reproduces the paper's published aggregate
+// fingerprints (see DESIGN.md "Substitutions" and the workload tests):
+//   * bound-class mix under the monolithic S128 baseline close to
+//     Table 1 (about 20% FU / 51% memory / 29% recurrence bound);
+//   * register pressure high enough that 32/64-register organizations
+//     spill while 128 registers suffice (Table 6's traffic column);
+//   * inter-bank port demand matching the shape of Figure 4's CDFs.
+//
+// Loops are built from "statements" of four species:
+//   kStream   : a[i] = expr(loads, invariants)        -- memory bound
+//   kCompute  : deep expression trees, some div/sqrt  -- FU bound
+//   kReduce   : s += expr(...)                        -- sum recurrence
+//   kRecur    : x[i] = f(x[i-d], expr)                -- tight recurrence
+#pragma once
+
+#include <cstdint>
+
+#include "workload/workload.h"
+
+namespace hcrf::workload {
+
+struct SynthParams {
+  std::uint64_t seed = 20030422;  ///< Default: IPDPS'03 vintage.
+  int num_loops = 1258;
+
+  // Loop species mix (probabilities, need not be normalized).
+  double w_stream = 0.47;
+  double w_compute = 0.21;
+  double w_reduce = 0.19;
+  double w_recur = 0.13;
+
+  // Statement/expression shape.
+  int max_statements = 10;
+  int max_tree_depth = 4;
+
+  // Fraction of compute ops that are divisions / square roots in compute-
+  // heavy loops (other species use about a third of this).
+  double div_frac = 0.06;
+  double sqrt_frac = 0.025;
+
+  // Probability that an expression leaf reuses a value produced by an
+  // earlier statement of the same loop at iteration distance >= 1. These
+  // cross-statement, loop-carried uses create the long lifetimes that
+  // drive register pressure.
+  double carried_use_prob = 0.55;
+};
+
+/// Generates the synthetic suite. Deterministic in `params`.
+Suite PerfectSynthetic(const SynthParams& params = {});
+
+}  // namespace hcrf::workload

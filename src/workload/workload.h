@@ -1,0 +1,45 @@
+// Workload abstractions: a Loop couples a dependence graph with its
+// dynamic execution profile (trip count and invocation count), a Suite is
+// the collection the paper's aggregate metrics run over.
+//
+// The paper uses the 1258 software-pipelineable innermost loops of the
+// Perfect Club, compiled by ICTINEO. Neither is available offline, so
+// suite.h provides (a) hand-written classic numerical kernels and (b) a
+// seeded synthetic generator calibrated to the paper's published aggregate
+// fingerprints (see DESIGN.md "Substitutions").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ddg/ddg.h"
+
+namespace hcrf::workload {
+
+struct Loop {
+  DDG ddg;
+  /// Iterations per invocation (the paper's N is trip * invocations).
+  long trip = 100;
+  /// Number of times the loop is started (the paper's E).
+  long invocations = 1;
+
+  long TotalIterations() const { return trip * invocations; }
+};
+
+class Suite {
+ public:
+  Suite() = default;
+  explicit Suite(std::vector<Loop> loops) : loops_(std::move(loops)) {}
+
+  const std::vector<Loop>& loops() const { return loops_; }
+  std::vector<Loop>& loops() { return loops_; }
+  size_t size() const { return loops_.size(); }
+  const Loop& operator[](size_t i) const { return loops_[i]; }
+
+  void Add(Loop loop) { loops_.push_back(std::move(loop)); }
+
+ private:
+  std::vector<Loop> loops_;
+};
+
+}  // namespace hcrf::workload

@@ -1,0 +1,84 @@
+// Tests of schedule bookkeeping (stage counts, normalization) and the VLIW
+// code generator.
+#include <gtest/gtest.h>
+
+#include "core/mirs.h"
+#include "sched/codegen.h"
+#include "sched/schedule.h"
+#include "workload/kernels.h"
+
+namespace hcrf::sched {
+namespace {
+
+TEST(PartialSchedule, StageCountAndNormalize) {
+  PartialSchedule s(4);
+  s.Assign(0, {-3, 0, 0, true});
+  s.Assign(1, {9, 0, 0, true});
+  // Span: -3..9 at II=4. After normalizing min into [0,4): shift +4 ->
+  // cycles 1..13 -> stages 0..3 -> SC 4.
+  EXPECT_EQ(s.StageCount(), 4);
+  s.Normalize();
+  EXPECT_EQ(s.MinCycle(), 1);
+  EXPECT_EQ(s.CycleOf(1), 13);
+  EXPECT_EQ(s.StageCount(), 4);
+}
+
+TEST(PartialSchedule, UnassignReducesCount) {
+  PartialSchedule s(2);
+  s.Assign(0, {0, 0, 0, true});
+  s.Assign(1, {1, 0, 0, true});
+  EXPECT_EQ(s.NumScheduled(), 2);
+  s.Unassign(0);
+  EXPECT_EQ(s.NumScheduled(), 1);
+  EXPECT_FALSE(s.IsScheduled(0));
+  s.Unassign(0);  // idempotent
+  EXPECT_EQ(s.NumScheduled(), 1);
+}
+
+TEST(Codegen, KernelShowsEveryOp) {
+  const MachineConfig m = MachineConfig::Baseline();
+  const auto loop = workload::MakeDaxpy();
+  const core::ScheduleResult sr = core::MirsHC(loop.ddg, m);
+  ASSERT_TRUE(sr.ok);
+  const std::string kernel = RenderKernel(sr.graph, sr.schedule, m);
+  EXPECT_NE(kernel.find("load"), std::string::npos);
+  EXPECT_NE(kernel.find("fmul"), std::string::npos);
+  EXPECT_NE(kernel.find("store"), std::string::npos);
+  EXPECT_NE(kernel.find("II=1"), std::string::npos);
+}
+
+TEST(Codegen, ClusterAnnotationsOnClusteredMachines) {
+  MachineConfig m = MachineConfig::WithRF(RFConfig::Parse("4C32/1-1"));
+  const auto loop = workload::MakeDaxpy();
+  const core::ScheduleResult sr = core::MirsHC(loop.ddg, m);
+  ASSERT_TRUE(sr.ok);
+  const std::string kernel = RenderKernel(sr.graph, sr.schedule, m);
+  EXPECT_NE(kernel.find("[cl"), std::string::npos);
+}
+
+TEST(Codegen, StatsAccountPrologue) {
+  const MachineConfig m = MachineConfig::Baseline();
+  const auto loop = workload::MakeHydro();
+  const core::ScheduleResult sr = core::MirsHC(loop.ddg, m);
+  ASSERT_TRUE(sr.ok);
+  const CodegenStats cg = ComputeCodegenStats(sr.graph, sr.schedule);
+  EXPECT_EQ(cg.ii, sr.ii);
+  EXPECT_EQ(cg.stage_count, sr.sc);
+  EXPECT_EQ(cg.kernel_ops, sr.graph.NumNodes());
+  EXPECT_GE(cg.code_size_ops, cg.kernel_ops);
+}
+
+TEST(Codegen, EveryKernelRowPrinted) {
+  const MachineConfig m = MachineConfig::Baseline();
+  const auto loop = workload::MakeDot();  // II = 4 (RecMII)
+  const core::ScheduleResult sr = core::MirsHC(loop.ddg, m);
+  ASSERT_TRUE(sr.ok);
+  ASSERT_EQ(sr.ii, 4);
+  const std::string kernel = RenderKernel(sr.graph, sr.schedule, m);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_NE(kernel.find("cycle " + std::to_string(r)), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hcrf::sched

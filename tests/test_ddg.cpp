@@ -1,0 +1,144 @@
+// Unit tests for the dependence graph and MII computation.
+#include <gtest/gtest.h>
+
+#include "ddg/ddg.h"
+#include "ddg/mii.h"
+#include "workload/kernels.h"
+
+namespace hcrf {
+namespace {
+
+TEST(DDG, AddNodesAndEdges) {
+  DDG g("t");
+  const NodeId a = g.AddNode(OpClass::kLoad);
+  const NodeId b = g.AddNode(OpClass::kFAdd);
+  g.AddFlow(a, b, 0);
+  EXPECT_EQ(g.NumNodes(), 2);
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_EQ(g.OutEdges(a).size(), 1u);
+  EXPECT_EQ(g.InEdges(b).size(), 1u);
+  std::string why;
+  EXPECT_TRUE(g.Check(&why)) << why;
+}
+
+TEST(DDG, RejectsBadEdges) {
+  DDG g;
+  const NodeId a = g.AddNode(OpClass::kFAdd);
+  EXPECT_THROW(g.AddEdge(a, a, DepKind::kFlow, 0), std::invalid_argument);
+  EXPECT_THROW(g.AddEdge(a, a, DepKind::kFlow, -1), std::invalid_argument);
+  EXPECT_THROW(g.AddEdge(a, 99, DepKind::kFlow, 0), std::out_of_range);
+  // Distance > 0 self edges are recurrences and are fine.
+  g.AddEdge(a, a, DepKind::kFlow, 1);
+  EXPECT_TRUE(g.Check());
+}
+
+TEST(DDG, RemoveNodeProtectsOriginals) {
+  DDG g;
+  const NodeId a = g.AddNode(OpClass::kFAdd);
+  EXPECT_THROW(g.RemoveNode(a), std::logic_error);
+  Node inserted;
+  inserted.op = OpClass::kLoadR;
+  inserted.inserted = true;
+  const NodeId b = g.AddNode(std::move(inserted));
+  g.AddFlow(a, b, 0);
+  g.RemoveNode(b);
+  EXPECT_FALSE(g.IsAlive(b));
+  EXPECT_EQ(g.NumEdges(), 0);
+  EXPECT_TRUE(g.OutEdges(a).empty());
+  EXPECT_TRUE(g.Check());
+}
+
+TEST(DDG, RemoveEdge) {
+  DDG g;
+  const NodeId a = g.AddNode(OpClass::kLoad);
+  const NodeId b = g.AddNode(OpClass::kFAdd);
+  g.AddFlow(a, b, 0);
+  g.AddFlow(a, b, 1);
+  EXPECT_TRUE(g.RemoveEdge(a, b, DepKind::kFlow, 1));
+  EXPECT_FALSE(g.RemoveEdge(a, b, DepKind::kFlow, 1));  // already gone
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_EQ(g.OutEdges(a).front().distance, 0);
+  EXPECT_TRUE(g.Check());
+}
+
+TEST(MII, ResMIIByMemoryPorts) {
+  // vadd: 2 loads + 1 store on 4 ports, 1 add on 8 FUs -> ResMII 1.
+  const workload::Loop loop = workload::MakeVadd();
+  const MachineConfig m = MachineConfig::Baseline();
+  EXPECT_EQ(ResMII(loop.ddg, m), 1);
+
+  // Narrow machine: 1 memory port -> ResMII 3.
+  MachineConfig narrow = m;
+  narrow.num_mem_ports = 1;
+  EXPECT_EQ(ResMII(loop.ddg, narrow), 3);
+}
+
+TEST(MII, ResMIIUnpipelinedOccupancy) {
+  // vdiv has one unpipelined division (latency 17) on 8 FUs:
+  // occupancy 17 -> ceil(17/8) = 3.
+  const workload::Loop loop = workload::MakeVdiv();
+  const MachineConfig m = MachineConfig::Baseline();
+  EXPECT_EQ(ResMII(loop.ddg, m), 3);
+}
+
+TEST(MII, RecMIIOfAccumulator) {
+  // dot: s = s + x*y, distance-1 self edge on a latency-4 add -> RecMII 4.
+  const workload::Loop loop = workload::MakeDot();
+  const MachineConfig m = MachineConfig::Baseline();
+  EXPECT_EQ(RecMII(loop.ddg, m.lat), 4);
+}
+
+TEST(MII, RecMIIOfTwoNodeCycle) {
+  // x = a*x + b: mul(4) + add(4) over distance 1 -> RecMII 8.
+  const workload::Loop loop = workload::MakeFirstOrderRec();
+  const MachineConfig m = MachineConfig::Baseline();
+  EXPECT_EQ(RecMII(loop.ddg, m.lat), 8);
+}
+
+TEST(MII, RecMIIScalesWithDistance) {
+  DDG g;
+  const NodeId a = g.AddNode(OpClass::kFAdd);
+  const NodeId b = g.AddNode(OpClass::kFAdd);
+  g.AddFlow(a, b, 0);
+  g.AddFlow(b, a, 4);  // 8 cycles of latency over distance 4 -> RecMII 2
+  const MachineConfig m = MachineConfig::Baseline();
+  EXPECT_EQ(RecMII(g, m.lat), 2);
+}
+
+TEST(MII, AcyclicGraphHasRecMII1) {
+  const workload::Loop loop = workload::MakeVadd();
+  const MachineConfig m = MachineConfig::Baseline();
+  EXPECT_EQ(RecMII(loop.ddg, m.lat), 1);
+  const MIIInfo info = ComputeMII(loop.ddg, m);
+  EXPECT_EQ(info.MII(), 1);
+}
+
+TEST(SCC, FindsRecurrences) {
+  const workload::Loop loop = workload::MakeFirstOrderRec();
+  const auto on_rec = NodesOnRecurrences(loop.ddg);
+  int count = 0;
+  for (NodeId v = 0; v < loop.ddg.NumSlots(); ++v) {
+    if (on_rec[static_cast<size_t>(v)]) ++count;
+  }
+  EXPECT_EQ(count, 2);  // the mul+add cycle
+}
+
+TEST(SCC, TrivialComponentsForDag) {
+  const workload::Loop loop = workload::MakeVadd();
+  for (const auto& scc : SCCs(loop.ddg)) {
+    EXPECT_EQ(scc.size(), 1u);
+  }
+}
+
+TEST(Kernels, AllStructurallyValid) {
+  const workload::Suite kernel_suite = workload::KernelSuite();
+  for (const workload::Loop& loop : kernel_suite.loops()) {
+    std::string why;
+    EXPECT_TRUE(loop.ddg.Check(&why)) << loop.ddg.name() << ": " << why;
+    EXPECT_GT(loop.ddg.NumNodes(), 0) << loop.ddg.name();
+    EXPECT_GT(loop.trip, 0) << loop.ddg.name();
+  }
+}
+
+}  // namespace
+}  // namespace hcrf

@@ -1,0 +1,124 @@
+// Unit tests for the modulo reservation table.
+#include <gtest/gtest.h>
+
+#include "sched/mrt.h"
+
+namespace hcrf::sched {
+namespace {
+
+MachineConfig Mono() {
+  return MachineConfig::WithRF(RFConfig::Parse("S128"));
+}
+MachineConfig Clustered() {
+  return MachineConfig::WithRF(RFConfig::Parse("4C32/1-1"));
+}
+MachineConfig Hier() {
+  return MachineConfig::WithRF(RFConfig::Parse("4C16S64/2-1"));
+}
+
+TEST(MRT, Capacities) {
+  ModuloReservationTable mono(Mono(), 4);
+  EXPECT_EQ(mono.Capacity(ResKind::kFU, 0), 8);
+  EXPECT_EQ(mono.Capacity(ResKind::kMemPort, 0), 4);
+  EXPECT_EQ(mono.Capacity(ResKind::kLoadRPort, 0), 0);
+  EXPECT_EQ(mono.Capacity(ResKind::kBus, 0), 0);
+
+  ModuloReservationTable cl(Clustered(), 4);
+  EXPECT_EQ(cl.Capacity(ResKind::kFU, 0), 2);
+  EXPECT_EQ(cl.Capacity(ResKind::kMemPort, 3), 1);
+  EXPECT_EQ(cl.Capacity(ResKind::kBusInPort, 0), 1);
+  EXPECT_EQ(cl.Capacity(ResKind::kBus, 0), 2);  // nb = x/2
+  EXPECT_EQ(cl.Capacity(ResKind::kLoadRPort, 0), 0);
+
+  ModuloReservationTable hc(Hier(), 4);
+  EXPECT_EQ(hc.Capacity(ResKind::kFU, 0), 2);
+  EXPECT_EQ(hc.Capacity(ResKind::kMemPort, 0), 4);  // global, shared bank
+  EXPECT_EQ(hc.Capacity(ResKind::kLoadRPort, 2), 2);
+  EXPECT_EQ(hc.Capacity(ResKind::kStoreRPort, 2), 1);
+  EXPECT_EQ(hc.Capacity(ResKind::kBus, 0), 0);
+}
+
+TEST(MRT, PlaceAndConflict) {
+  const MachineConfig m = Clustered();
+  ModuloReservationTable mrt(m, 2);
+  const auto fu = ResourceNeeds(OpClass::kFAdd, 0, 0, m);
+  // 2 FUs per cluster at II=2 -> 4 slots per cluster, 2 per row.
+  EXPECT_TRUE(mrt.CanPlace(fu, 0));
+  mrt.Place(1, fu, 0);
+  mrt.Place(2, fu, 0);
+  EXPECT_FALSE(mrt.CanPlace(fu, 0));
+  EXPECT_TRUE(mrt.CanPlace(fu, 1));
+  // Modulo wrap: cycle 2 is row 0 again.
+  EXPECT_FALSE(mrt.CanPlace(fu, 2));
+  const auto conflicts = mrt.ConflictingNodes(fu, 0);
+  EXPECT_EQ(conflicts.size(), 2u);
+  mrt.Remove(1);
+  EXPECT_TRUE(mrt.CanPlace(fu, 0));
+  EXPECT_TRUE(mrt.IsPlaced(2));
+  EXPECT_FALSE(mrt.IsPlaced(1));
+}
+
+TEST(MRT, UnpipelinedOccupiesFullLatency) {
+  MachineConfig m = Mono();
+  m.num_fus = 1;
+  ModuloReservationTable mrt(m, 4);
+  const auto div = ResourceNeeds(OpClass::kFDiv, 0, 0, m);
+  ASSERT_EQ(div.size(), 1u);
+  EXPECT_EQ(div[0].duration, 17);
+  // 17-cycle occupancy cannot fit a 4-cycle kernel on one FU.
+  EXPECT_FALSE(mrt.CanPlace(div, 0));
+
+  ModuloReservationTable big(m, 17);
+  EXPECT_TRUE(big.CanPlace(div, 0));
+  big.Place(7, div, 0);
+  // Fully occupied: any add conflicts at any row.
+  const auto add = ResourceNeeds(OpClass::kFAdd, 0, 0, m);
+  for (int t = 0; t < 17; ++t) EXPECT_FALSE(big.CanPlace(add, t));
+}
+
+TEST(MRT, MoveUsesBusAndPorts) {
+  const MachineConfig m = Clustered();
+  ModuloReservationTable mrt(m, 1);
+  const auto mv01 = ResourceNeeds(OpClass::kMove, 1, 0, m);  // 0 -> 1
+  const auto mv02 = ResourceNeeds(OpClass::kMove, 2, 0, m);  // 0 -> 2
+  const auto mv12 = ResourceNeeds(OpClass::kMove, 2, 1, m);  // 1 -> 2
+  // sp=1 output port on cluster 0: a second move out of 0 cannot issue the
+  // same cycle even though a bus is free.
+  EXPECT_TRUE(mrt.CanPlace(mv01, 0));
+  mrt.Place(1, mv01, 0);
+  EXPECT_FALSE(mrt.CanPlace(mv02, 0));
+  // From another cluster everything is free (cluster 1's out port,
+  // cluster 2's in port, the second bus), so 1 -> 2 can issue.
+  EXPECT_TRUE(mrt.CanPlace(mv12, 0));
+}
+
+TEST(MRT, MoveBusSaturation) {
+  const MachineConfig m = Clustered();
+  ModuloReservationTable mrt(m, 1);
+  mrt.Place(1, ResourceNeeds(OpClass::kMove, 1, 0, m), 0);  // 0 -> 1
+  const auto mv32 = ResourceNeeds(OpClass::kMove, 2, 3, m);  // 3 -> 2
+  EXPECT_TRUE(mrt.CanPlace(mv32, 0));
+  mrt.Place(2, mv32, 0);
+  // Both buses taken now.
+  const auto mv13 = ResourceNeeds(OpClass::kMove, 3, 1, m);  // 1 -> 3
+  EXPECT_FALSE(mrt.CanPlace(mv13, 0));
+  const auto conflicts = mrt.ConflictingNodes(mv13, 0);
+  EXPECT_EQ(conflicts.size(), 2u);
+}
+
+TEST(MRT, NegativeCyclesWrapCorrectly) {
+  const MachineConfig m = Mono();
+  ModuloReservationTable mrt(m, 3);
+  const auto ld = ResourceNeeds(OpClass::kLoad, 0, 0, m);
+  mrt.Place(1, ld, -1);  // row 2
+  EXPECT_EQ(mrt.Usage(ResKind::kMemPort, 0, 2), 1);
+  mrt.Remove(1);
+  EXPECT_EQ(mrt.Usage(ResKind::kMemPort, 0, 2), 0);
+}
+
+TEST(MRT, RejectsBadII) {
+  EXPECT_THROW(ModuloReservationTable(Mono(), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hcrf::sched

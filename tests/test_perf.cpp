@@ -1,0 +1,125 @@
+// Tests of the performance-metric layer: the paper's formulas, the
+// aggregation, and the parallel suite runner's determinism.
+#include <gtest/gtest.h>
+
+#include "perf/runner.h"
+#include "perf/tables.h"
+#include "workload/kernels.h"
+#include "workload/perfect_synth.h"
+
+namespace hcrf::perf {
+namespace {
+
+TEST(Metrics, ExecCycleFormula) {
+  // ExecCycles = II*(N + (SC-1)*E) + Stall.
+  const MachineConfig m = MachineConfig::Baseline();
+  workload::Loop loop = workload::MakeVadd(100);
+  loop.invocations = 3;
+  RunOptions opt;
+  opt.threads = 1;
+  workload::Suite suite;
+  suite.Add(loop);
+  const auto det = RunSuiteDetailed(suite, m, opt);
+  ASSERT_EQ(det.size(), 1u);
+  ASSERT_TRUE(det[0].ok);
+  const long expected = static_cast<long>(det[0].ii) *
+                        (300 + static_cast<long>(det[0].sc - 1) * 3);
+  EXPECT_EQ(det[0].useful_cycles, expected);
+  EXPECT_EQ(det[0].stall_cycles, 0);  // ideal memory by default
+  EXPECT_EQ(det[0].mem_traffic, 300L * det[0].trf);
+  EXPECT_EQ(det[0].trf, 3);  // 2 loads + 1 store, no spill on S128
+}
+
+TEST(Metrics, AggregateSumsAndClassifies) {
+  std::vector<LoopMetrics> loops(3);
+  loops[0].ok = true;
+  loops[0].ii = 2;
+  loops[0].mii = 2;
+  loops[0].useful_cycles = 100;
+  loops[0].bound = core::BoundClass::kMemPort;
+  loops[1].ok = true;
+  loops[1].ii = 5;
+  loops[1].mii = 4;
+  loops[1].useful_cycles = 50;
+  loops[1].bound = core::BoundClass::kRecurrence;
+  loops[2].ok = false;
+  const SuiteMetrics sm = Aggregate(loops);
+  EXPECT_EQ(sm.num_loops, 3);
+  EXPECT_EQ(sm.failed, 1);
+  EXPECT_EQ(sm.sum_ii, 7);
+  EXPECT_EQ(sm.loops_at_mii, 1);
+  EXPECT_DOUBLE_EQ(sm.PctAtMII(), 100.0 / 3.0);
+  EXPECT_EQ(sm.ExecCycles(), 150);
+  EXPECT_EQ(sm.bound_count[1], 1);  // MemPort
+  EXPECT_EQ(sm.bound_count[2], 1);  // Rec
+  EXPECT_EQ(sm.bound_cycles[1], 100);
+}
+
+TEST(Metrics, IPCUsesOriginalOps) {
+  SuiteMetrics sm;
+  sm.ops_executed = 600;
+  sm.useful_cycles = 100;
+  EXPECT_DOUBLE_EQ(sm.IPC(), 6.0);
+}
+
+TEST(Runner, ParallelMatchesSerial) {
+  workload::SynthParams p;
+  p.num_loops = 60;
+  const workload::Suite suite = workload::PerfectSynthetic(p);
+  const MachineConfig m = MachineConfig::Baseline();
+  RunOptions serial;
+  serial.threads = 1;
+  RunOptions parallel;
+  parallel.threads = 8;
+  const auto a = RunSuiteDetailed(suite, m, serial);
+  const auto b = RunSuiteDetailed(suite, m, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ok, b[i].ok) << i;
+    EXPECT_EQ(a[i].ii, b[i].ii) << i;
+    EXPECT_EQ(a[i].sc, b[i].sc) << i;
+    EXPECT_EQ(a[i].mem_traffic, b[i].mem_traffic) << i;
+  }
+}
+
+TEST(Runner, RealMemoryAddsStalls) {
+  workload::Suite suite;
+  suite.Add(workload::MakeVadd(512));
+  const MachineConfig m = MachineConfig::Baseline();
+  RunOptions ideal;
+  RunOptions real;
+  real.simulate_memory = true;
+  const SuiteMetrics a = RunSuite(suite, m, ideal);
+  const SuiteMetrics b = RunSuite(suite, m, real);
+  EXPECT_EQ(a.stall_cycles, 0);
+  EXPECT_GT(b.stall_cycles, 0);
+  EXPECT_EQ(a.useful_cycles, b.useful_cycles);
+}
+
+TEST(Runner, PrefetchCutsStalls) {
+  workload::Suite suite;
+  suite.Add(workload::MakeVadd(512));
+  const MachineConfig m = MachineConfig::Baseline();
+  RunOptions none;
+  none.simulate_memory = true;
+  RunOptions sel;
+  sel.simulate_memory = true;
+  sel.prefetch = memsim::PrefetchMode::kSelective;
+  const SuiteMetrics a = RunSuite(suite, m, none);
+  const SuiteMetrics b = RunSuite(suite, m, sel);
+  EXPECT_LT(b.stall_cycles, a.stall_cycles);
+}
+
+TEST(Tables, Formatting) {
+  EXPECT_EQ(Table::Num(1.2345, 2), "1.23");
+  EXPECT_EQ(Table::VsPaper(1.5, 2.0, 1), "1.5 (2.0)");
+  Table t({"a", "bb"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("bb"), std::string::npos);
+  EXPECT_NE(os.str().find("---"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hcrf::perf

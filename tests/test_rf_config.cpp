@@ -1,0 +1,162 @@
+// Unit tests for the register-file configuration notation and port-count
+// derivation (paper Sections 3-4).
+#include <gtest/gtest.h>
+
+#include "machine/machine_config.h"
+#include "machine/rf_config.h"
+
+namespace hcrf {
+namespace {
+
+TEST(RFConfigParse, Monolithic) {
+  const RFConfig c = RFConfig::Parse("S128");
+  EXPECT_EQ(c.Kind(), RFKind::kMonolithic);
+  EXPECT_EQ(c.clusters, 0);
+  EXPECT_EQ(c.shared_regs, 128);
+  EXPECT_TRUE(c.IsMonolithic());
+  EXPECT_TRUE(c.HasSharedBank());
+  EXPECT_FALSE(c.IsHierarchical());
+  EXPECT_EQ(c.TotalRegs(), 128);
+  EXPECT_EQ(c.ShortName(), "S128");
+}
+
+TEST(RFConfigParse, PureClustered) {
+  const RFConfig c = RFConfig::Parse("4C32");
+  EXPECT_EQ(c.Kind(), RFKind::kClustered);
+  EXPECT_EQ(c.clusters, 4);
+  EXPECT_EQ(c.cluster_regs, 32);
+  EXPECT_EQ(c.shared_regs, 0);
+  EXPECT_TRUE(c.IsPureClustered());
+  EXPECT_EQ(c.TotalRegs(), 128);
+  EXPECT_EQ(c.buses, 2);  // default nb = x/2
+}
+
+TEST(RFConfigParse, Hierarchical) {
+  const RFConfig c = RFConfig::Parse("1C64S64");
+  EXPECT_EQ(c.Kind(), RFKind::kHierarchical);
+  EXPECT_TRUE(c.IsHierarchical());
+  EXPECT_EQ(c.TotalRegs(), 128);
+  // Section 4 defaults for 1 cluster: lp=4, sp=2.
+  EXPECT_EQ(c.lp, 4);
+  EXPECT_EQ(c.sp, 2);
+}
+
+TEST(RFConfigParse, HierarchicalClustered) {
+  const RFConfig c = RFConfig::Parse("4C16S64");
+  EXPECT_EQ(c.Kind(), RFKind::kHierarchicalClustered);
+  EXPECT_EQ(c.clusters, 4);
+  EXPECT_EQ(c.cluster_regs, 16);
+  EXPECT_EQ(c.shared_regs, 64);
+  EXPECT_EQ(c.lp, 2);  // default for 4 clusters
+  EXPECT_EQ(c.sp, 1);
+}
+
+TEST(RFConfigParse, ExplicitPorts) {
+  const RFConfig c = RFConfig::Parse("1C64S32/3-2");
+  EXPECT_EQ(c.lp, 3);
+  EXPECT_EQ(c.sp, 2);
+  EXPECT_EQ(c.Name(), "1C64S32/3-2");
+}
+
+TEST(RFConfigParse, Unbounded) {
+  const RFConfig c = RFConfig::Parse("4CinfSinf");
+  EXPECT_TRUE(c.UnboundedClusterRegs());
+  EXPECT_TRUE(c.UnboundedSharedRegs());
+  const RFConfig b = RFConfig::Parse("2CinfSinf/inf-inf");
+  EXPECT_TRUE(b.UnboundedPorts());
+}
+
+TEST(RFConfigParse, RoundTrip) {
+  for (const char* name :
+       {"S128", "S32", "4C32/1-1", "1C64S64/4-2", "8C16S16/1-1",
+        "2C32S32/3-1"}) {
+    EXPECT_EQ(RFConfig::Parse(RFConfig::Parse(name).Name()).Name(),
+              RFConfig::Parse(name).Name())
+        << name;
+  }
+}
+
+TEST(RFConfigParse, Malformed) {
+  EXPECT_THROW(RFConfig::Parse(""), std::invalid_argument);
+  EXPECT_THROW(RFConfig::Parse("X128"), std::invalid_argument);
+  EXPECT_THROW(RFConfig::Parse("4C"), std::invalid_argument);
+  EXPECT_THROW(RFConfig::Parse("4C32S"), std::invalid_argument);
+  EXPECT_THROW(RFConfig::Parse("4C32/2"), std::invalid_argument);
+  EXPECT_THROW(RFConfig::Parse("S128trailing"), std::invalid_argument);
+  EXPECT_THROW(RFConfig::Parse("S0"), std::invalid_argument);
+}
+
+// Port counts must match the paper's Table 5 derivations (8 FUs, 4 ports).
+struct PortCase {
+  const char* name;
+  int cluster_reads, cluster_writes;
+  int shared_reads, shared_writes;
+};
+
+class PortCountTest : public ::testing::TestWithParam<PortCase> {};
+
+TEST_P(PortCountTest, MatchesPaperDerivation) {
+  const PortCase& pc = GetParam();
+  const RFConfig c = RFConfig::Parse(pc.name);
+  const BankPorts cb = c.ClusterBankPorts(8, 4);
+  const BankPorts sb = c.SharedBankPorts(8, 4);
+  EXPECT_EQ(cb.reads, pc.cluster_reads) << pc.name;
+  EXPECT_EQ(cb.writes, pc.cluster_writes) << pc.name;
+  EXPECT_EQ(sb.reads, pc.shared_reads) << pc.name;
+  EXPECT_EQ(sb.writes, pc.shared_writes) << pc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table5Shapes, PortCountTest,
+    ::testing::Values(
+        // Monolithic: 2R/FU + 1R/port = 20; 1W/FU + 1W/port = 12.
+        PortCase{"S128", 0, 0, 20, 12},
+        // 1C64S32/3-2: cluster R=16+2 W=8+3; shared R=1*3+4 W=1*2+4.
+        PortCase{"1C64S32/3-2", 18, 11, 7, 6},
+        // 1C32S64/4-2.
+        PortCase{"1C32S64/4-2", 18, 12, 8, 6},
+        // 2C64 bus 1-1: R=8+2+1, W=4+2+1.
+        PortCase{"2C64/1-1", 11, 7, 0, 0},
+        // 2C64S32/2-1: cluster R=8+1 W=4+2; shared R=2*2+4 W=2*1+4.
+        PortCase{"2C64S32/2-1", 9, 6, 8, 6},
+        // 2C32S32/3-1.
+        PortCase{"2C32S32/3-1", 9, 7, 10, 6},
+        // 4C32 bus 1-1: R=4+1+1 W=2+1+1.
+        PortCase{"4C32/1-1", 6, 4, 0, 0},
+        // 4C32S16/1-1: cluster R=4+1 W=2+1; shared R=4+4 W=4+4.
+        PortCase{"4C32S16/1-1", 5, 3, 8, 8},
+        // 4C16S16/2-1: cluster R=4+1 W=2+2; shared R=8+4 W=4+4.
+        PortCase{"4C16S16/2-1", 5, 4, 12, 8},
+        // 8C16S16/1-1: cluster R=2+1 W=1+1; shared R=8+4 W=8+4.
+        PortCase{"8C16S16/1-1", 3, 2, 12, 12}));
+
+TEST(MachineConfig, ValidityRules) {
+  MachineConfig m = MachineConfig::Baseline();
+  EXPECT_TRUE(m.IsValid());
+
+  m.rf = RFConfig::Parse("8C16");  // 8 clusters, 4 mem ports: impossible
+  std::string why;
+  EXPECT_FALSE(m.IsValid(&why));
+  EXPECT_NE(why.find("memory ports"), std::string::npos);
+
+  // Hierarchical decoupling makes 8 clusters possible (the paper's point).
+  m.rf = RFConfig::Parse("8C16S16");
+  EXPECT_TRUE(m.IsValid());
+
+  m.rf = RFConfig::Parse("3C16S16");  // 3 does not divide 8 FUs
+  EXPECT_FALSE(m.IsValid());
+}
+
+TEST(MachineConfig, ClusterResourceSplit) {
+  MachineConfig m = MachineConfig::WithRF(RFConfig::Parse("4C32"));
+  EXPECT_EQ(m.FusPerCluster(), 2);
+  EXPECT_EQ(m.MemPortsPerCluster(), 1);
+  m.rf = RFConfig::Parse("8C16S16");
+  EXPECT_EQ(m.FusPerCluster(), 1);
+  // Hierarchical: memory ports are global (attached to the shared bank).
+  EXPECT_EQ(m.MemPortsPerCluster(), 4);
+  EXPECT_EQ(m.NumClusters(), 8);
+}
+
+}  // namespace
+}  // namespace hcrf

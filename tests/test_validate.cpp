@@ -1,0 +1,172 @@
+// Tests for the schedule validator: each invariant violation must be
+// detected (failure-injection style).
+#include <gtest/gtest.h>
+
+#include "core/mirs.h"
+#include "sched/validate.h"
+#include "workload/kernels.h"
+
+namespace hcrf::sched {
+namespace {
+
+MachineConfig Mono() { return MachineConfig::WithRF(RFConfig::Parse("S128")); }
+
+// A tiny valid schedule to perturb: load -> add -> store at II=1.
+struct Fixture {
+  DDG g;
+  PartialSchedule s{4};
+  MachineConfig m = Mono();
+  NodeId ld, add, st;
+
+  Fixture() {
+    Node l;
+    l.op = OpClass::kLoad;
+    l.mem = MemRef{0, 0, 8};
+    ld = g.AddNode(std::move(l));
+    add = g.AddNode(OpClass::kFAdd);
+    Node stn;
+    stn.op = OpClass::kStore;
+    stn.mem = MemRef{1, 0, 8};
+    st = g.AddNode(std::move(stn));
+    g.AddFlow(ld, add, 0);
+    g.AddFlow(add, st, 0);
+    s.Assign(ld, {0, 0, 0, true});
+    s.Assign(add, {2, 0, 0, true});
+    s.Assign(st, {6, 0, 0, true});
+  }
+};
+
+TEST(Validate, AcceptsCorrectSchedule) {
+  Fixture f;
+  const ValidationResult r = Validate(f.g, f.s, f.m);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(Validate, DetectsDependenceViolation) {
+  Fixture f;
+  f.s.Unassign(f.add);
+  f.s.Assign(f.add, {1, 0, 0, true});  // load latency 2 not respected
+  const ValidationResult r = Validate(f.g, f.s, f.m);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("dependence"), std::string::npos);
+}
+
+TEST(Validate, DetectsUnscheduledNode) {
+  Fixture f;
+  f.s.Unassign(f.st);
+  const ValidationResult r = Validate(f.g, f.s, f.m);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("not scheduled"), std::string::npos);
+}
+
+TEST(Validate, DetectsResourceOversubscription) {
+  // 5 loads in the same kernel row on 4 memory ports.
+  DDG g;
+  PartialSchedule s(1);
+  const MachineConfig m = Mono();
+  for (int i = 0; i < 5; ++i) {
+    Node l;
+    l.op = OpClass::kLoad;
+    l.mem = MemRef{i, 0, 8};
+    const NodeId v = g.AddNode(std::move(l));
+    s.Assign(v, {i, 0, 0, true});  // II=1: every cycle is the same row
+  }
+  const ValidationResult r = Validate(g, s, m);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("resource"), std::string::npos);
+}
+
+TEST(Validate, DetectsClusterOutOfRange) {
+  Fixture f;
+  f.s.Unassign(f.add);
+  f.s.Assign(f.add, {2, 3, 0, true});  // monolithic has one cluster
+  const ValidationResult r = Validate(f.g, f.s, f.m);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("out of range"), std::string::npos);
+}
+
+TEST(Validate, DetectsBankMismatchOnClustered) {
+  // Producer in cluster 0, consumer in cluster 1, no Move inserted.
+  MachineConfig m = MachineConfig::WithRF(RFConfig::Parse("2C32/1-1"));
+  DDG g;
+  const NodeId a = g.AddNode(OpClass::kFAdd);
+  const NodeId b = g.AddNode(OpClass::kFAdd);
+  g.AddFlow(a, b, 0);
+  PartialSchedule s(2);
+  s.Assign(a, {0, 0, 0, true});
+  s.Assign(b, {4, 1, 0, true});
+  const ValidationResult r = Validate(g, s, m);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("bank mismatch"), std::string::npos);
+}
+
+TEST(Validate, DetectsHierarchicalLoadConsumedDirectly) {
+  // In a hierarchical organization a compute op cannot read a Load's value
+  // without a LoadR.
+  MachineConfig m = MachineConfig::WithRF(RFConfig::Parse("2C32S32/3-1"));
+  DDG g;
+  Node l;
+  l.op = OpClass::kLoad;
+  l.mem = MemRef{0, 0, 8};
+  const NodeId ld = g.AddNode(std::move(l));
+  const NodeId add = g.AddNode(OpClass::kFAdd);
+  g.AddFlow(ld, add, 0);
+  PartialSchedule s(2);
+  s.Assign(ld, {0, 0, 0, true});
+  s.Assign(add, {4, 0, 0, true});
+  const ValidationResult r = Validate(g, s, m);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("bank mismatch"), std::string::npos);
+}
+
+TEST(Validate, DetectsCapacityOverflow) {
+  // Two long-lived values on a 1-register monolithic RF.
+  MachineConfig m = MachineConfig::WithRF(RFConfig::Parse("S1"));
+  DDG g;
+  const NodeId a = g.AddNode(OpClass::kFAdd);
+  const NodeId b = g.AddNode(OpClass::kFAdd);
+  const NodeId c = g.AddNode(OpClass::kFAdd);
+  g.AddFlow(a, c, 0);
+  g.AddFlow(b, c, 0);
+  PartialSchedule s(1);
+  s.Assign(a, {0, 0, 0, true});
+  s.Assign(b, {1, 0, 0, true});
+  s.Assign(c, {8, 0, 0, true});
+  const ValidationResult r = Validate(g, s, m);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("capacity"), std::string::npos);
+}
+
+TEST(Validate, MoveSrcClusterMustMatchProducer) {
+  MachineConfig m = MachineConfig::WithRF(RFConfig::Parse("2C32/1-1"));
+  DDG g;
+  const NodeId a = g.AddNode(OpClass::kFAdd);
+  Node mv;
+  mv.op = OpClass::kMove;
+  mv.inserted = true;
+  const NodeId mov = g.AddNode(std::move(mv));
+  const NodeId b = g.AddNode(OpClass::kFAdd);
+  g.AddFlow(a, mov, 0);
+  g.AddFlow(mov, b, 0);
+  PartialSchedule s(2);
+  s.Assign(a, {0, 0, 0, true});
+  s.Assign(mov, {4, 1, /*src_cluster=*/1, true});  // wrong: producer in 0
+  s.Assign(b, {6, 1, 0, true});
+  const ValidationResult r = Validate(g, s, m);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("src_cluster"), std::string::npos);
+}
+
+TEST(Validate, EndToEndAgainstScheduler) {
+  // The validator must accept everything the scheduler produces (also
+  // covered by the sweeps in test_scheduler.cpp; here with overrides).
+  const auto loop = workload::MakeHydro();
+  MachineConfig m = MachineConfig::WithRF(RFConfig::Parse("4C16S64/2-1"));
+  const core::ScheduleResult sr = core::MirsHC(loop.ddg, m);
+  ASSERT_TRUE(sr.ok);
+  const ValidationResult r = Validate(sr.graph, sr.schedule, m, sr.overrides);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+}  // namespace
+}  // namespace hcrf::sched

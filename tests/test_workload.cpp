@@ -1,0 +1,136 @@
+// Tests of the synthetic Perfect Club stand-in: determinism, structural
+// validity, and the distributional fingerprints the substitution promises
+// (see DESIGN.md): bound-class mix under S128 and register pressure that
+// separates 32/64/128-register organizations.
+#include <gtest/gtest.h>
+
+#include "core/mirs.h"
+#include "ddg/mii.h"
+#include "sched/lifetime.h"
+#include "workload/perfect_synth.h"
+
+namespace hcrf::workload {
+namespace {
+
+TEST(PerfectSynth, DeterministicInSeed) {
+  SynthParams p;
+  p.num_loops = 40;
+  const Suite a = PerfectSynthetic(p);
+  const Suite b = PerfectSynthetic(p);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ddg.NumNodes(), b[i].ddg.NumNodes());
+    EXPECT_EQ(a[i].ddg.NumEdges(), b[i].ddg.NumEdges());
+    EXPECT_EQ(a[i].trip, b[i].trip);
+    EXPECT_EQ(a[i].invocations, b[i].invocations);
+  }
+  SynthParams q = p;
+  q.seed = 1;
+  const Suite c = PerfectSynthetic(q);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].ddg.NumNodes() != c[i].ddg.NumNodes()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(PerfectSynth, AllLoopsStructurallyValid) {
+  SynthParams p;
+  p.num_loops = 300;
+  const Suite synth_suite = PerfectSynthetic(p);
+  for (const Loop& loop : synth_suite.loops()) {
+    std::string why;
+    ASSERT_TRUE(loop.ddg.Check(&why)) << loop.ddg.name() << ": " << why;
+    EXPECT_GT(loop.ddg.NumNodes(), 0);
+    EXPECT_GT(loop.trip, 0);
+    EXPECT_GT(loop.invocations, 0);
+    // Memory ops carry refs; loops are software-pipelineable (no
+    // zero-distance cycles is implied by Check + MII finiteness).
+    for (NodeId v = 0; v < loop.ddg.NumSlots(); ++v) {
+      if (IsMemory(loop.ddg.node(v).op)) {
+        EXPECT_TRUE(loop.ddg.node(v).mem.has_value());
+      }
+    }
+    const MachineConfig m = MachineConfig::Baseline();
+    EXPECT_GE(ComputeMII(loop.ddg, m).MII(), 1);
+  }
+}
+
+TEST(PerfectSynth, BoundClassMixNearPaper) {
+  // Table 1, S128 column: 20.0% FU / 50.9% Mem / 29.1% Rec / 0.0% Com.
+  SynthParams p;
+  p.num_loops = 500;
+  const Suite suite = PerfectSynthetic(p);
+  MachineConfig m = MachineConfig::WithRF(RFConfig::Parse("S128"));
+  int counts[4] = {0, 0, 0, 0};
+  int total = 0;
+  for (const Loop& loop : suite.loops()) {
+    const core::ScheduleResult sr = core::MirsHC(loop.ddg, m);
+    if (!sr.ok) continue;
+    ++counts[static_cast<int>(sr.bound)];
+    ++total;
+  }
+  const double fu = 100.0 * counts[0] / total;
+  const double mem = 100.0 * counts[1] / total;
+  const double rec = 100.0 * counts[2] / total;
+  EXPECT_NEAR(fu, 20.0, 8.0);
+  EXPECT_NEAR(mem, 50.9, 8.0);
+  EXPECT_NEAR(rec, 29.1, 8.0);
+}
+
+TEST(PerfectSynth, RegisterPressureSeparatesOrganizations) {
+  // The paper's Table 6 needs: S128 ~ no spill, S64 some spill traffic,
+  // S32 a lot. Check the MaxLive distribution supports that.
+  SynthParams p;
+  p.num_loops = 300;
+  const Suite suite = PerfectSynthetic(p);
+  const MachineConfig m = MachineConfig::WithRF(RFConfig::Parse("Sinf"));
+  int over32 = 0;
+  int over64 = 0;
+  int over128 = 0;
+  int total = 0;
+  for (const Loop& loop : suite.loops()) {
+    const core::ScheduleResult sr = core::MirsHC(loop.ddg, m);
+    if (!sr.ok) continue;
+    const auto pr =
+        sched::ComputePressure(sr.graph, sr.schedule, m, sr.overrides);
+    ++total;
+    if (pr.shared_maxlive > 32) ++over32;
+    if (pr.shared_maxlive > 64) ++over64;
+    if (pr.shared_maxlive > 128) ++over128;
+  }
+  EXPECT_GT(over32, total / 8);        // S32 spills broadly
+  EXPECT_GT(over64, total / 50);       // S64 spills on a visible tail
+  EXPECT_LT(over128, total / 20);      // S128 nearly spill-free
+}
+
+TEST(PerfectSynth, TripsDwarfPipelineFill) {
+  // The execution-cycle estimate II*(N + (SC-1)*E) must be dominated by N.
+  SynthParams p;
+  p.num_loops = 200;
+  const Suite synth_suite = PerfectSynthetic(p);
+  for (const Loop& loop : synth_suite.loops()) {
+    EXPECT_GE(loop.trip, 100) << loop.ddg.name();
+    EXPECT_LE(loop.invocations, 32);
+  }
+}
+
+TEST(PerfectSynth, SpeciesInNames) {
+  SynthParams p;
+  p.num_loops = 100;
+  int stream = 0;
+  int other = 0;
+  const Suite synth_suite = PerfectSynthetic(p);
+  for (const Loop& loop : synth_suite.loops()) {
+    if (loop.ddg.name().find("stream") != std::string::npos) {
+      ++stream;
+    } else {
+      ++other;
+    }
+  }
+  EXPECT_GT(stream, 20);
+  EXPECT_GT(other, 20);
+}
+
+}  // namespace
+}  // namespace hcrf::workload
