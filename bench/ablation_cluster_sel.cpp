@@ -14,17 +14,23 @@ void Policies(const char* rf) {
   const workload::Suite suite = bench::SuiteSlice(300);
   const MachineConfig m = bench::MakeMachine(rf);
   std::printf("-- cluster selection on %s --\n", rf);
-  std::printf("%-12s %-10s %-8s %-8s\n", "policy", "SigmaII", "%MII",
-              "failed");
-  for (core::ClusterPolicy p :
-       {core::ClusterPolicy::kBalanced, core::ClusterPolicy::kRoundRobin,
-        core::ClusterPolicy::kFirstFit}) {
+  std::printf("%-12s %-10s %-8s %-8s %-10s %-10s\n", "policy", "SigmaII",
+              "%MII", "failed", "ejections", "restarts");
+  // Policies are exercised through the ClusterSelector interface: the
+  // engine builds one selector per run from the factory, so one RunOptions
+  // value is safe to share across the parallel suite runner's threads.
+  const core::ClusterSelectorFactory factories[] = {
+      core::MakeClusterSelectorFactory(core::ClusterPolicy::kBalanced),
+      core::MakeClusterSelectorFactory(core::ClusterPolicy::kRoundRobin),
+      core::MakeClusterSelectorFactory(core::ClusterPolicy::kFirstFit),
+  };
+  for (const core::ClusterSelectorFactory& make : factories) {
     perf::RunOptions opt;
-    opt.mirs.cluster_policy = p;
+    opt.mirs.cluster_selector = make;
     const perf::SuiteMetrics sm = perf::RunSuite(suite, m, opt);
-    std::printf("%-12s %-10ld %-8.1f %-8d\n",
-                std::string(ToString(p)).c_str(), sm.sum_ii, sm.PctAtMII(),
-                sm.failed);
+    std::printf("%-12s %-10ld %-8.1f %-8d %-10ld %-10ld\n",
+                std::string(make()->name()).c_str(), sm.sum_ii, sm.PctAtMII(),
+                sm.failed, sm.ejections, sm.ii_restarts);
   }
   std::printf("\n");
 }

@@ -1,0 +1,42 @@
+// Release-mode invariant checking for the scheduling engine.
+//
+// The engine maintains bookkeeping invariants (edge rewrites must find the
+// edge they remove, the priority list must never desync from the graph)
+// whose violation means a bug, not a recoverable condition. A plain
+// assert() compiles away in release builds, which is exactly where the
+// large design-space sweeps run -- so violations would surface later as
+// corrupt schedules. HCRF_CHECK always fires and prints diagnostic context
+// before aborting.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hcrf::core::internal {
+
+[[noreturn]] inline void InvariantFailure(const char* file, int line,
+                                          const char* cond, const char* fmt,
+                                          ...) {
+  std::fprintf(stderr, "[hcrf invariant] %s:%d: check `%s` failed: ", file,
+               line, cond);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace hcrf::core::internal
+
+/// Invariant check that fires in all build modes. `...` is a printf-style
+/// message giving the diagnostic context (node ids, edge endpoints, II).
+#define HCRF_CHECK(cond, ...)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::hcrf::core::internal::InvariantFailure(__FILE__, __LINE__, #cond,  \
+                                               __VA_ARGS__);               \
+    }                                                                      \
+  } while (0)

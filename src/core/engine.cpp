@@ -1,0 +1,438 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/check.h"
+#include "ddg/mii.h"
+#include "sched/banks.h"
+#include "sched/mrt.h"
+#include "sched/validate.h"
+
+namespace hcrf::core {
+
+using sched::BankId;
+using sched::kSharedBank;
+
+EngineDriver::EngineDriver(const DDG& loop, const MachineConfig& m,
+                           const MirsOptions& opt,
+                           const sched::LatencyOverrides& base_overrides)
+    : original_(loop),
+      m_(m),
+      opt_(opt),
+      base_overrides_(base_overrides),
+      st_(m_),
+      instr_(opt.event_sink),
+      comm_(st_, *this, instr_),
+      spill_policy_(opt.spill_policy
+                        ? opt.spill_policy
+                        : std::make_shared<const LongestPerUseSpillPolicy>()),
+      spill_(st_, *this, *spill_policy_, instr_),
+      ordering_(opt.ordering ? opt.ordering
+                             : std::make_shared<const HrmsOrderPolicy>()),
+      selector_(opt.cluster_selector ? opt.cluster_selector()
+                                     : MakeClusterSelector(opt.cluster_policy)) {
+}
+
+// ---------------------------------------------------------------------------
+// NodePlacer services
+// ---------------------------------------------------------------------------
+
+NodeId EngineDriver::CreateNode(Node n, double priority) {
+  n.inserted = true;
+  const NodeId id = st_.g.AddNode(std::move(n));
+  st_.GrowTo(id);
+  st_.priority[static_cast<size_t>(id)] = priority;
+  st_.unscheduled[static_cast<size_t>(id)] = 1;
+  ++st_.num_unscheduled;
+  // The paper grants Budget_Ratio extra attempts per inserted node (the
+  // total grant is capped, see BudgetAccount).
+  instr_.BudgetGranted(budget_.Grant(opt_.budget_ratio));
+  return id;
+}
+
+bool EngineDriver::PlaceNode(NodeId u, int cluster, int src_cluster) {
+  if (budget_.exhausted()) return false;
+  const int ii = st_.ii();
+  const auto needs =
+      sched::ResourceNeeds(st_.g.node(u).op, cluster, src_cluster, m_);
+  // Structurally impossible placements (e.g. Move with no buses).
+  for (const auto& need : needs) {
+    if (st_.mrt->Capacity(need.kind, need.cluster) <= 0) return false;
+  }
+
+  const Window w = st_.ComputeWindow(u);
+  // Scan direction per HRMS: top-down when predecessors anchor the node,
+  // bottom-up when only successors do. Reload-style copies (spill loads,
+  // LoadR) are also placed as late as possible even when both sides are
+  // anchored: their input lives in memory or the capacious shared bank, so
+  // a late placement minimizes the register lifetime of their value.
+  const OpClass op_u = st_.g.node(u).op;
+  const bool late_biased =
+      op_u == OpClass::kLoadR ||
+      (st_.g.node(u).spill && op_u == OpClass::kLoad);
+  int found = kNoCycle;
+  if (w.has_succ && (!w.has_pred || late_biased)) {
+    const int hi = w.late;
+    const int lo = w.has_pred ? std::max(w.early, w.late - ii + 1)
+                              : w.late - ii + 1;
+    for (int t = hi; t >= lo; --t) {
+      if (st_.mrt->CanPlace(needs, t)) {
+        found = t;
+        break;
+      }
+    }
+  } else {
+    const int hi =
+        w.has_succ ? std::min(w.late, w.early + ii - 1) : w.early + ii - 1;
+    for (int t = w.early; t <= hi; ++t) {
+      if (st_.mrt->CanPlace(needs, t)) {
+        found = t;
+        break;
+      }
+    }
+  }
+
+  if (found == kNoCycle) {
+    if (!opt_.iterative) return false;
+    // Force placement. Following iterative modulo scheduling, the forced
+    // cycle advances past the previous placement of the node so repeated
+    // forcing makes progress.
+    // The forced cycle marches monotonically from the window edge. It
+    // normally stays inside the dependence window, but a node that keeps
+    // being ejected is allowed to land outside it: the violated
+    // predecessors/successors are ejected too, which is the paper's escape
+    // hatch from zero-slack chains on saturated ports.
+    const bool desperate =
+        static_cast<size_t>(u) < st_.eject_count.size() &&
+        st_.eject_count[static_cast<size_t>(u)] > 12;
+    int t;
+    if (w.has_succ && (!w.has_pred || late_biased)) {
+      t = st_.prev_cycle[static_cast<size_t>(u)] == kNoCycle
+              ? w.late
+              : std::min(w.late, st_.prev_cycle[static_cast<size_t>(u)] - 1);
+      if (w.has_pred && !desperate) t = std::max(t, w.early);
+    } else {
+      t = st_.prev_cycle[static_cast<size_t>(u)] == kNoCycle
+              ? w.early
+              : std::max(w.early, st_.prev_cycle[static_cast<size_t>(u)] + 1);
+    }
+    // Eject resource conflicts.
+    for (NodeId victim : st_.mrt->ConflictingNodes(needs, t)) {
+      Eject(victim);
+    }
+    if (!st_.mrt->CanPlace(needs, t)) {
+      // A comm-node ejection rerouted a chain and refilled the slot; give
+      // up on this attempt (budget will drive an II bump).
+      return false;
+    }
+    st_.mrt->Place(u, needs, t);
+    st_.sched->Assign(u, {t, cluster, src_cluster, true});
+    st_.MarkScheduled(u);
+    st_.prev_cycle[static_cast<size_t>(u)] = t;
+    // Eject scheduled neighbours whose dependences the forced placement
+    // violates.
+    std::vector<NodeId> violated;
+    for (const Edge& e : st_.g.InEdges(u)) {
+      if (!st_.sched->IsScheduled(e.src) || e.src == u) continue;
+      if (st_.sched->CycleOf(e.src) + st_.LatOf(e) > t + e.distance * ii) {
+        violated.push_back(e.src);
+      }
+    }
+    for (const Edge& e : st_.g.OutEdges(u)) {
+      if (!st_.sched->IsScheduled(e.dst) || e.dst == u) continue;
+      if (t + st_.LatOf(e) > st_.sched->CycleOf(e.dst) + e.distance * ii) {
+        violated.push_back(e.dst);
+      }
+    }
+    for (NodeId v : violated) Eject(v);
+    instr_.NodeForced(u, ii);
+  } else {
+    st_.mrt->Place(u, needs, found);
+    st_.sched->Assign(u, {found, cluster, src_cluster, true});
+    st_.MarkScheduled(u);
+    st_.prev_cycle[static_cast<size_t>(u)] = found;
+    instr_.NodePlaced(u, ii);
+  }
+
+  budget_.Spend(1.0);
+  instr_.BudgetSpent(1.0);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Ejection
+// ---------------------------------------------------------------------------
+
+void EngineDriver::Eject(NodeId victim) {
+  if (!st_.g.IsAlive(victim)) return;
+  if (st_.IsCommChainNode(victim)) {
+    // Ejecting a communication node means redoing the consumer's
+    // communication: eject every consumer whose chain runs through it.
+    for (NodeId c : comm_.ConsumersThrough(victim)) Eject(c);
+    return;
+  }
+  EjectScheduledNode(victim);
+}
+
+void EngineDriver::EjectScheduledNode(NodeId v) {
+  if (!st_.sched->IsScheduled(v)) return;
+  st_.Unplace(v);
+  st_.MarkUnscheduled(v);
+  instr_.NodeEjected(v, st_.ii());
+  if (static_cast<size_t>(v) < st_.eject_count.size()) {
+    if (++st_.eject_count[static_cast<size_t>(v)] > 60) st_.churning = true;
+    if (st_.eject_count[static_cast<size_t>(v)] == 30 &&
+        std::getenv("HCRF_DEBUG") != nullptr) {
+      const Window w = st_.ComputeWindow(v);
+      std::fprintf(stderr,
+                   "   [30th eject] node %d (%s%s) cluster %d prev %d "
+                   "window [%d,%d] pred=%d succ=%d II=%d\n",
+                   v, ToString(st_.g.node(v).op).data(),
+                   st_.g.node(v).spill ? ",spill" : "",
+                   st_.sched->Of(v).cluster,
+                   st_.prev_cycle[static_cast<size_t>(v)], w.early, w.late,
+                   w.has_pred, w.has_succ, st_.ii());
+    }
+  }
+  comm_.UndoFixesTouching(v);
+  comm_.GarbageCollectComm();
+}
+
+// ---------------------------------------------------------------------------
+// Cluster selection (structural constraints, then policy)
+// ---------------------------------------------------------------------------
+
+int EngineDriver::SelectCluster(NodeId u) {
+  const RFConfig& rf = m_.rf;
+  if (!rf.HasClusters()) return 0;
+  const Node& n = st_.g.node(u);
+
+  // Communication and spill copies have their cluster dictated by the
+  // scheduled endpoint they serve; the policy only decides for free nodes.
+  if (n.op == OpClass::kLoadR) {
+    for (const Edge& e : st_.g.FlowConsumers(u)) {
+      if (st_.sched->IsScheduled(e.dst)) {
+        const BankId b = sched::ReadBank(st_.g.node(e.dst).op,
+                                         st_.sched->ClusterOf(e.dst), rf);
+        if (b != kSharedBank) return b;
+      }
+    }
+    return structural_fallback_.Select(st_, u);
+  }
+  if (n.op == OpClass::kStoreR) {
+    for (const Edge& e : st_.g.FlowProducers(u)) {
+      if (st_.sched->IsScheduled(e.src)) {
+        const BankId b = sched::DefBank(st_.g.node(e.src).op,
+                                        st_.sched->ClusterOf(e.src), rf);
+        if (b != kSharedBank) return b;
+      }
+    }
+    return structural_fallback_.Select(st_, u);
+  }
+  if (rf.IsPureClustered() && n.spill && IsMemory(n.op)) {
+    // Spill stores read the producer's cluster; spill loads feed consumers.
+    if (n.op == OpClass::kStore) {
+      for (const Edge& e : st_.g.FlowProducers(u)) {
+        if (st_.sched->IsScheduled(e.src)) return st_.sched->ClusterOf(e.src);
+      }
+    } else {
+      for (const Edge& e : st_.g.FlowConsumers(u)) {
+        if (st_.sched->IsScheduled(e.dst)) return st_.sched->ClusterOf(e.dst);
+      }
+    }
+    return structural_fallback_.Select(st_, u);
+  }
+
+  return selector_->Select(st_, u);
+}
+
+// ---------------------------------------------------------------------------
+// Main loops
+// ---------------------------------------------------------------------------
+
+bool EngineDriver::TryII(int ii) {
+  st_.Reset(original_, base_overrides_, ii);
+  comm_.Reset();
+  spill_.Reset();
+  selector_->Reset();
+  since_spill_check_ = 0;
+
+  for (size_t r = 0; r < order_.size(); ++r) {
+    st_.priority[static_cast<size_t>(order_[r])] =
+        static_cast<double>(order_.size() - r);
+  }
+  for (NodeId v : order_) {
+    st_.unscheduled[static_cast<size_t>(v)] = 1;
+    ++st_.num_unscheduled;
+  }
+  budget_.Start(opt_.budget_ratio * st_.g.NumNodes(),
+                8.0 * opt_.budget_ratio * std::max(4, original_.NumNodes()));
+
+  while (true) {
+    while (st_.num_unscheduled > 0) {
+      if (st_.churning) return false;  // livelocked ping-pong: bump the II
+      if (budget_.exhausted()) {
+        if (std::getenv("HCRF_DEBUG") != nullptr) {
+          std::fprintf(stderr, "[hcrf] %s II=%d budget exhausted (%d left)\n",
+                       original_.name().c_str(), ii, st_.num_unscheduled);
+          for (NodeId v = 0; v < st_.g.NumSlots() && v < 4096; ++v) {
+            if (st_.eject_count[static_cast<size_t>(v)] > 20) {
+              std::fprintf(stderr, "   node %d (%s%s%s) ejected %ld times\n",
+                           v, ToString(st_.g.node(v).op).data(),
+                           st_.g.node(v).inserted ? ",ins" : "",
+                           st_.g.node(v).spill ? ",spill" : "",
+                           st_.eject_count[static_cast<size_t>(v)]);
+            }
+          }
+        }
+        return false;
+      }
+      const NodeId u = st_.PickHighestPriority();
+      HCRF_CHECK(u != kNoNode,
+                 "priority-list desync: %d node(s) marked unscheduled but "
+                 "none alive in graph '%s' (II=%d, %d slots)",
+                 st_.num_unscheduled, original_.name().c_str(), ii,
+                 st_.g.NumSlots());
+      const int cluster = SelectCluster(u);
+      int src_cluster = 0;
+      if (st_.g.node(u).op == OpClass::kMove) {
+        // Re-scheduled move: the source side is its producer's bank.
+        const auto producers = st_.g.FlowProducers(u);
+        if (!producers.empty() &&
+            st_.sched->IsScheduled(producers.front().src)) {
+          src_cluster = st_.sched->ClusterOf(producers.front().src);
+        }
+      }
+      if (!comm_.EnsureCommunication(u, cluster)) return false;
+      if (!PlaceNode(u, cluster, src_cluster)) return false;
+      // Register-pressure checks are O(values); checking every few
+      // placements (and always when the list drains) keeps the paper's
+      // incremental-spill behaviour at a fraction of the cost.
+      if (++since_spill_check_ >= 4 || st_.num_unscheduled == 0) {
+        since_spill_check_ = 0;
+        spill_.CheckAndInsert();
+      }
+    }
+
+    // Sink reloads towards their consumers. Sinking can lengthen
+    // shared-bank residencies (that is its purpose: the shared bank absorbs
+    // the carried distances), which may in turn require further spilling of
+    // shared values to memory -- so iterate sink -> spill -> schedule to a
+    // fixpoint (bounded: each value spills at most once per attempt).
+    spill_.SinkReloads();
+    spill_.CheckAndInsert();
+    if (st_.num_unscheduled > 0) {
+      if (budget_.exhausted()) return false;
+      continue;
+    }
+    break;
+  }
+
+  // Final register allocation check: every bank within capacity.
+  const sched::PressureReport pr =
+      sched::ComputePressure(st_.g, *st_.sched, m_, st_.overrides);
+  const RFConfig& rf = m_.rf;
+  if (rf.HasSharedBank() && !rf.UnboundedSharedRegs() &&
+      pr.shared_maxlive > sched::BankCapacity(kSharedBank, rf)) {
+    if (std::getenv("HCRF_DEBUG") != nullptr) {
+      std::fprintf(stderr, "[hcrf] %s II=%d shared over capacity: %d > %ld\n",
+                   original_.name().c_str(), ii, pr.shared_maxlive,
+                   sched::BankCapacity(kSharedBank, rf));
+      if (std::getenv("HCRF_DEBUG_LIFETIMES") != nullptr) {
+        for (const auto& v : pr.values) {
+          if (v.bank != kSharedBank || v.Length() <= 0) continue;
+          std::fprintf(stderr, "   def %d (%s%s) [%d,%d) len %d uses %d\n",
+                       v.def, ToString(st_.g.node(v.def).op).data(),
+                       st_.g.node(v.def).spill ? ",spill" : "", v.start,
+                       v.end, v.Length(), v.uses);
+        }
+      }
+    }
+    return false;
+  }
+  for (int c = 0; c < rf.clusters; ++c) {
+    if (!rf.UnboundedClusterRegs() &&
+        pr.cluster_maxlive[static_cast<size_t>(c)] >
+            sched::BankCapacity(c, rf)) {
+      if (std::getenv("HCRF_DEBUG") != nullptr) {
+        std::fprintf(stderr, "[hcrf] %s II=%d cluster %d over capacity: %d\n",
+                     original_.name().c_str(), ii, c,
+                     pr.cluster_maxlive[static_cast<size_t>(c)]);
+      }
+      return false;
+    }
+  }
+
+  const sched::ValidationResult vr =
+      sched::Validate(st_.g, *st_.sched, m_, st_.overrides);
+  if (!vr.ok && std::getenv("HCRF_DEBUG") != nullptr) {
+    std::fprintf(stderr, "[hcrf] %s II=%d validation failed: %s\n",
+                 original_.name().c_str(), ii, vr.error.c_str());
+  }
+  return vr.ok;
+}
+
+ScheduleResult EngineDriver::Run() {
+  ScheduleResult res;
+  const MIIInfo mii =
+      opt_.precomputed_mii ? *opt_.precomputed_mii : ComputeMII(original_, m_);
+  res.res_mii = mii.res_mii;
+  res.rec_mii = mii.rec_mii;
+  res.mii = mii.MII();
+
+  order_ = ordering_->Order(original_, m_);
+
+  int consecutive_failures = 0;
+  for (int ii = res.mii; ii <= opt_.max_ii;
+       ii += consecutive_failures > 24 ? std::max(1, ii / 8) : 1) {
+    if (TryII(ii)) {
+      res.ok = true;
+      res.ii = ii;
+      st_.sched->Normalize();
+      res.sc = st_.sched->StageCount();
+      res.stats = instr_.stats();
+      res.stats.restarts = ii - res.mii;
+      // Count communication and memory ops in the final graph.
+      res.stats.comm_ops = 0;
+      res.stats.loadr_ops = 0;
+      res.stats.storer_ops = 0;
+      res.stats.move_ops = 0;
+      res.stats.spill_loads = 0;
+      res.stats.spill_stores = 0;
+      res.mem_ops_per_iter = 0;
+      for (NodeId v = 0; v < st_.g.NumSlots(); ++v) {
+        if (!st_.g.IsAlive(v)) continue;
+        const Node& n = st_.g.node(v);
+        if (IsCommunication(n.op)) {
+          ++res.stats.comm_ops;
+          if (n.op == OpClass::kLoadR) ++res.stats.loadr_ops;
+          if (n.op == OpClass::kStoreR) ++res.stats.storer_ops;
+          if (n.op == OpClass::kMove) ++res.stats.move_ops;
+        }
+        if (IsMemory(n.op)) {
+          ++res.mem_ops_per_iter;
+          if (n.spill) {
+            if (n.op == OpClass::kLoad) ++res.stats.spill_loads;
+            if (n.op == OpClass::kStore) ++res.stats.spill_stores;
+          }
+        }
+      }
+      const int rec_final = RecMII(st_.g, m_.lat);
+      res.bound = ClassifyBound(st_.g, m_, ii, rec_final);
+      res.graph = std::move(st_.g);
+      res.schedule = std::move(*st_.sched);
+      res.overrides = std::move(st_.overrides);
+      return res;
+    }
+    ++consecutive_failures;
+    instr_.IIRestart(ii +
+                     (consecutive_failures > 24 ? std::max(1, ii / 8) : 1));
+  }
+  res.ok = false;
+  res.stats = instr_.stats();
+  return res;
+}
+
+}  // namespace hcrf::core

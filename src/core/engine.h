@@ -1,0 +1,99 @@
+// Engine driver of MIRS_HC: owns the II-escalation loop, the budget
+// accounting of the iterative algorithm, and the force-and-eject
+// backtracking. The heuristics live in the policy layer (policies.h),
+// cross-bank edge rewriting in the communication rewriter (comm_rewrite.h),
+// register-pressure handling in the spill engine (spill.h), and counters /
+// events in the instrumentation layer (instrument.h). The driver is the
+// only layer that mutates the reservation table through placement, so it
+// implements NodePlacer for the others.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/comm_rewrite.h"
+#include "core/instrument.h"
+#include "core/mirs.h"
+#include "core/policies.h"
+#include "core/sched_state.h"
+#include "core/spill.h"
+#include "ddg/ddg.h"
+#include "machine/machine_config.h"
+#include "sched/lifetime.h"
+
+namespace hcrf::core {
+
+/// Budget of the iterative algorithm (the paper's Budget_Ratio): the run
+/// starts with budget_ratio attempts per original node, every inserted
+/// communication/spill node grants budget_ratio more, and each placement
+/// spends one. The total grant is capped: an eject/re-insert churn cycle
+/// would otherwise grant budget faster than scheduling spends it (beyond
+/// the cap the attempt fails and the II is bumped, which is the paper's
+/// escape hatch anyway).
+struct BudgetAccount {
+  double remaining = 0;
+  double granted = 0;
+  double grant_cap = 0;
+
+  void Start(double initial, double cap) {
+    remaining = initial;
+    granted = 0;
+    grant_cap = cap;
+  }
+  /// Returns the amount actually granted (0 once the cap is reached).
+  double Grant(double amount) {
+    if (granted >= grant_cap) return 0;
+    remaining += amount;
+    granted += amount;
+    return amount;
+  }
+  bool exhausted() const { return remaining <= 0; }
+  void Spend(double amount) { remaining -= amount; }
+};
+
+class EngineDriver : public NodePlacer {
+ public:
+  EngineDriver(const DDG& loop, const MachineConfig& m, const MirsOptions& opt,
+               const sched::LatencyOverrides& base_overrides);
+
+  /// Runs the II-escalation loop from MII to opt.max_ii.
+  ScheduleResult Run();
+
+  // NodePlacer (services for the comm rewriter and spill engine).
+  NodeId CreateNode(Node n, double priority) override;
+  bool PlaceNode(NodeId u, int cluster, int src_cluster) override;
+
+ private:
+  bool TryII(int ii);
+
+  void Eject(NodeId victim);
+  void EjectScheduledNode(NodeId v);
+
+  /// Structural cluster constraints (communication and spill copies follow
+  /// the scheduled endpoint they serve); defers to the selector policy for
+  /// unconstrained nodes.
+  int SelectCluster(NodeId u);
+
+  // ---- immutable inputs ------------------------------------------------
+  const DDG& original_;
+  MachineConfig m_;
+  MirsOptions opt_;
+  sched::LatencyOverrides base_overrides_;
+
+  // ---- layers ----------------------------------------------------------
+  SchedState st_;
+  Instrumentation instr_;
+  CommRewriter comm_;
+  std::shared_ptr<const SpillVictimPolicy> spill_policy_;
+  SpillEngine spill_;
+  std::shared_ptr<const NodeOrderPolicy> ordering_;
+  std::unique_ptr<ClusterSelector> selector_;
+  BalancedClusterSelector structural_fallback_;
+
+  // ---- per-run state ---------------------------------------------------
+  std::vector<NodeId> order_;  ///< Ordering, computed once per run.
+  BudgetAccount budget_;
+  int since_spill_check_ = 0;
+};
+
+}  // namespace hcrf::core

@@ -1,35 +1,11 @@
 #include "core/mirs.h"
 
 #include <algorithm>
-#include <cassert>
-#include <cstdio>
-#include <cstdlib>
-#include <limits>
-#include <map>
-#include <memory>
-#include <set>
-#include <utility>
-#include <vector>
 
+#include "core/engine.h"
 #include "ddg/mii.h"
-#include "sched/banks.h"
-#include "sched/mrt.h"
-#include "sched/ordering.h"
-#include "sched/validate.h"
 
 namespace hcrf::core {
-
-using sched::BankId;
-using sched::kSharedBank;
-
-std::string_view ToString(ClusterPolicy p) {
-  switch (p) {
-    case ClusterPolicy::kBalanced: return "balanced";
-    case ClusterPolicy::kRoundRobin: return "round-robin";
-    case ClusterPolicy::kFirstFit: return "first-fit";
-  }
-  return "?";
-}
 
 std::string_view ToString(BoundClass b) {
   switch (b) {
@@ -41,1153 +17,6 @@ std::string_view ToString(BoundClass b) {
   return "?";
 }
 
-namespace {
-
-constexpr int kNoCycle = std::numeric_limits<int>::min();
-
-/// Memory "array" ids used for spill slots; high enough to never collide
-/// with workload arrays.
-constexpr std::int32_t kSpillArrayBase = 1 << 20;
-
-class Scheduler {
- public:
-  Scheduler(const DDG& loop, const MachineConfig& m, const MirsOptions& opt,
-            const sched::LatencyOverrides& base_overrides)
-      : original_(loop), m_(m), opt_(opt), base_overrides_(base_overrides) {}
-
-  ScheduleResult Run();
-
- private:
-  // ---- one-II attempt state -------------------------------------------
-  struct CommFix {
-    Edge original;    ///< The removed direct edge.
-    Edge final_edge;  ///< The chain edge that replaced it at the consumer.
-  };
-
-  bool TryII(int ii);
-
-  // Scheduling of a single node (window scan + force-and-eject).
-  bool ScheduleNode(NodeId u, int cluster, int src_cluster);
-  // Inserts and schedules communication chains for mismatched flow edges
-  // between `u` (about to be placed on `cluster`) and its scheduled
-  // neighbours. Returns false if a chain could not be scheduled
-  // (non-iterative mode only).
-  bool EnsureCommunication(NodeId u, int cluster);
-  bool FixEdge(const Edge& e, BankId def_bank, BankId read_bank);
-  bool RedirectEdge(
-      const Edge& e, NodeId last, int final_distance,
-      std::vector<std::pair<NodeId, std::pair<int, int>>>& to_schedule,
-      bool consumer_scheduled);
-  bool ReuseFeasible(NodeId candidate, const Edge& consumer_edge) const;
-  NodeId FindReusable(NodeId producer, OpClass op, int cluster, int distance,
-                      const Edge& consumer_edge) const;
-
-  void Eject(NodeId victim);
-  void EjectScheduledNode(NodeId v);
-  void UndoFixesTouching(NodeId v);
-  void GarbageCollectComm();
-  void Unplace(NodeId v);
-
-  // Register pressure / spill.
-  void CheckAndInsertSpill();
-  void SinkReloads();
-  bool SpillFromBank(BankId bank, const sched::PressureReport& pr);
-  bool SpillInvariantFromBank(BankId bank);
-
-  // Cluster selection.
-  int SelectCluster(NodeId u);
-  int BalancedCluster(NodeId u);
-
-  // Dependence windows.
-  struct Window {
-    int early = kNoCycle;  ///< max over scheduled predecessors.
-    int late = kNoCycle;   ///< min over scheduled successors (kNoCycle=none).
-    bool has_pred = false;
-    bool has_succ = false;
-  };
-  Window ComputeWindow(NodeId u) const;
-
-  int LatOf(const Edge& e) const {
-    return sched::DependenceLatency(g_, e, m_.lat, overrides_);
-  }
-
-  NodeId PickHighestPriority() const;
-  NodeId NewNode(Node n, double priority);
-  void MarkUnscheduled(NodeId v);
-  void MarkScheduled(NodeId v);
-
-  // ---- immutable inputs ------------------------------------------------
-  const DDG& original_;
-  MachineConfig m_;
-  MirsOptions opt_;
-  sched::LatencyOverrides base_overrides_;
-
-  // ---- per-attempt state -----------------------------------------------
-  DDG g_;
-  sched::LatencyOverrides overrides_;
-  std::unique_ptr<sched::ModuloReservationTable> mrt_;
-  std::unique_ptr<sched::PartialSchedule> sched_;
-  std::vector<double> priority_;
-  std::vector<char> unscheduled_;
-  int num_unscheduled_ = 0;
-  double budget_ = 0;
-  double budget_granted_ = 0;
-  std::vector<CommFix> fixes_;
-  std::vector<int> prev_cycle_;  ///< Last placement cycle (kNoCycle = never).
-  std::set<NodeId> spilled_;
-  std::set<std::pair<std::int32_t, BankId>> spilled_invariants_;
-  std::int32_t next_spill_array_ = kSpillArrayBase;
-  int round_robin_ = 0;
-  int since_spill_check_ = 0;
-  bool churning_ = false;
-  std::vector<long> eject_count_;
-
-  // ---- accumulated over the whole run ------------------------------------
-  ScheduleStats stats_;
-};
-
-// ---------------------------------------------------------------------------
-// Small state helpers
-// ---------------------------------------------------------------------------
-
-NodeId Scheduler::NewNode(Node n, double priority) {
-  n.inserted = true;
-  const NodeId id = g_.AddNode(std::move(n));
-  if (static_cast<size_t>(id) >= priority_.size()) {
-    priority_.resize(static_cast<size_t>(id) + 1, 0.0);
-    unscheduled_.resize(static_cast<size_t>(id) + 1, 0);
-    prev_cycle_.resize(static_cast<size_t>(id) + 1, kNoCycle);
-  }
-  priority_[static_cast<size_t>(id)] = priority;
-  unscheduled_[static_cast<size_t>(id)] = 1;
-  ++num_unscheduled_;
-  // The paper grants Budget_Ratio extra attempts per inserted node. An
-  // eject/re-insert churn cycle would grant budget faster than scheduling
-  // spends it, so the total grant is capped (beyond it the attempt fails
-  // and the II is bumped, which is the paper's escape hatch anyway).
-  const double grant_cap =
-      8.0 * opt_.budget_ratio * std::max(4, original_.NumNodes());
-  if (budget_granted_ < grant_cap) {
-    budget_ += opt_.budget_ratio;
-    budget_granted_ += opt_.budget_ratio;
-  }
-  return id;
-}
-
-void Scheduler::MarkUnscheduled(NodeId v) {
-  if (!unscheduled_[static_cast<size_t>(v)]) {
-    unscheduled_[static_cast<size_t>(v)] = 1;
-    ++num_unscheduled_;
-  }
-}
-
-void Scheduler::MarkScheduled(NodeId v) {
-  if (unscheduled_[static_cast<size_t>(v)]) {
-    unscheduled_[static_cast<size_t>(v)] = 0;
-    --num_unscheduled_;
-  }
-}
-
-NodeId Scheduler::PickHighestPriority() const {
-  NodeId best = kNoNode;
-  for (NodeId v = 0; v < g_.NumSlots(); ++v) {
-    if (!g_.IsAlive(v) || !unscheduled_[static_cast<size_t>(v)]) continue;
-    if (best == kNoNode ||
-        priority_[static_cast<size_t>(v)] > priority_[static_cast<size_t>(best)]) {
-      best = v;
-    }
-  }
-  return best;
-}
-
-void Scheduler::Unplace(NodeId v) {
-  if (sched_->IsScheduled(v)) {
-    prev_cycle_[static_cast<size_t>(v)] = sched_->CycleOf(v);
-    mrt_->Remove(v);
-    sched_->Unassign(v);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Dependence window
-// ---------------------------------------------------------------------------
-
-Scheduler::Window Scheduler::ComputeWindow(NodeId u) const {
-  Window w;
-  const int ii = sched_->ii();
-  for (const Edge& e : g_.InEdges(u)) {
-    if (!sched_->IsScheduled(e.src)) continue;
-    const int es = sched_->CycleOf(e.src) + LatOf(e) - e.distance * ii;
-    if (!w.has_pred || es > w.early) w.early = es;
-    w.has_pred = true;
-  }
-  for (const Edge& e : g_.OutEdges(u)) {
-    if (!sched_->IsScheduled(e.dst)) continue;
-    const int ls = sched_->CycleOf(e.dst) - LatOf(e) + e.distance * ii;
-    if (!w.has_succ || ls < w.late) w.late = ls;
-    w.has_succ = true;
-  }
-  if (!w.has_pred) w.early = 0;
-  return w;
-}
-
-// ---------------------------------------------------------------------------
-// Node scheduling with force-and-eject
-// ---------------------------------------------------------------------------
-
-bool Scheduler::ScheduleNode(NodeId u, int cluster, int src_cluster) {
-  if (budget_ <= 0) return false;
-  const int ii = sched_->ii();
-  const auto needs =
-      sched::ResourceNeeds(g_.node(u).op, cluster, src_cluster, m_);
-  // Structurally impossible placements (e.g. Move with no buses).
-  for (const auto& need : needs) {
-    if (mrt_->Capacity(need.kind, need.cluster) <= 0) return false;
-  }
-
-  const Window w = ComputeWindow(u);
-  // Scan direction per HRMS: top-down when predecessors anchor the node,
-  // bottom-up when only successors do. Reload-style copies (spill loads,
-  // LoadR) are also placed as late as possible even when both sides are
-  // anchored: their input lives in memory or the capacious shared bank, so
-  // a late placement minimizes the register lifetime of their value.
-  const OpClass op_u = g_.node(u).op;
-  const bool late_biased =
-      op_u == OpClass::kLoadR || (g_.node(u).spill && op_u == OpClass::kLoad);
-  int found = kNoCycle;
-  if (w.has_succ && (!w.has_pred || late_biased)) {
-    const int hi = w.late;
-    const int lo = w.has_pred ? std::max(w.early, w.late - ii + 1)
-                              : w.late - ii + 1;
-    for (int t = hi; t >= lo; --t) {
-      if (mrt_->CanPlace(needs, t)) {
-        found = t;
-        break;
-      }
-    }
-  } else {
-    const int hi =
-        w.has_succ ? std::min(w.late, w.early + ii - 1) : w.early + ii - 1;
-    for (int t = w.early; t <= hi; ++t) {
-      if (mrt_->CanPlace(needs, t)) {
-        found = t;
-        break;
-      }
-    }
-  }
-
-  if (found == kNoCycle) {
-    if (!opt_.iterative) return false;
-    // Force placement. Following iterative modulo scheduling, the forced
-    // cycle advances past the previous placement of the node so repeated
-    // forcing makes progress.
-    // The forced cycle marches monotonically from the window edge. It
-    // normally stays inside the dependence window, but a node that keeps
-    // being ejected is allowed to land outside it: the violated
-    // predecessors/successors are ejected too, which is the paper's escape
-    // hatch from zero-slack chains on saturated ports.
-    const bool desperate =
-        static_cast<size_t>(u) < eject_count_.size() &&
-        eject_count_[static_cast<size_t>(u)] > 12;
-    int t;
-    if (w.has_succ && (!w.has_pred || late_biased)) {
-      t = prev_cycle_[static_cast<size_t>(u)] == kNoCycle
-              ? w.late
-              : std::min(w.late, prev_cycle_[static_cast<size_t>(u)] - 1);
-      if (w.has_pred && !desperate) t = std::max(t, w.early);
-    } else {
-      t = prev_cycle_[static_cast<size_t>(u)] == kNoCycle
-              ? w.early
-              : std::max(w.early, prev_cycle_[static_cast<size_t>(u)] + 1);
-    }
-    // Eject resource conflicts.
-    for (NodeId victim : mrt_->ConflictingNodes(needs, t)) {
-      Eject(victim);
-    }
-    if (!mrt_->CanPlace(needs, t)) {
-      // A comm-node ejection rerouted a chain and refilled the slot; give
-      // up on this attempt (budget will drive an II bump).
-      return false;
-    }
-    mrt_->Place(u, needs, t);
-    sched_->Assign(u, {t, cluster, src_cluster, true});
-    MarkScheduled(u);
-    prev_cycle_[static_cast<size_t>(u)] = t;
-    // Eject scheduled neighbours whose dependences the forced placement
-    // violates.
-    std::vector<NodeId> violated;
-    for (const Edge& e : g_.InEdges(u)) {
-      if (!sched_->IsScheduled(e.src) || e.src == u) continue;
-      if (sched_->CycleOf(e.src) + LatOf(e) > t + e.distance * ii) {
-        violated.push_back(e.src);
-      }
-    }
-    for (const Edge& e : g_.OutEdges(u)) {
-      if (!sched_->IsScheduled(e.dst) || e.dst == u) continue;
-      if (t + LatOf(e) > sched_->CycleOf(e.dst) + e.distance * ii) {
-        violated.push_back(e.dst);
-      }
-    }
-    for (NodeId v : violated) Eject(v);
-  } else {
-    mrt_->Place(u, needs, found);
-    sched_->Assign(u, {found, cluster, src_cluster, true});
-    MarkScheduled(u);
-    prev_cycle_[static_cast<size_t>(u)] = found;
-  }
-
-  budget_ -= 1.0;
-  ++stats_.attempts;
-  return true;
-}
-
-// ---------------------------------------------------------------------------
-// Ejection
-// ---------------------------------------------------------------------------
-
-void Scheduler::Eject(NodeId victim) {
-  if (!g_.IsAlive(victim)) return;
-  const Node& n = g_.node(victim);
-  if (IsCommunication(n.op) && n.inserted && !n.spill) {
-    // Ejecting a communication node means redoing the consumer's
-    // communication: eject every consumer whose chain runs through it.
-    std::vector<NodeId> consumers;
-    for (const CommFix& f : fixes_) {
-      // Walk the chain backwards from the consumer-side edge.
-      NodeId c = f.final_edge.src;
-      bool through = false;
-      while (true) {
-        if (c == victim) {
-          through = true;
-          break;
-        }
-        const Node& cn = g_.node(c);
-        if (!(IsCommunication(cn.op) && cn.inserted && !cn.spill)) break;
-        const auto producers = g_.FlowProducers(c);
-        if (producers.empty()) break;
-        c = producers.front().src;
-      }
-      if (through) consumers.push_back(f.original.dst);
-    }
-    for (NodeId c : consumers) Eject(c);
-    return;
-  }
-  EjectScheduledNode(victim);
-}
-
-void Scheduler::EjectScheduledNode(NodeId v) {
-  if (!sched_->IsScheduled(v)) return;
-  Unplace(v);
-  MarkUnscheduled(v);
-  ++stats_.ejections;
-  if (static_cast<size_t>(v) < eject_count_.size()) {
-    if (++eject_count_[static_cast<size_t>(v)] > 60) churning_ = true;
-    if (eject_count_[static_cast<size_t>(v)] == 30 &&
-        std::getenv("HCRF_DEBUG") != nullptr) {
-      const Window w = ComputeWindow(v);
-      std::fprintf(stderr,
-                   "   [30th eject] node %d (%s%s) cluster %d prev %d "
-                   "window [%d,%d] pred=%d succ=%d II=%d\n",
-                   v, ToString(g_.node(v).op).data(),
-                   g_.node(v).spill ? ",spill" : "", sched_->Of(v).cluster,
-                   prev_cycle_[static_cast<size_t>(v)], w.early, w.late,
-                   w.has_pred, w.has_succ, sched_->ii());
-    }
-  }
-  UndoFixesTouching(v);
-  GarbageCollectComm();
-}
-
-void Scheduler::UndoFixesTouching(NodeId v) {
-  for (size_t i = fixes_.size(); i-- > 0;) {
-    const CommFix& f = fixes_[i];
-    if (f.original.src != v && f.original.dst != v) continue;
-    // Remove the chain edge at the consumer and restore the direct edge.
-    g_.RemoveEdge(f.final_edge.src, f.final_edge.dst, f.final_edge.kind,
-                  f.final_edge.distance);
-    if ((!g_.IsAlive(f.original.src) || !g_.IsAlive(f.original.dst)) &&
-        std::getenv("HCRF_DEBUG") != nullptr) {
-      std::fprintf(stderr,
-                   "[hcrf BUG] undo fix with dead endpoint: orig %d(%d)->%d(%d)"
-                   " final %d->%d\n",
-                   f.original.src, (int)g_.IsAlive(f.original.src),
-                   f.original.dst, (int)g_.IsAlive(f.original.dst),
-                   f.final_edge.src, f.final_edge.dst);
-    }
-    g_.AddEdge(f.original.src, f.original.dst, f.original.kind,
-               f.original.distance);
-    fixes_.erase(fixes_.begin() + static_cast<long>(i));
-  }
-}
-
-void Scheduler::GarbageCollectComm() {
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (NodeId v = 0; v < g_.NumSlots(); ++v) {
-      if (!g_.IsAlive(v)) continue;
-      const Node& n = g_.node(v);
-      if (!(IsCommunication(n.op) && n.inserted && !n.spill)) continue;
-      if (!g_.FlowConsumers(v).empty()) continue;
-      Unplace(v);
-      MarkScheduled(v);  // drop from the unscheduled list before removal
-      g_.RemoveNode(v);
-      changed = true;
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Communication insertion
-// ---------------------------------------------------------------------------
-
-// Reuse requires the candidate's placement to be compatible with the new
-// consumer: when the consumer is already scheduled, the candidate must be
-// able to feed it in the consumer's own iteration (the final chain edge
-// always has distance 0).
-bool Scheduler::ReuseFeasible(NodeId candidate, const Edge& consumer_edge) const {
-  if (!sched_->IsScheduled(consumer_edge.dst)) return true;
-  const int lat = overrides_.For(candidate, m_.lat.Of(g_.node(candidate).op));
-  return sched_->CycleOf(candidate) + lat <= sched_->CycleOf(consumer_edge.dst);
-}
-
-// Finds a scheduled chain node of kind `op` on `cluster` fed by `producer`
-// over an edge with the given distance.
-NodeId Scheduler::FindReusable(NodeId producer, OpClass op, int cluster,
-                               int distance, const Edge& consumer_edge) const {
-  for (const Edge& e : g_.FlowConsumers(producer)) {
-    if (e.distance != distance) continue;
-    const Node& n = g_.node(e.dst);
-    if (n.op == op && n.inserted && !n.spill && sched_->IsScheduled(e.dst) &&
-        sched_->ClusterOf(e.dst) == cluster &&
-        ReuseFeasible(e.dst, consumer_edge)) {
-      return e.dst;
-    }
-  }
-  return kNoNode;
-}
-
-bool Scheduler::FixEdge(const Edge& e, BankId def_bank, BankId read_bank) {
-  const RFConfig& rf = m_.rf;
-  const bool consumer_scheduled = sched_->IsScheduled(e.dst);
-
-  // Assemble the chain: reuse scheduled chain nodes where legal, create the
-  // rest (unscheduled for now). Loop-carried distances ride the hop into
-  // the capacious bank (shared bank for hierarchical organizations, the
-  // producer's bank for bus moves); the final edge to the consumer is
-  // always distance 0, so the consumer-side copy lives only briefly.
-  NodeId last = e.src;
-  std::vector<std::pair<NodeId, std::pair<int, int>>> to_schedule;  // node -> (cluster, src_cluster)
-  if (rf.IsHierarchical()) {
-    if (def_bank != kSharedBank) {
-      NodeId s = FindReusable(last, OpClass::kStoreR, def_bank, 0, e);
-      if (s == kNoNode) {
-        Node n;
-        n.op = OpClass::kStoreR;
-        s = NewNode(std::move(n), priority_[static_cast<size_t>(last)] - 0.1);
-        g_.AddFlow(last, s, 0);
-        to_schedule.push_back({s, {def_bank, 0}});
-      }
-      last = s;
-    }
-    if (read_bank != kSharedBank) {
-      // The shared-bank copy carries the loop distance; the LoadR's value
-      // is read in the consumer's own iteration.
-      NodeId l = FindReusable(last, OpClass::kLoadR, read_bank, e.distance, e);
-      if (l == kNoNode) {
-        Node n;
-        n.op = OpClass::kLoadR;
-        l = NewNode(std::move(n), priority_[static_cast<size_t>(e.src)] - 0.2);
-        g_.AddFlow(last, l, e.distance);
-        to_schedule.push_back({l, {read_bank, 0}});
-      }
-      last = l;
-      return RedirectEdge(e, last, 0, to_schedule, consumer_scheduled);
-    }
-    // The consumer reads the shared bank directly (Store): the carried
-    // distance stays on the final edge; the shared bank absorbs it.
-    return RedirectEdge(e, last, e.distance, to_schedule, consumer_scheduled);
-  }
-
-  // Pure clustered: a Move over the buses; the producer's bank holds the
-  // value across the carried distance.
-  NodeId mv = FindReusable(e.src, OpClass::kMove, read_bank, e.distance, e);
-  if (mv == kNoNode) {
-    Node n;
-    n.op = OpClass::kMove;
-    mv = NewNode(std::move(n), priority_[static_cast<size_t>(e.src)] - 0.1);
-    g_.AddFlow(e.src, mv, e.distance);
-    to_schedule.push_back({mv, {read_bank, def_bank}});
-  }
-  last = mv;
-  return RedirectEdge(e, last, 0, to_schedule, consumer_scheduled);
-}
-
-bool Scheduler::RedirectEdge(
-    const Edge& e, NodeId last, int final_distance,
-    std::vector<std::pair<NodeId, std::pair<int, int>>>& to_schedule,
-    bool consumer_scheduled) {
-  // Redirect the consumer edge through the chain and record the fix before
-  // scheduling: ejection cascades triggered while placing chain nodes must
-  // be able to unwind it.
-  const bool removed = g_.RemoveEdge(e.src, e.dst, e.kind, e.distance);
-  assert(removed);
-  (void)removed;
-  g_.AddEdge(last, e.dst, DepKind::kFlow, final_distance);
-  if (std::getenv("HCRF_DEBUG") != nullptr) {
-    auto is_comm = [&](NodeId n) {
-      const Node& nn = g_.node(n);
-      return IsCommunication(nn.op) && nn.inserted && !nn.spill;
-    };
-    if (is_comm(e.src) || is_comm(e.dst)) {
-      std::fprintf(stderr,
-                   "[hcrf BUG?] fix with comm endpoint: %d(%s)->%d(%s)\n",
-                   e.src, ToString(g_.node(e.src).op).data(), e.dst,
-                   ToString(g_.node(e.dst).op).data());
-    }
-  }
-  fixes_.push_back(CommFix{e, Edge{last, e.dst, DepKind::kFlow, final_distance}});
-
-  // Schedule the new chain nodes. When the consumer anchors the chain
-  // (consumer-side fix), place the consumer-adjacent node first so each
-  // node sees its constraint; otherwise producer-adjacent first.
-  if (consumer_scheduled) {
-    std::reverse(to_schedule.begin(), to_schedule.end());
-  }
-  for (const auto& [node, where] : to_schedule) {
-    if (!g_.IsAlive(node)) return true;  // chain dissolved by a cascade
-    if (sched_->IsScheduled(node)) continue;
-    if (!ScheduleNode(node, where.first, where.second)) return false;
-  }
-  ++stats_.attempts;  // communication work is part of the effort budget
-  return true;
-}
-
-bool Scheduler::EnsureCommunication(NodeId u, int cluster) {
-  const RFConfig& rf = m_.rf;
-  if (rf.IsMonolithic()) return true;
-  // NOTE: FixEdge mutates the graph (node vector may reallocate), so this
-  // function must not hold Node references across calls; ops are copied.
-  const OpClass op_u = g_.node(u).op;
-
-  // Operand side: producers already scheduled.
-  if (op_u != OpClass::kMove) {  // moves read the producer bank directly
-    for (const Edge& e : std::vector<Edge>(g_.InEdges(u))) {
-      if (e.kind != DepKind::kFlow || !sched_->IsScheduled(e.src)) continue;
-      const BankId def =
-          sched::DefBank(g_.node(e.src).op, sched_->ClusterOf(e.src), rf);
-      const BankId read = sched::ReadBank(op_u, cluster, rf);
-      if (def == read) continue;
-      if (!FixEdge(e, def, read)) return false;
-    }
-  }
-
-  // Consumer side: consumers already scheduled.
-  if (!DefinesValue(op_u)) return true;
-  const BankId def = sched::DefBank(op_u, cluster, rf);
-  for (const Edge& e : std::vector<Edge>(g_.OutEdges(u))) {
-    if (e.kind != DepKind::kFlow || !sched_->IsScheduled(e.dst)) continue;
-    const OpClass op_c = g_.node(e.dst).op;
-    BankId read;
-    if (op_c == OpClass::kMove) {
-      // The move will read whatever bank we define in; it only matters that
-      // it is a cluster bank (moves cannot read the shared bank).
-      if (def != kSharedBank) continue;
-      read = sched_->ClusterOf(e.dst);
-    } else {
-      read = sched::ReadBank(op_c, sched_->ClusterOf(e.dst), rf);
-    }
-    if (def == read) continue;
-    if (!FixEdge(e, def, read)) return false;
-  }
-  return true;
-}
-
-// ---------------------------------------------------------------------------
-// Cluster selection
-// ---------------------------------------------------------------------------
-
-int Scheduler::SelectCluster(NodeId u) {
-  const RFConfig& rf = m_.rf;
-  if (!rf.HasClusters()) return 0;
-  const int x = rf.clusters;
-  const Node& n = g_.node(u);
-
-  // Communication and spill copies have their cluster dictated by the
-  // scheduled endpoint they serve.
-  if (n.op == OpClass::kLoadR) {
-    for (const Edge& e : g_.FlowConsumers(u)) {
-      if (sched_->IsScheduled(e.dst)) {
-        const BankId b = sched::ReadBank(g_.node(e.dst).op,
-                                         sched_->ClusterOf(e.dst), rf);
-        if (b != kSharedBank) return b;
-      }
-    }
-    return BalancedCluster(u);
-  }
-  if (n.op == OpClass::kStoreR) {
-    for (const Edge& e : g_.FlowProducers(u)) {
-      if (sched_->IsScheduled(e.src)) {
-        const BankId b =
-            sched::DefBank(g_.node(e.src).op, sched_->ClusterOf(e.src), rf);
-        if (b != kSharedBank) return b;
-      }
-    }
-    return BalancedCluster(u);
-  }
-  if (rf.IsPureClustered() && n.spill && IsMemory(n.op)) {
-    // Spill stores read the producer's cluster; spill loads feed consumers.
-    if (n.op == OpClass::kStore) {
-      for (const Edge& e : g_.FlowProducers(u)) {
-        if (sched_->IsScheduled(e.src)) return sched_->ClusterOf(e.src);
-      }
-    } else {
-      for (const Edge& e : g_.FlowConsumers(u)) {
-        if (sched_->IsScheduled(e.dst)) return sched_->ClusterOf(e.dst);
-      }
-    }
-    return BalancedCluster(u);
-  }
-
-  switch (opt_.cluster_policy) {
-    case ClusterPolicy::kRoundRobin:
-      return (round_robin_++) % x;
-    case ClusterPolicy::kFirstFit: {
-      for (int c = 0; c < x; ++c) {
-        const auto needs = sched::ResourceNeeds(n.op, c, 0, m_);
-        const Window w = ComputeWindow(u);
-        const int hi = w.has_succ && !w.has_pred ? w.late : w.early + sched_->ii() - 1;
-        const int lo = w.has_succ && !w.has_pred ? w.late - sched_->ii() + 1 : w.early;
-        for (int t = lo; t <= hi; ++t) {
-          if (mrt_->CanPlace(needs, t)) return c;
-        }
-      }
-      return 0;
-    }
-    case ClusterPolicy::kBalanced:
-      return BalancedCluster(u);
-  }
-  return 0;
-}
-
-int Scheduler::BalancedCluster(NodeId u) {
-  const RFConfig& rf = m_.rf;
-  const int x = rf.clusters;
-  const int ii = sched_->ii();
-  const Node& n = g_.node(u);
-  const Window w = ComputeWindow(u);
-
-  // Per-cluster usage of FUs (cheap balance proxy) and def counts
-  // (register-pressure proxy).
-  std::vector<int> fu_use(static_cast<size_t>(x), 0);
-  std::vector<int> defs(static_cast<size_t>(x), 0);
-  for (NodeId v = 0; v < g_.NumSlots(); ++v) {
-    if (!g_.IsAlive(v) || !sched_->IsScheduled(v)) continue;
-    const int c = sched_->ClusterOf(v);
-    if (c < 0 || c >= x) continue;
-    if (IsCompute(g_.node(v).op)) ++fu_use[static_cast<size_t>(c)];
-    const Node& nv = g_.node(v);
-    if (DefinesValue(nv.op) &&
-        sched::DefBank(nv.op, c, rf) == static_cast<BankId>(c)) {
-      ++defs[static_cast<size_t>(c)];
-    }
-  }
-
-  double best_cost = std::numeric_limits<double>::max();
-  int best = 0;
-  for (int c = 0; c < x; ++c) {
-    // Communication the placement would require.
-    int comm = 0;
-    for (const Edge& e : g_.InEdges(u)) {
-      if (e.kind != DepKind::kFlow || !sched_->IsScheduled(e.src)) continue;
-      const BankId def =
-          sched::DefBank(g_.node(e.src).op, sched_->ClusterOf(e.src), rf);
-      const BankId read = sched::ReadBank(n.op, c, rf);
-      if (def != read) ++comm;
-    }
-    if (DefinesValue(n.op)) {
-      const BankId def = sched::DefBank(n.op, c, rf);
-      for (const Edge& e : g_.OutEdges(u)) {
-        if (e.kind != DepKind::kFlow || !sched_->IsScheduled(e.dst)) continue;
-        const Node& nc = g_.node(e.dst);
-        if (nc.op == OpClass::kMove) continue;
-        const BankId read =
-            sched::ReadBank(nc.op, sched_->ClusterOf(e.dst), rf);
-        if (def != read) ++comm;
-      }
-    }
-    // Slot availability inside the dependence window.
-    bool free_slot = false;
-    {
-      const auto needs = sched::ResourceNeeds(n.op, c, 0, m_);
-      const bool bottom_up = w.has_succ && !w.has_pred;
-      const int lo = bottom_up ? w.late - ii + 1 : w.early;
-      const int hi = bottom_up
-                         ? w.late
-                         : (w.has_succ ? std::min(w.late, w.early + ii - 1)
-                                       : w.early + ii - 1);
-      for (int t = lo; t <= hi; ++t) {
-        if (mrt_->CanPlace(needs, t)) {
-          free_slot = true;
-          break;
-        }
-      }
-    }
-    const double fu_cap = static_cast<double>(m_.FusPerCluster()) * ii;
-    const double reg_cap =
-        rf.UnboundedClusterRegs() ? 1e9 : static_cast<double>(rf.cluster_regs);
-    // A missing slot almost certainly means forcing and ejection, so it
-    // outweighs a couple of communication operations; communication in turn
-    // outweighs the soft balancing terms.
-    const double cost = 3.0 * comm + 8.0 * (free_slot ? 0 : 1) +
-                        fu_use[static_cast<size_t>(c)] / fu_cap +
-                        defs[static_cast<size_t>(c)] / reg_cap;
-    if (cost < best_cost) {
-      best_cost = cost;
-      best = c;
-    }
-  }
-  return best;
-}
-
-// ---------------------------------------------------------------------------
-// Spilling
-// ---------------------------------------------------------------------------
-
-// Re-places every reload-style copy (spill loads, LoadR) at the latest
-// feasible slot inside its dependence window. Ejection churn during the
-// iterative process can strand a reload far from the consumers it feeds,
-// which recreates exactly the long register lifetime the spill was meant to
-// remove; sinking is cheap and always legal (the old slot stays feasible).
-void Scheduler::SinkReloads() {
-  const int ii = sched_->ii();
-  for (NodeId v = 0; v < g_.NumSlots(); ++v) {
-    if (!g_.IsAlive(v) || !sched_->IsScheduled(v)) continue;
-    const Node& n = g_.node(v);
-    const bool reload =
-        n.op == OpClass::kLoadR || (n.spill && n.op == OpClass::kLoad);
-    if (!reload) continue;
-    const sched::Placement old = sched_->Of(v);
-    const auto needs =
-        sched::ResourceNeeds(n.op, old.cluster, old.src_cluster, m_);
-    mrt_->Remove(v);
-    sched_->Unassign(v);
-    const Window w = ComputeWindow(v);
-    int t = old.cycle;
-    if (w.has_succ) {
-      const int lo = w.has_pred ? std::max(w.early, w.late - ii + 1)
-                                : w.late - ii + 1;
-      for (int cand = w.late; cand >= lo; --cand) {
-        if (mrt_->CanPlace(needs, cand)) {
-          t = cand;
-          break;
-        }
-      }
-    }
-    if (!mrt_->CanPlace(needs, t)) t = old.cycle;
-    mrt_->Place(v, needs, t);
-    sched_->Assign(v, {t, old.cluster, old.src_cluster, true});
-  }
-}
-
-void Scheduler::CheckAndInsertSpill() {
-  const RFConfig& rf = m_.rf;
-  const bool cluster_bounded = rf.HasClusters() && !rf.UnboundedClusterRegs();
-  const bool shared_bounded = rf.HasSharedBank() && !rf.UnboundedSharedRegs();
-  if (!cluster_bounded && !shared_bounded) return;
-
-  const sched::PressureReport pr =
-      sched::ComputePressure(g_, *sched_, m_, overrides_);
-
-  if (cluster_bounded) {
-    for (int c = 0; c < rf.clusters; ++c) {
-      if (pr.cluster_maxlive[static_cast<size_t>(c)] >
-          sched::BankCapacity(c, rf)) {
-        if (!SpillFromBank(c, pr)) SpillInvariantFromBank(c);
-      }
-    }
-  }
-  if (shared_bounded &&
-      pr.shared_maxlive > sched::BankCapacity(kSharedBank, rf)) {
-    if (!SpillFromBank(kSharedBank, pr)) SpillInvariantFromBank(kSharedBank);
-  }
-}
-
-bool Scheduler::SpillFromBank(BankId bank, const sched::PressureReport& pr) {
-  const RFConfig& rf = m_.rf;
-  // Spill destination: cluster banks of hierarchical organizations spill
-  // into the shared bank (StoreR/LoadR, no memory traffic); everything else
-  // spills to memory.
-  const bool to_shared = rf.IsHierarchical() && bank != kSharedBank;
-
-  const int min_len =
-      to_shared ? m_.lat.storer + m_.lat.loadr + 2
-                : 2 * (m_.lat.store + m_.lat.load_hit + 2);
-
-  const sched::ValueLifetime* best = nullptr;
-  double best_score = 0.0;
-  for (const sched::ValueLifetime& v : pr.values) {
-    if (v.bank != bank || v.uses < 1 || v.Length() <= min_len) continue;
-    if (spilled_.contains(v.def)) continue;
-    const Node& nd = g_.node(v.def);
-    // Never spill a communication chain's value: chains are owned by the
-    // fix records and are re-routed by ejection, not by the spill engine
-    // (rewiring a chain edge would orphan its fix record).
-    if (IsCommunication(nd.op) && nd.inserted && !nd.spill) continue;
-    // Never spill a spill copy of the same level again.
-    if (nd.spill && to_shared && nd.op == OpClass::kLoadR) continue;
-    if (nd.spill && !to_shared && nd.op == OpClass::kLoad) continue;
-    const double score = static_cast<double>(v.Length()) / (v.uses + 1);
-    if (best == nullptr || score > best_score) {
-      best = &v;
-      best_score = score;
-    }
-  }
-  if (best == nullptr) return false;
-
-  const NodeId def = best->def;
-  spilled_.insert(def);
-
-  // Consumers to reroute: every flow consumer except the earliest
-  // scheduled one (keeping one direct use preserves the short head of the
-  // lifetime) -- unless even that earliest read is far away, in which case
-  // everything goes through the reload so the spill actually pays off.
-  std::vector<Edge> consumers;
-  Edge keep{kNoNode, kNoNode, DepKind::kFlow, 0};
-  int keep_time = std::numeric_limits<int>::max();
-  for (const Edge& e : g_.FlowConsumers(def)) {
-    // Chain nodes stay wired to the value's home; only original and spill
-    // consumers are re-routed through the reload (see candidate filter).
-    const Node& nc = g_.node(e.dst);
-    if (IsCommunication(nc.op) && nc.inserted && !nc.spill) continue;
-    consumers.push_back(e);
-    if (sched_->IsScheduled(e.dst)) {
-      const int read = sched_->CycleOf(e.dst) + e.distance * sched_->ii();
-      if (read < keep_time) {
-        keep_time = read;
-        keep = e;
-      }
-    }
-  }
-  if (keep.src != kNoNode &&
-      (consumers.size() <= 1 || keep_time - best->start > 2 * min_len)) {
-    // A single (or uniformly distant) consumer still benefits: split the
-    // whole lifetime.
-    keep = Edge{kNoNode, kNoNode, DepKind::kFlow, 0};
-  }
-
-  const double base_prio = priority_[static_cast<size_t>(def)];
-  // Reloads must schedule *after* every consumer they feed, so their
-  // bottom-up placement is anchored by the consumers' slots; otherwise the
-  // reload lands early and recreates the long lifetime it was meant to cut.
-  double reload_prio = base_prio - 0.6;
-  for (const Edge& e : consumers) {
-    reload_prio =
-        std::min(reload_prio, priority_[static_cast<size_t>(e.dst)] - 0.1);
-  }
-  // One store-side copy; one reload per distinct loop-carried distance
-  // among the rerouted consumers. The carried distance rides the hop into
-  // the spill home (shared bank or memory), so the post-reload register
-  // lifetime is short -- this is what makes spilling effective for the
-  // long cross-iteration lifetimes of software-pipelined loops.
-  NodeId s;
-  if (to_shared) {
-    Node ns;
-    ns.op = OpClass::kStoreR;
-    ns.spill = true;
-    s = NewNode(std::move(ns), base_prio - 0.3);
-    g_.AddFlow(def, s, 0);
-    ++stats_.storer_ops;
-  } else {
-    Node ns;
-    ns.op = OpClass::kStore;
-    ns.spill = true;
-    ns.mem = MemRef{next_spill_array_, 0, 8};
-    s = NewNode(std::move(ns), base_prio - 0.3);
-    g_.AddFlow(def, s, 0);
-    ++stats_.spill_stores;
-  }
-
-  std::map<int, NodeId> reload_by_distance;
-  auto reload_for = [&](int distance) {
-    auto it = reload_by_distance.find(distance);
-    if (it != reload_by_distance.end()) return it->second;
-    NodeId l;
-    if (to_shared) {
-      Node nl;
-      nl.op = OpClass::kLoadR;
-      nl.spill = true;
-      l = NewNode(std::move(nl), reload_prio);
-      g_.AddFlow(s, l, distance);
-      ++stats_.loadr_ops;
-    } else {
-      Node nl;
-      nl.op = OpClass::kLoad;
-      nl.spill = true;
-      nl.mem = MemRef{next_spill_array_, 0, 8};
-      l = NewNode(std::move(nl), reload_prio);
-      g_.AddEdge(s, l, DepKind::kMem, distance);
-      ++stats_.spill_loads;
-    }
-    reload_by_distance.emplace(distance, l);
-    return l;
-  };
-
-  for (const Edge& e : consumers) {
-    if (e.src == keep.src && e.dst == keep.dst && e.distance == keep.distance &&
-        e.kind == keep.kind) {
-      continue;
-    }
-    const bool removed = g_.RemoveEdge(e.src, e.dst, e.kind, e.distance);
-    assert(removed);
-    (void)removed;
-    g_.AddEdge(reload_for(e.distance), e.dst, DepKind::kFlow, 0);
-  }
-  if (!to_shared) ++next_spill_array_;
-  return true;
-}
-
-bool Scheduler::SpillInvariantFromBank(BankId bank) {
-  const RFConfig& rf = m_.rf;
-  // Hierarchical master copies are not spilled (the shared bank is the
-  // invariant's home); monolithic organizations reload from memory.
-  if (bank == kSharedBank && !rf.IsMonolithic()) return false;
-  // Pick the first invariant with scheduled consumers reading this bank.
-  for (std::int32_t inv = 0; inv < g_.num_invariants(); ++inv) {
-    if (spilled_invariants_.contains({inv, bank})) continue;
-    std::vector<NodeId> users;
-    for (NodeId v = 0; v < g_.NumSlots(); ++v) {
-      if (!g_.IsAlive(v)) continue;
-      const Node& n = g_.node(v);
-      if (std::find(n.invariant_uses.begin(), n.invariant_uses.end(), inv) ==
-          n.invariant_uses.end()) {
-        continue;
-      }
-      if (!sched_->IsScheduled(v)) continue;
-      if (sched::ReadBank(n.op, sched_->ClusterOf(v), rf) != bank) continue;
-      users.push_back(v);
-    }
-    if (users.empty()) continue;
-    spilled_invariants_.insert({inv, bank});
-
-    for (NodeId w : users) {
-      Node nl;
-      nl.spill = true;
-      if (rf.IsHierarchical()) {
-        // Reload from the shared master copy.
-        nl.op = OpClass::kLoadR;
-        nl.invariant_uses = {inv};
-      } else {
-        // Reload from memory (stride 0: the invariant's home location).
-        nl.op = OpClass::kLoad;
-        nl.mem = MemRef{next_spill_array_, 0, 0};
-        ++stats_.spill_loads;
-      }
-      const NodeId l =
-          NewNode(std::move(nl), priority_[static_cast<size_t>(w)] + 0.1);
-      auto& uses = g_.node(w).invariant_uses;
-      uses.erase(std::find(uses.begin(), uses.end(), inv));
-      g_.AddFlow(l, w, 0);
-    }
-    if (!rf.IsHierarchical()) ++next_spill_array_;
-    return true;
-  }
-  return false;
-}
-
-// ---------------------------------------------------------------------------
-// Main loops
-// ---------------------------------------------------------------------------
-
-bool Scheduler::TryII(int ii) {
-  g_ = original_;
-  overrides_ = base_overrides_;
-  mrt_ = std::make_unique<sched::ModuloReservationTable>(m_, ii);
-  sched_ = std::make_unique<sched::PartialSchedule>(ii);
-  fixes_.clear();
-  spilled_.clear();
-  since_spill_check_ = 0;
-  churning_ = false;
-  eject_count_.assign(4096, 0);
-  spilled_invariants_.clear();
-  next_spill_array_ = kSpillArrayBase;
-  round_robin_ = 0;
-
-  const std::vector<NodeId> order = sched::HrmsOrder(g_, m_.lat);
-  priority_.assign(static_cast<size_t>(g_.NumSlots()), 0.0);
-  unscheduled_.assign(static_cast<size_t>(g_.NumSlots()), 0);
-  prev_cycle_.assign(static_cast<size_t>(g_.NumSlots()), kNoCycle);
-  num_unscheduled_ = 0;
-  for (size_t r = 0; r < order.size(); ++r) {
-    priority_[static_cast<size_t>(order[r])] =
-        static_cast<double>(order.size() - r);
-  }
-  for (NodeId v : order) {
-    unscheduled_[static_cast<size_t>(v)] = 1;
-    ++num_unscheduled_;
-  }
-  budget_ = opt_.budget_ratio * g_.NumNodes();
-  budget_granted_ = 0;
-
-  while (true) {
-  while (num_unscheduled_ > 0) {
-    if (churning_) return false;  // livelocked eject ping-pong: bump the II
-    if (budget_ <= 0) {
-      if (std::getenv("HCRF_DEBUG") != nullptr) {
-        std::fprintf(stderr, "[hcrf] %s II=%d budget exhausted (%d left)\n",
-                     original_.name().c_str(), ii, num_unscheduled_);
-        for (NodeId v = 0; v < g_.NumSlots() && v < 4096; ++v) {
-          if (eject_count_[static_cast<size_t>(v)] > 20) {
-            std::fprintf(stderr, "   node %d (%s%s%s) ejected %ld times\n", v,
-                         ToString(g_.node(v).op).data(),
-                         g_.node(v).inserted ? ",ins" : "",
-                         g_.node(v).spill ? ",spill" : "",
-                         eject_count_[static_cast<size_t>(v)]);
-          }
-        }
-      }
-      return false;
-    }
-    const NodeId u = PickHighestPriority();
-    assert(u != kNoNode);
-    if (u == kNoNode) return false;  // defensive: bookkeeping desync
-    const int cluster = SelectCluster(u);
-    int src_cluster = 0;
-    if (g_.node(u).op == OpClass::kMove) {
-      // Re-scheduled move: the source side is its producer's bank.
-      const auto producers = g_.FlowProducers(u);
-      if (!producers.empty() && sched_->IsScheduled(producers.front().src)) {
-        src_cluster = sched_->ClusterOf(producers.front().src);
-      }
-    }
-    if (!EnsureCommunication(u, cluster)) return false;
-    if (!ScheduleNode(u, cluster, src_cluster)) return false;
-    // Register-pressure checks are O(values); checking every few
-    // placements (and always when the list drains) keeps the paper's
-    // incremental-spill behaviour at a fraction of the cost.
-    if (++since_spill_check_ >= 4 || num_unscheduled_ == 0) {
-      since_spill_check_ = 0;
-      CheckAndInsertSpill();
-    }
-  }
-
-  // Sink reloads towards their consumers. Sinking can lengthen shared-bank
-  // residencies (that is its purpose: the shared bank absorbs the carried
-  // distances), which may in turn require further spilling of shared
-  // values to memory -- so iterate sink -> spill -> schedule to a fixpoint
-  // (bounded: each value spills at most once per attempt).
-  SinkReloads();
-  CheckAndInsertSpill();
-  if (num_unscheduled_ > 0) {
-    if (budget_ <= 0) return false;
-    continue;
-  }
-  break;
-  }
-
-  // Final register allocation check: every bank within capacity.
-  const sched::PressureReport pr =
-      sched::ComputePressure(g_, *sched_, m_, overrides_);
-  const RFConfig& rf = m_.rf;
-  if (rf.HasSharedBank() && !rf.UnboundedSharedRegs() &&
-      pr.shared_maxlive > sched::BankCapacity(kSharedBank, rf)) {
-    if (std::getenv("HCRF_DEBUG") != nullptr) {
-      std::fprintf(stderr, "[hcrf] %s II=%d shared over capacity: %d > %ld\n",
-                   original_.name().c_str(), ii, pr.shared_maxlive,
-                   sched::BankCapacity(kSharedBank, rf));
-      if (std::getenv("HCRF_DEBUG_LIFETIMES") != nullptr) {
-        for (const auto& v : pr.values) {
-          if (v.bank != kSharedBank || v.Length() <= 0) continue;
-          std::fprintf(stderr, "   def %d (%s%s) [%d,%d) len %d uses %d%s\n",
-                       v.def, ToString(g_.node(v.def).op).data(),
-                       g_.node(v.def).spill ? ",spill" : "", v.start, v.end,
-                       v.Length(), v.uses,
-                       spilled_.contains(v.def) ? " SPILLED" : "");
-        }
-      }
-    }
-    return false;
-  }
-  for (int c = 0; c < rf.clusters; ++c) {
-    if (!rf.UnboundedClusterRegs() &&
-        pr.cluster_maxlive[static_cast<size_t>(c)] >
-            sched::BankCapacity(c, rf)) {
-      if (std::getenv("HCRF_DEBUG") != nullptr) {
-        std::fprintf(stderr, "[hcrf] %s II=%d cluster %d over capacity: %d\n",
-                     original_.name().c_str(), ii, c,
-                     pr.cluster_maxlive[static_cast<size_t>(c)]);
-      }
-      return false;
-    }
-  }
-
-  const sched::ValidationResult vr =
-      sched::Validate(g_, *sched_, m_, overrides_);
-  if (!vr.ok && std::getenv("HCRF_DEBUG") != nullptr) {
-    std::fprintf(stderr, "[hcrf] %s II=%d validation failed: %s\n",
-                 original_.name().c_str(), ii, vr.error.c_str());
-  }
-  return vr.ok;
-}
-
-ScheduleResult Scheduler::Run() {
-  ScheduleResult res;
-  const MIIInfo mii = ComputeMII(original_, m_);
-  res.res_mii = mii.res_mii;
-  res.rec_mii = mii.rec_mii;
-  res.mii = mii.MII();
-
-  int consecutive_failures = 0;
-  for (int ii = res.mii; ii <= opt_.max_ii;
-       ii += consecutive_failures > 24 ? std::max(1, ii / 8) : 1) {
-    if (TryII(ii)) {
-      res.ok = true;
-      res.ii = ii;
-      sched_->Normalize();
-      res.sc = sched_->StageCount();
-      res.stats = stats_;
-      res.stats.restarts = ii - res.mii;
-      // Count communication and memory ops in the final graph.
-      res.stats.comm_ops = 0;
-      res.stats.loadr_ops = 0;
-      res.stats.storer_ops = 0;
-      res.stats.move_ops = 0;
-      res.stats.spill_loads = 0;
-      res.stats.spill_stores = 0;
-      res.mem_ops_per_iter = 0;
-      for (NodeId v = 0; v < g_.NumSlots(); ++v) {
-        if (!g_.IsAlive(v)) continue;
-        const Node& n = g_.node(v);
-        if (IsCommunication(n.op)) {
-          ++res.stats.comm_ops;
-          if (n.op == OpClass::kLoadR) ++res.stats.loadr_ops;
-          if (n.op == OpClass::kStoreR) ++res.stats.storer_ops;
-          if (n.op == OpClass::kMove) ++res.stats.move_ops;
-        }
-        if (IsMemory(n.op)) {
-          ++res.mem_ops_per_iter;
-          if (n.spill) {
-            if (n.op == OpClass::kLoad) ++res.stats.spill_loads;
-            if (n.op == OpClass::kStore) ++res.stats.spill_stores;
-          }
-        }
-      }
-      const int rec_final = RecMII(g_, m_.lat);
-      res.bound = ClassifyBound(g_, m_, ii, rec_final);
-      res.graph = std::move(g_);
-      res.schedule = std::move(*sched_);
-      res.overrides = std::move(overrides_);
-      return res;
-    }
-    ++consecutive_failures;
-  }
-  res.ok = false;
-  res.stats = stats_;
-  return res;
-}
-
-}  // namespace
-
 // ---------------------------------------------------------------------------
 // Public entry points
 // ---------------------------------------------------------------------------
@@ -1195,8 +24,8 @@ ScheduleResult Scheduler::Run() {
 ScheduleResult MirsHC(const DDG& loop, const MachineConfig& m,
                       const MirsOptions& opt,
                       const sched::LatencyOverrides& load_overrides) {
-  Scheduler s(loop, m, opt, load_overrides);
-  return s.Run();
+  EngineDriver engine(loop, m, opt, load_overrides);
+  return engine.Run();
 }
 
 BoundClass ClassifyBound(const DDG& final_graph, const MachineConfig& m,

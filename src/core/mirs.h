@@ -21,25 +21,25 @@
 // and their original edges restored). The process is governed by a Budget
 // of Budget_Ratio attempts per node; exhausting it restarts the schedule
 // at II+1.
+//
+// This header is the stable entry point. The implementation is layered
+// (see ARCHITECTURE.md): engine driver (engine.h), policies (policies.h),
+// communication rewriting (comm_rewrite.h), spilling (spill.h) and
+// instrumentation (instrument.h).
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
+#include "core/instrument.h"
+#include "core/policies.h"
 #include "ddg/ddg.h"
 #include "machine/machine_config.h"
 #include "sched/lifetime.h"
 #include "sched/schedule.h"
 
 namespace hcrf::core {
-
-enum class ClusterPolicy : std::uint8_t {
-  kBalanced,    ///< Paper's heuristic: slots + communication + registers.
-  kRoundRobin,  ///< Ablation: cyclic assignment.
-  kFirstFit,    ///< Ablation: lowest-index cluster with a free slot.
-};
-
-std::string_view ToString(ClusterPolicy p);
 
 struct MirsOptions {
   /// Attempts the iterative algorithm may spend per node (Budget_Ratio).
@@ -52,24 +52,29 @@ struct MirsOptions {
   /// scheduling passes; used as the Table 4 comparator.
   bool iterative = true;
   ClusterPolicy cluster_policy = ClusterPolicy::kBalanced;
+
+  // ---- policy-layer hooks (null = defaults from the enums above) -------
+  /// Creates the per-run cluster selector; overrides `cluster_policy` when
+  /// set. A factory (not an instance) so one MirsOptions value can be
+  /// shared across the parallel suite runner's concurrent runs.
+  ClusterSelectorFactory cluster_selector;
+  /// Node-ordering policy (default: HRMS ordering).
+  std::shared_ptr<const NodeOrderPolicy> ordering;
+  /// Spill-victim ranking (default: longest lifetime per use).
+  std::shared_ptr<const SpillVictimPolicy> spill_policy;
+  /// Optional observer of scheduler events (tests, tracing). Non-owning;
+  /// must outlive the MirsHC call. Callbacks run on the scheduling thread.
+  EventSink* event_sink = nullptr;
+
+  /// Precomputed MII of the loop (the suite runner's sweep cache); when
+  /// set, the engine skips its own ComputeMII. Must match the loop/machine.
+  std::optional<MIIInfo> precomputed_mii;
 };
 
 /// How a loop's achieved II is bounded (Table 1's classification).
 enum class BoundClass : std::uint8_t { kFU, kMemPort, kRecurrence, kComm };
 
 std::string_view ToString(BoundClass b);
-
-struct ScheduleStats {
-  long attempts = 0;    ///< Budget spent (nodes scheduled, incl. rescheds).
-  long ejections = 0;   ///< Nodes kicked out by force-and-eject.
-  int restarts = 0;     ///< II increments over MII.
-  int comm_ops = 0;     ///< Move/LoadR/StoreR nodes in the final graph.
-  int spill_stores = 0; ///< Spill stores to memory (adds traffic).
-  int spill_loads = 0;  ///< Spill loads from memory (adds traffic).
-  int storer_ops = 0;   ///< StoreR nodes (cluster->shared copies).
-  int loadr_ops = 0;    ///< LoadR nodes (shared->cluster copies).
-  int move_ops = 0;     ///< Move nodes (bus copies).
-};
 
 struct ScheduleResult {
   bool ok = false;

@@ -1,0 +1,167 @@
+#include "core/policies.h"
+
+#include <limits>
+
+#include "sched/banks.h"
+#include "sched/ordering.h"
+
+namespace hcrf::core {
+
+using sched::BankId;
+
+std::string_view ToString(ClusterPolicy p) {
+  switch (p) {
+    case ClusterPolicy::kBalanced: return "balanced";
+    case ClusterPolicy::kRoundRobin: return "round-robin";
+    case ClusterPolicy::kFirstFit: return "first-fit";
+  }
+  return "?";
+}
+
+std::vector<NodeId> HrmsOrderPolicy::Order(const DDG& g,
+                                           const MachineConfig& m) const {
+  return sched::HrmsOrder(g, m.lat);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster selection
+// ---------------------------------------------------------------------------
+
+int BalancedClusterSelector::Select(const SchedState& st, NodeId u) {
+  const RFConfig& rf = st.m.rf;
+  const int x = rf.clusters;
+  const int ii = st.ii();
+  const Node& n = st.g.node(u);
+  const Window w = st.ComputeWindow(u);
+
+  // Per-cluster usage of FUs (cheap balance proxy) and def counts
+  // (register-pressure proxy).
+  std::vector<int> fu_use(static_cast<size_t>(x), 0);
+  std::vector<int> defs(static_cast<size_t>(x), 0);
+  for (NodeId v = 0; v < st.g.NumSlots(); ++v) {
+    if (!st.g.IsAlive(v) || !st.sched->IsScheduled(v)) continue;
+    const int c = st.sched->ClusterOf(v);
+    if (c < 0 || c >= x) continue;
+    if (IsCompute(st.g.node(v).op)) ++fu_use[static_cast<size_t>(c)];
+    const Node& nv = st.g.node(v);
+    if (DefinesValue(nv.op) &&
+        sched::DefBank(nv.op, c, rf) == static_cast<BankId>(c)) {
+      ++defs[static_cast<size_t>(c)];
+    }
+  }
+
+  double best_cost = std::numeric_limits<double>::max();
+  int best = 0;
+  for (int c = 0; c < x; ++c) {
+    // Communication the placement would require.
+    int comm = 0;
+    for (const Edge& e : st.g.InEdges(u)) {
+      if (e.kind != DepKind::kFlow || !st.sched->IsScheduled(e.src)) continue;
+      const BankId def =
+          sched::DefBank(st.g.node(e.src).op, st.sched->ClusterOf(e.src), rf);
+      const BankId read = sched::ReadBank(n.op, c, rf);
+      if (def != read) ++comm;
+    }
+    if (DefinesValue(n.op)) {
+      const BankId def = sched::DefBank(n.op, c, rf);
+      for (const Edge& e : st.g.OutEdges(u)) {
+        if (e.kind != DepKind::kFlow || !st.sched->IsScheduled(e.dst)) {
+          continue;
+        }
+        const Node& nc = st.g.node(e.dst);
+        if (nc.op == OpClass::kMove) continue;
+        const BankId read =
+            sched::ReadBank(nc.op, st.sched->ClusterOf(e.dst), rf);
+        if (def != read) ++comm;
+      }
+    }
+    // Slot availability inside the dependence window.
+    bool free_slot = false;
+    {
+      const auto needs = sched::ResourceNeeds(n.op, c, 0, st.m);
+      const bool bottom_up = w.has_succ && !w.has_pred;
+      const int lo = bottom_up ? w.late - ii + 1 : w.early;
+      const int hi = bottom_up
+                         ? w.late
+                         : (w.has_succ ? std::min(w.late, w.early + ii - 1)
+                                       : w.early + ii - 1);
+      for (int t = lo; t <= hi; ++t) {
+        if (st.mrt->CanPlace(needs, t)) {
+          free_slot = true;
+          break;
+        }
+      }
+    }
+    const double fu_cap = static_cast<double>(st.m.FusPerCluster()) * ii;
+    const double reg_cap =
+        rf.UnboundedClusterRegs() ? 1e9 : static_cast<double>(rf.cluster_regs);
+    // A missing slot almost certainly means forcing and ejection, so it
+    // outweighs a couple of communication operations; communication in turn
+    // outweighs the soft balancing terms.
+    const double cost = 3.0 * comm + 8.0 * (free_slot ? 0 : 1) +
+                        fu_use[static_cast<size_t>(c)] / fu_cap +
+                        defs[static_cast<size_t>(c)] / reg_cap;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = c;
+    }
+  }
+  return best;
+}
+
+int RoundRobinClusterSelector::Select(const SchedState& st, NodeId u) {
+  (void)u;
+  return (next_++) % st.m.rf.clusters;
+}
+
+int FirstFitClusterSelector::Select(const SchedState& st, NodeId u) {
+  const Node& n = st.g.node(u);
+  for (int c = 0; c < st.m.rf.clusters; ++c) {
+    const auto needs = sched::ResourceNeeds(n.op, c, 0, st.m);
+    const Window w = st.ComputeWindow(u);
+    const int hi =
+        w.has_succ && !w.has_pred ? w.late : w.early + st.ii() - 1;
+    const int lo =
+        w.has_succ && !w.has_pred ? w.late - st.ii() + 1 : w.early;
+    for (int t = lo; t <= hi; ++t) {
+      if (st.mrt->CanPlace(needs, t)) return c;
+    }
+  }
+  return 0;
+}
+
+std::unique_ptr<ClusterSelector> MakeClusterSelector(ClusterPolicy p) {
+  switch (p) {
+    case ClusterPolicy::kBalanced:
+      return std::make_unique<BalancedClusterSelector>();
+    case ClusterPolicy::kRoundRobin:
+      return std::make_unique<RoundRobinClusterSelector>();
+    case ClusterPolicy::kFirstFit:
+      return std::make_unique<FirstFitClusterSelector>();
+  }
+  return std::make_unique<BalancedClusterSelector>();
+}
+
+ClusterSelectorFactory MakeClusterSelectorFactory(ClusterPolicy p) {
+  return [p] { return MakeClusterSelector(p); };
+}
+
+// ---------------------------------------------------------------------------
+// Spill victim selection
+// ---------------------------------------------------------------------------
+
+const sched::ValueLifetime* LongestPerUseSpillPolicy::Pick(
+    const std::vector<const sched::ValueLifetime*>& candidates) const {
+  const sched::ValueLifetime* best = nullptr;
+  double best_score = 0.0;
+  for (const sched::ValueLifetime* v : candidates) {
+    const double score = static_cast<double>(v->Length()) / (v->uses + 1);
+    if (best == nullptr || score > best_score) {
+      best = v;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace hcrf::core

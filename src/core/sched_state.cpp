@@ -1,0 +1,80 @@
+#include "core/sched_state.h"
+
+namespace hcrf::core {
+
+void SchedState::Reset(const DDG& original,
+                       const sched::LatencyOverrides& base, int ii) {
+  g = original;
+  overrides = base;
+  mrt = std::make_unique<sched::ModuloReservationTable>(m, ii);
+  sched = std::make_unique<sched::PartialSchedule>(ii);
+  priority.assign(static_cast<size_t>(g.NumSlots()), 0.0);
+  unscheduled.assign(static_cast<size_t>(g.NumSlots()), 0);
+  prev_cycle.assign(static_cast<size_t>(g.NumSlots()), kNoCycle);
+  num_unscheduled = 0;
+  eject_count.assign(4096, 0);
+  churning = false;
+}
+
+Window SchedState::ComputeWindow(NodeId u) const {
+  Window w;
+  const int ii = sched->ii();
+  for (const Edge& e : g.InEdges(u)) {
+    if (!sched->IsScheduled(e.src)) continue;
+    const int es = sched->CycleOf(e.src) + LatOf(e) - e.distance * ii;
+    if (!w.has_pred || es > w.early) w.early = es;
+    w.has_pred = true;
+  }
+  for (const Edge& e : g.OutEdges(u)) {
+    if (!sched->IsScheduled(e.dst)) continue;
+    const int ls = sched->CycleOf(e.dst) - LatOf(e) + e.distance * ii;
+    if (!w.has_succ || ls < w.late) w.late = ls;
+    w.has_succ = true;
+  }
+  if (!w.has_pred) w.early = 0;
+  return w;
+}
+
+void SchedState::GrowTo(NodeId id) {
+  if (static_cast<size_t>(id) >= priority.size()) {
+    priority.resize(static_cast<size_t>(id) + 1, 0.0);
+    unscheduled.resize(static_cast<size_t>(id) + 1, 0);
+    prev_cycle.resize(static_cast<size_t>(id) + 1, kNoCycle);
+  }
+}
+
+void SchedState::MarkUnscheduled(NodeId v) {
+  if (!unscheduled[static_cast<size_t>(v)]) {
+    unscheduled[static_cast<size_t>(v)] = 1;
+    ++num_unscheduled;
+  }
+}
+
+void SchedState::MarkScheduled(NodeId v) {
+  if (unscheduled[static_cast<size_t>(v)]) {
+    unscheduled[static_cast<size_t>(v)] = 0;
+    --num_unscheduled;
+  }
+}
+
+void SchedState::Unplace(NodeId v) {
+  if (sched->IsScheduled(v)) {
+    prev_cycle[static_cast<size_t>(v)] = sched->CycleOf(v);
+    mrt->Remove(v);
+    sched->Unassign(v);
+  }
+}
+
+NodeId SchedState::PickHighestPriority() const {
+  NodeId best = kNoNode;
+  for (NodeId v = 0; v < g.NumSlots(); ++v) {
+    if (!g.IsAlive(v) || !unscheduled[static_cast<size_t>(v)]) continue;
+    if (best == kNoNode ||
+        priority[static_cast<size_t>(v)] > priority[static_cast<size_t>(best)]) {
+      best = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace hcrf::core

@@ -1,0 +1,92 @@
+// Shared mutable state of one II attempt of the iterative engine.
+//
+// Everything the engine layers (driver, cluster/spill policies,
+// communication rewriter, spill engine) read and write while scheduling
+// lives here: the working graph (original nodes plus inserted
+// communication/spill copies), the partial schedule and reservation table,
+// the priority list, and the per-node bookkeeping that force-and-eject
+// needs (last placement cycle, ejection counts). The layers communicate
+// only through this state and the NodePlacer interface (comm_rewrite.h), so
+// each can be tested in isolation.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "ddg/ddg.h"
+#include "machine/machine_config.h"
+#include "sched/lifetime.h"
+#include "sched/mrt.h"
+#include "sched/schedule.h"
+
+namespace hcrf::core {
+
+inline constexpr int kNoCycle = std::numeric_limits<int>::min();
+
+/// Dependence window of a node w.r.t. its scheduled neighbours.
+struct Window {
+  int early = kNoCycle;  ///< max over scheduled predecessors.
+  int late = kNoCycle;   ///< min over scheduled successors (kNoCycle=none).
+  bool has_pred = false;
+  bool has_succ = false;
+};
+
+struct SchedState {
+  explicit SchedState(const MachineConfig& machine) : m(machine) {}
+
+  // Non-copyable: the layers hold references into this state.
+  SchedState(const SchedState&) = delete;
+  SchedState& operator=(const SchedState&) = delete;
+
+  /// Rebuilds the state for a fresh attempt at the given II: working graph
+  /// reset to the original, empty schedule/MRT, bookkeeping cleared. The
+  /// caller (engine driver) fills in priorities and the unscheduled set
+  /// from its ordering policy.
+  void Reset(const DDG& original, const sched::LatencyOverrides& base, int ii);
+
+  int ii() const { return sched->ii(); }
+
+  /// Dependence latency of an edge under the active latency overrides.
+  int LatOf(const Edge& e) const {
+    return sched::DependenceLatency(g, e, m.lat, overrides);
+  }
+
+  Window ComputeWindow(NodeId u) const;
+
+  /// Grows the per-node arrays to cover `id` (newly inserted nodes).
+  void GrowTo(NodeId id);
+
+  void MarkUnscheduled(NodeId v);
+  void MarkScheduled(NodeId v);
+
+  /// Removes `v` from the MRT and schedule, remembering its last cycle so a
+  /// forced re-placement makes progress.
+  void Unplace(NodeId v);
+
+  NodeId PickHighestPriority() const;
+
+  /// True for scheduler-inserted communication chain nodes (owned by the
+  /// communication rewriter; spill copies are not chain nodes).
+  bool IsCommChainNode(NodeId v) const {
+    const Node& n = g.node(v);
+    return IsCommunication(n.op) && n.inserted && !n.spill;
+  }
+
+  // ---- immutable over the attempt --------------------------------------
+  const MachineConfig& m;
+
+  // ---- per-attempt state -----------------------------------------------
+  DDG g;
+  sched::LatencyOverrides overrides;
+  std::unique_ptr<sched::ModuloReservationTable> mrt;
+  std::unique_ptr<sched::PartialSchedule> sched;
+  std::vector<double> priority;
+  std::vector<char> unscheduled;
+  int num_unscheduled = 0;
+  std::vector<int> prev_cycle;  ///< Last placement cycle (kNoCycle = never).
+  std::vector<long> eject_count;
+  bool churning = false;  ///< Livelocked eject ping-pong detected.
+};
+
+}  // namespace hcrf::core

@@ -1,0 +1,258 @@
+#include "core/spill.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "core/check.h"
+
+namespace hcrf::core {
+
+using sched::BankId;
+using sched::kSharedBank;
+
+void SpillEngine::Reset() {
+  spilled_.clear();
+  spilled_invariants_.clear();
+  next_spill_array_ = kSpillArrayBase;
+}
+
+void SpillEngine::SinkReloads() {
+  const int ii = st_.ii();
+  for (NodeId v = 0; v < st_.g.NumSlots(); ++v) {
+    if (!st_.g.IsAlive(v) || !st_.sched->IsScheduled(v)) continue;
+    const Node& n = st_.g.node(v);
+    const bool reload =
+        n.op == OpClass::kLoadR || (n.spill && n.op == OpClass::kLoad);
+    if (!reload) continue;
+    const sched::Placement old = st_.sched->Of(v);
+    const auto needs =
+        sched::ResourceNeeds(n.op, old.cluster, old.src_cluster, st_.m);
+    st_.mrt->Remove(v);
+    st_.sched->Unassign(v);
+    const Window w = st_.ComputeWindow(v);
+    int t = old.cycle;
+    if (w.has_succ) {
+      const int lo = w.has_pred ? std::max(w.early, w.late - ii + 1)
+                                : w.late - ii + 1;
+      for (int cand = w.late; cand >= lo; --cand) {
+        if (st_.mrt->CanPlace(needs, cand)) {
+          t = cand;
+          break;
+        }
+      }
+    }
+    if (!st_.mrt->CanPlace(needs, t)) t = old.cycle;
+    st_.mrt->Place(v, needs, t);
+    st_.sched->Assign(v, {t, old.cluster, old.src_cluster, true});
+  }
+}
+
+void SpillEngine::CheckAndInsert() {
+  const RFConfig& rf = st_.m.rf;
+  const bool cluster_bounded = rf.HasClusters() && !rf.UnboundedClusterRegs();
+  const bool shared_bounded = rf.HasSharedBank() && !rf.UnboundedSharedRegs();
+  if (!cluster_bounded && !shared_bounded) return;
+
+  const sched::PressureReport pr =
+      sched::ComputePressure(st_.g, *st_.sched, st_.m, st_.overrides);
+
+  if (cluster_bounded) {
+    for (int c = 0; c < rf.clusters; ++c) {
+      if (pr.cluster_maxlive[static_cast<size_t>(c)] >
+          sched::BankCapacity(c, rf)) {
+        if (!SpillFromBank(c, pr)) SpillInvariantFromBank(c);
+      }
+    }
+  }
+  if (shared_bounded &&
+      pr.shared_maxlive > sched::BankCapacity(kSharedBank, rf)) {
+    if (!SpillFromBank(kSharedBank, pr)) SpillInvariantFromBank(kSharedBank);
+  }
+}
+
+bool SpillEngine::SpillFromBank(BankId bank, const sched::PressureReport& pr) {
+  const RFConfig& rf = st_.m.rf;
+  // Spill destination: cluster banks of hierarchical organizations spill
+  // into the shared bank (StoreR/LoadR, no memory traffic); everything else
+  // spills to memory.
+  const bool to_shared = rf.IsHierarchical() && bank != kSharedBank;
+
+  const int min_len =
+      to_shared ? st_.m.lat.storer + st_.m.lat.loadr + 2
+                : 2 * (st_.m.lat.store + st_.m.lat.load_hit + 2);
+
+  // Filter to legal victims; the policy ranks them.
+  std::vector<const sched::ValueLifetime*> candidates;
+  for (const sched::ValueLifetime& v : pr.values) {
+    if (v.bank != bank || v.uses < 1 || v.Length() <= min_len) continue;
+    if (spilled_.contains(v.def)) continue;
+    const Node& nd = st_.g.node(v.def);
+    // Never spill a communication chain's value: chains are owned by the
+    // fix records and are re-routed by ejection, not by the spill engine
+    // (rewiring a chain edge would orphan its fix record).
+    if (st_.IsCommChainNode(v.def)) continue;
+    // Never spill a spill copy of the same level again.
+    if (nd.spill && to_shared && nd.op == OpClass::kLoadR) continue;
+    if (nd.spill && !to_shared && nd.op == OpClass::kLoad) continue;
+    candidates.push_back(&v);
+  }
+  const sched::ValueLifetime* best = policy_.Pick(candidates);
+  if (best == nullptr) return false;
+
+  const NodeId def = best->def;
+  spilled_.insert(def);
+
+  // Consumers to reroute: every flow consumer except the earliest
+  // scheduled one (keeping one direct use preserves the short head of the
+  // lifetime) -- unless even that earliest read is far away, in which case
+  // everything goes through the reload so the spill actually pays off.
+  std::vector<Edge> consumers;
+  Edge keep{kNoNode, kNoNode, DepKind::kFlow, 0};
+  int keep_time = std::numeric_limits<int>::max();
+  for (const Edge& e : st_.g.FlowConsumers(def)) {
+    // Chain nodes stay wired to the value's home; only original and spill
+    // consumers are re-routed through the reload (see candidate filter).
+    if (st_.IsCommChainNode(e.dst)) continue;
+    consumers.push_back(e);
+    if (st_.sched->IsScheduled(e.dst)) {
+      const int read = st_.sched->CycleOf(e.dst) + e.distance * st_.ii();
+      if (read < keep_time) {
+        keep_time = read;
+        keep = e;
+      }
+    }
+  }
+  if (keep.src != kNoNode &&
+      (consumers.size() <= 1 || keep_time - best->start > 2 * min_len)) {
+    // A single (or uniformly distant) consumer still benefits: split the
+    // whole lifetime.
+    keep = Edge{kNoNode, kNoNode, DepKind::kFlow, 0};
+  }
+
+  const double base_prio = st_.priority[static_cast<size_t>(def)];
+  // Reloads must schedule *after* every consumer they feed, so their
+  // bottom-up placement is anchored by the consumers' slots; otherwise the
+  // reload lands early and recreates the long lifetime it was meant to cut.
+  double reload_prio = base_prio - 0.6;
+  for (const Edge& e : consumers) {
+    reload_prio =
+        std::min(reload_prio, st_.priority[static_cast<size_t>(e.dst)] - 0.1);
+  }
+  // One store-side copy; one reload per distinct loop-carried distance
+  // among the rerouted consumers. The carried distance rides the hop into
+  // the spill home (shared bank or memory), so the post-reload register
+  // lifetime is short -- this is what makes spilling effective for the
+  // long cross-iteration lifetimes of software-pipelined loops.
+  NodeId s;
+  if (to_shared) {
+    Node ns;
+    ns.op = OpClass::kStoreR;
+    ns.spill = true;
+    s = placer_.CreateNode(std::move(ns), base_prio - 0.3);
+    st_.g.AddFlow(def, s, 0);
+    ++instr_.stats().storer_ops;
+  } else {
+    Node ns;
+    ns.op = OpClass::kStore;
+    ns.spill = true;
+    ns.mem = MemRef{next_spill_array_, 0, 8};
+    s = placer_.CreateNode(std::move(ns), base_prio - 0.3);
+    st_.g.AddFlow(def, s, 0);
+    ++instr_.stats().spill_stores;
+  }
+
+  std::map<int, NodeId> reload_by_distance;
+  auto reload_for = [&](int distance) {
+    auto it = reload_by_distance.find(distance);
+    if (it != reload_by_distance.end()) return it->second;
+    NodeId l;
+    if (to_shared) {
+      Node nl;
+      nl.op = OpClass::kLoadR;
+      nl.spill = true;
+      l = placer_.CreateNode(std::move(nl), reload_prio);
+      st_.g.AddFlow(s, l, distance);
+      ++instr_.stats().loadr_ops;
+    } else {
+      Node nl;
+      nl.op = OpClass::kLoad;
+      nl.spill = true;
+      nl.mem = MemRef{next_spill_array_, 0, 8};
+      l = placer_.CreateNode(std::move(nl), reload_prio);
+      st_.g.AddEdge(s, l, DepKind::kMem, distance);
+      ++instr_.stats().spill_loads;
+    }
+    reload_by_distance.emplace(distance, l);
+    return l;
+  };
+
+  for (const Edge& e : consumers) {
+    if (e.src == keep.src && e.dst == keep.dst && e.distance == keep.distance &&
+        e.kind == keep.kind) {
+      continue;
+    }
+    const bool removed = st_.g.RemoveEdge(e.src, e.dst, e.kind, e.distance);
+    HCRF_CHECK(removed,
+               "spill reroute lost the consumer edge %d->%d (kind %s, "
+               "distance %d) of spilled def %d; graph '%s', bank %d, II=%d",
+               e.src, e.dst, std::string(ToString(e.kind)).c_str(), e.distance,
+               def, st_.g.name().c_str(), bank, st_.ii());
+    st_.g.AddEdge(reload_for(e.distance), e.dst, DepKind::kFlow, 0);
+  }
+  if (!to_shared) ++next_spill_array_;
+  instr_.SpillInserted(def, st_.ii());
+  return true;
+}
+
+bool SpillEngine::SpillInvariantFromBank(BankId bank) {
+  const RFConfig& rf = st_.m.rf;
+  // Hierarchical master copies are not spilled (the shared bank is the
+  // invariant's home); monolithic organizations reload from memory.
+  if (bank == kSharedBank && !rf.IsMonolithic()) return false;
+  // Pick the first invariant with scheduled consumers reading this bank.
+  for (std::int32_t inv = 0; inv < st_.g.num_invariants(); ++inv) {
+    if (spilled_invariants_.contains({inv, bank})) continue;
+    std::vector<NodeId> users;
+    for (NodeId v = 0; v < st_.g.NumSlots(); ++v) {
+      if (!st_.g.IsAlive(v)) continue;
+      const Node& n = st_.g.node(v);
+      if (std::find(n.invariant_uses.begin(), n.invariant_uses.end(), inv) ==
+          n.invariant_uses.end()) {
+        continue;
+      }
+      if (!st_.sched->IsScheduled(v)) continue;
+      if (sched::ReadBank(n.op, st_.sched->ClusterOf(v), rf) != bank) continue;
+      users.push_back(v);
+    }
+    if (users.empty()) continue;
+    spilled_invariants_.insert({inv, bank});
+
+    for (NodeId w : users) {
+      Node nl;
+      nl.spill = true;
+      if (rf.IsHierarchical()) {
+        // Reload from the shared master copy.
+        nl.op = OpClass::kLoadR;
+        nl.invariant_uses = {inv};
+      } else {
+        // Reload from memory (stride 0: the invariant's home location).
+        nl.op = OpClass::kLoad;
+        nl.mem = MemRef{next_spill_array_, 0, 0};
+        ++instr_.stats().spill_loads;
+      }
+      const NodeId l = placer_.CreateNode(
+          std::move(nl), st_.priority[static_cast<size_t>(w)] + 0.1);
+      auto& uses = st_.g.node(w).invariant_uses;
+      uses.erase(std::find(uses.begin(), uses.end(), inv));
+      st_.g.AddFlow(l, w, 0);
+    }
+    if (!rf.IsHierarchical()) ++next_spill_array_;
+    instr_.SpillInserted(kNoNode, st_.ii());
+    return true;
+  }
+  return false;
+}
+
+}  // namespace hcrf::core

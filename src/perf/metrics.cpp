@@ -17,6 +17,10 @@ SuiteMetrics Aggregate(const std::vector<LoopMetrics>& loops) {
     s.mem_traffic += lm.mem_traffic;
     s.ops_executed += lm.ops_executed;
     s.sched_seconds += lm.sched_seconds;
+    s.ejections += lm.ejections;
+    s.spills_inserted += lm.spills_inserted;
+    s.ii_restarts += lm.ii_restarts;
+    s.budget_spent += lm.budget_spent;
     const auto b = static_cast<size_t>(lm.bound);
     ++s.bound_count[b];
     s.bound_cycles[b] += lm.ExecCycles();

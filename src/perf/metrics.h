@@ -27,7 +27,17 @@ struct LoopMetrics {
   long ops_executed = 0;   ///< Original (useful) ops * N, for IPC.
   int comm_ops = 0;
   int spill_memory_ops = 0;
+  /// Wall time actually spent on this loop (MII lookup + scheduling).
+  /// With the sweep cache warm (RunOptions::reuse_mii_cache) only the
+  /// first configuration of a sweep pays ComputeMII; disable the cache
+  /// for order-independent cross-configuration time comparisons.
   double sched_seconds = 0.0;
+
+  // Scheduler-effort counters (core::ScheduleStats, see instrument.h).
+  long ejections = 0;       ///< Force-and-eject victims.
+  int spills_inserted = 0;  ///< Spill decisions (incl. reg-to-reg).
+  int ii_restarts = 0;      ///< Achieved II minus MII.
+  double budget_spent = 0;  ///< Attempts charged against the budget.
 
   long ExecCycles() const { return useful_cycles + stall_cycles; }
 };
@@ -42,6 +52,12 @@ struct SuiteMetrics {
   long mem_traffic = 0;
   long ops_executed = 0;
   double sched_seconds = 0.0;
+
+  // Aggregated scheduler-effort counters (over scheduled loops).
+  long ejections = 0;
+  long spills_inserted = 0;
+  long ii_restarts = 0;
+  double budget_spent = 0;
 
   /// Per bound class: [FU, MemPort, Rec, Comm] loop counts and cycles.
   std::array<int, 4> bound_count{};

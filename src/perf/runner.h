@@ -1,6 +1,15 @@
 // Suite runner: schedules every loop of a workload on a machine
-// configuration (in parallel across loops; scheduling is embarrassingly
-// parallel) and aggregates the paper's metrics.
+// configuration and aggregates the paper's metrics.
+//
+// Scheduling is embarrassingly parallel across loops; the runner feeds the
+// suite through the shared ThreadPool's work queue (thread_pool.h) instead
+// of spawning threads per call. Multi-configuration sweeps (the tables /
+// figures benches call RunSuite once per RF organization over the same
+// suite) additionally reuse each loop's MII: the bound depends only on the
+// graph, the latency table and the global FU / memory-port counts, all of
+// which are shared across the RF organizations of one sweep, so the
+// process-wide cache turns the per-configuration ComputeMII into a hash
+// lookup.
 #pragma once
 
 #include <vector>
@@ -17,8 +26,15 @@ struct RunOptions {
   /// Simulate the cache to obtain stall cycles (Figure 6's real-memory
   /// scenario); otherwise stalls are 0 (ideal memory).
   bool simulate_memory = false;
-  /// Worker threads; 0 = hardware concurrency.
+  /// Parallelism of one RunSuite call (including the calling thread);
+  /// 0 = hardware concurrency, 1 = strictly serial. Widths beyond the
+  /// shared pool's size are clamped to it (the pool never oversubscribes
+  /// the machine; scheduling is CPU-bound).
   int threads = 0;
+  /// Reuse per-loop MII computations across RunSuite calls (safe: the
+  /// cache key covers everything the MII depends on). Disable to measure
+  /// cold-start scheduling times.
+  bool reuse_mii_cache = true;
 };
 
 /// Per-loop results, in suite order.
@@ -28,5 +44,13 @@ std::vector<LoopMetrics> RunSuiteDetailed(const workload::Suite& suite,
 
 SuiteMetrics RunSuite(const workload::Suite& suite, const MachineConfig& m,
                       const RunOptions& opt = {});
+
+/// Hit/miss counters of the process-wide MII sweep cache (observability
+/// for the benches; hits mean a sweep configuration skipped ComputeMII).
+struct MiiCacheStats {
+  long hits = 0;
+  long misses = 0;
+};
+MiiCacheStats GetMiiCacheStats();
 
 }  // namespace hcrf::perf

@@ -1,0 +1,85 @@
+#include "perf/thread_pool.h"
+
+#include <algorithm>
+
+namespace hcrf::perf {
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool();  // leaked: lives for the process
+  return *pool;
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n =
+      threads > 0
+          ? threads
+          : static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  // The calling thread participates in every job, so n workers give n+1-way
+  // parallelism; keep the worker count at n-1 to match the historical
+  // "threads" semantics of RunOptions.
+  workers_.reserve(static_cast<size_t>(std::max(0, n - 1)));
+  for (int i = 0; i < n - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::RunItems(std::unique_lock<std::mutex>& lk) {
+  while (job_.active && job_.next < job_.n) {
+    const std::size_t i = job_.next++;
+    const auto* fn = job_.fn;
+    lk.unlock();
+    (*fn)(i);
+    lk.lock();
+    if (--job_.remaining == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    work_cv_.wait(lk, [&] {
+      return stop_ || (job_.active && job_.generation != seen);
+    });
+    if (stop_) return;
+    seen = job_.generation;
+    if (job_.entrants_left <= 0) continue;  // width cap reached
+    --job_.entrants_left;
+    RunItems(lk);
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n, int max_workers,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (max_workers <= 1 || n == 1 || workers_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::lock_guard<std::mutex> session(session_mu_);
+  std::unique_lock<std::mutex> lk(mu_);
+  job_.fn = &fn;
+  job_.n = n;
+  job_.next = 0;
+  job_.remaining = n;
+  job_.entrants_left = max_workers - 1;  // the caller takes one slot
+  ++job_.generation;
+  job_.active = true;
+  lk.unlock();
+  work_cv_.notify_all();
+  lk.lock();
+  RunItems(lk);
+  done_cv_.wait(lk, [&] { return job_.remaining == 0; });
+  job_.active = false;
+}
+
+}  // namespace hcrf::perf

@@ -1,0 +1,68 @@
+// Shared worker pool for the suite runner.
+//
+// The paper-reproduction benches run dozens of multi-configuration sweeps
+// per process, each previously spawning (and joining) hardware_concurrency
+// threads. This pool starts its workers once and feeds them a work queue;
+// ParallelFor distributes item indices through an atomic cursor, the
+// calling thread participates, and `max_workers` caps the parallelism of
+// one call (1 = strictly serial on the caller, preserving the serial
+// debugging path).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hcrf::perf {
+
+class ThreadPool {
+ public:
+  /// The process-wide pool (hardware_concurrency workers, lazily started).
+  static ThreadPool& Shared();
+
+  /// `threads` = total parallelism including the calling thread (the pool
+  /// starts threads-1 workers; the caller participates in every job);
+  /// 0 = hardware concurrency.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs fn(0) .. fn(n-1), distributing items across up to `max_workers`
+  /// threads (including the caller; <= 1 runs serially on the caller).
+  /// Returns when every item has finished. Concurrent ParallelFor calls
+  /// from different threads are serialized.
+  void ParallelFor(std::size_t n, int max_workers,
+                   const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::size_t next = 0;       ///< Next item index to hand out.
+    std::size_t remaining = 0;  ///< Items not yet finished.
+    int entrants_left = 0;      ///< Worker-entry slots left (caps width).
+    std::uint64_t generation = 0;
+    bool active = false;
+  };
+
+  void WorkerLoop();
+  /// Pulls items until the queue drains. Precondition: caller holds lk.
+  void RunItems(std::unique_lock<std::mutex>& lk);
+
+  std::mutex session_mu_;  ///< Serializes ParallelFor sessions.
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Job job_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hcrf::perf

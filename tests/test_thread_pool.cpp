@@ -1,0 +1,62 @@
+// Tests of the shared worker pool behind the suite runner.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "perf/thread_pool.h"
+
+namespace hcrf::perf {
+namespace {
+
+TEST(ThreadPool, RunsEveryItemExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(hits.size(), 4, [&](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, SerialAndParallelAgree) {
+  ThreadPool pool(3);
+  auto run = [&](int workers) {
+    std::vector<long> out(100);
+    pool.ParallelFor(out.size(), workers,
+                     [&](size_t i) { out[i] = static_cast<long>(i * i); });
+    return std::accumulate(out.begin(), out.end(), 0L);
+  };
+  EXPECT_EQ(run(1), run(3));
+}
+
+TEST(ThreadPool, ReusableAcrossManyCalls) {
+  // The point of the pool: many sweeps reuse the same workers. Hammer it.
+  ThreadPool pool(2);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(20, 2, [&](size_t) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 50L * 20);
+}
+
+TEST(ThreadPool, EmptyAndSingleItem) {
+  ThreadPool pool(2);
+  std::atomic<int> n{0};
+  pool.ParallelFor(0, 4, [&](size_t) { ++n; });
+  EXPECT_EQ(n.load(), 0);
+  pool.ParallelFor(1, 4, [&](size_t) { ++n; });
+  EXPECT_EQ(n.load(), 1);
+}
+
+TEST(ThreadPool, SharedInstanceIsStable) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  std::atomic<int> n{0};
+  a.ParallelFor(10, a.num_workers() + 1, [&](size_t) { ++n; });
+  EXPECT_EQ(n.load(), 10);
+}
+
+}  // namespace
+}  // namespace hcrf::perf
