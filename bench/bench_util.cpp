@@ -2,19 +2,10 @@
 
 namespace hcrf::bench {
 
-const workload::Suite& TheSuite() {
-  static const workload::Suite suite = workload::PerfectSynthetic();
-  return suite;
-}
+const workload::Suite& TheSuite() { return workload::SharedSyntheticSuite(); }
 
 workload::Suite SuiteSlice(size_t n) {
-  const workload::Suite& full = TheSuite();
-  workload::Suite out;
-  const size_t stride = std::max<size_t>(1, full.size() / n);
-  for (size_t i = 0; i < full.size() && out.size() < n; i += stride) {
-    out.Add(full[i]);
-  }
-  return out;
+  return workload::SuiteSlice(TheSuite(), n);
 }
 
 MachineConfig MakeMachine(const std::string& rf_name, bool characterize,

@@ -13,12 +13,13 @@
 #include "machine/machine_config.h"
 #include "perf/runner.h"
 #include "perf/tables.h"
-#include "workload/perfect_synth.h"
+#include "workload/suite_cache.h"
 #include "workload/workload.h"
 
 namespace hcrf::bench {
 
-/// The synthetic Perfect Club stand-in, built once per process.
+/// The synthetic Perfect Club stand-in
+/// (workload::SharedSyntheticSuite(), shared with the corpus exporter).
 const workload::Suite& TheSuite();
 
 /// A smaller slice of the suite for expensive sweeps (ablation benches);

@@ -1,0 +1,33 @@
+hcl 1 loop
+trip 800
+invocations 1
+name cmul
+invariants 0
+slots 12
+node 0 load mem 0 0 16
+node 1 load mem 0 8 16
+node 2 load mem 1 0 16
+node 3 load mem 1 8 16
+node 4 fmul
+node 5 fmul
+node 6 fmul
+node 7 fmul
+node 8 fadd
+node 9 fadd
+node 10 store mem 2 0 16
+node 11 store mem 2 8 16
+edge 0 4 flow 0
+edge 0 6 flow 0
+edge 1 5 flow 0
+edge 1 7 flow 0
+edge 2 4 flow 0
+edge 2 7 flow 0
+edge 3 5 flow 0
+edge 3 6 flow 0
+edge 4 8 flow 0
+edge 5 8 flow 0
+edge 6 9 flow 0
+edge 7 9 flow 0
+edge 8 10 flow 0
+edge 9 11 flow 0
+end

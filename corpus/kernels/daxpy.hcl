@@ -1,0 +1,16 @@
+hcl 1 loop
+trip 1000
+invocations 1
+name daxpy
+invariants 1
+slots 5
+node 0 load mem 0 0 8
+node 1 load mem 1 0 8
+node 2 fmul inv 1 0
+node 3 fadd
+node 4 store mem 1 0 8
+edge 0 2 flow 0
+edge 1 3 flow 0
+edge 2 3 flow 0
+edge 3 4 flow 0
+end

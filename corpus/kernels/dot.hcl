@@ -1,0 +1,15 @@
+hcl 1 loop
+trip 1000
+invocations 1
+name dot
+invariants 0
+slots 4
+node 0 load mem 0 0 8
+node 1 load mem 1 0 8
+node 2 fmul
+node 3 fadd
+edge 0 2 flow 0
+edge 1 2 flow 0
+edge 2 3 flow 0
+edge 3 3 flow 1
+end

@@ -1,0 +1,30 @@
+hcl 1 loop
+trip 1000
+invocations 1
+name fir4
+invariants 4
+slots 12
+node 0 load mem 0 0 8
+node 1 load mem 0 8 8
+node 2 load mem 0 16 8
+node 3 load mem 0 24 8
+node 4 fmul inv 1 0
+node 5 fmul inv 1 1
+node 6 fmul inv 1 2
+node 7 fmul inv 1 3
+node 8 fadd
+node 9 fadd
+node 10 fadd
+node 11 store mem 1 0 8
+edge 0 4 flow 0
+edge 1 5 flow 0
+edge 2 6 flow 0
+edge 3 7 flow 0
+edge 4 8 flow 0
+edge 5 8 flow 0
+edge 6 9 flow 0
+edge 7 9 flow 0
+edge 8 10 flow 0
+edge 9 10 flow 0
+edge 10 11 flow 0
+end

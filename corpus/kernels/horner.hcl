@@ -1,0 +1,13 @@
+hcl 1 loop
+trip 600
+invocations 1
+name horner
+invariants 1
+slots 3
+node 0 load mem 0 0 8
+node 1 fmul inv 1 0
+node 2 fadd
+edge 0 2 flow 0
+edge 1 2 flow 0
+edge 2 1 flow 1
+end

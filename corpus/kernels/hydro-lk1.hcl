@@ -1,0 +1,24 @@
+hcl 1 loop
+trip 990
+invocations 1
+name hydro-lk1
+invariants 3
+slots 9
+node 0 load mem 0 0 8
+node 1 load mem 1 80 8
+node 2 load mem 1 88 8
+node 3 fmul inv 1 1
+node 4 fmul inv 1 2
+node 5 fadd
+node 6 fmul
+node 7 fadd inv 1 0
+node 8 store mem 2 0 8
+edge 0 6 flow 0
+edge 1 3 flow 0
+edge 2 4 flow 0
+edge 3 5 flow 0
+edge 4 5 flow 0
+edge 5 6 flow 0
+edge 6 7 flow 0
+edge 7 8 flow 0
+end

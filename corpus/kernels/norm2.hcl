@@ -1,0 +1,23 @@
+hcl 1 loop
+trip 500
+invocations 1
+name norm2
+invariants 0
+slots 7
+node 0 load mem 0 0 8
+node 1 load mem 1 0 8
+node 2 fmul
+node 3 fmul
+node 4 fadd
+node 5 fsqrt
+node 6 fadd
+edge 0 2 flow 0
+edge 0 2 flow 0
+edge 1 3 flow 0
+edge 1 3 flow 0
+edge 2 4 flow 0
+edge 3 4 flow 0
+edge 4 5 flow 0
+edge 5 6 flow 0
+edge 6 6 flow 1
+end

@@ -1,0 +1,15 @@
+hcl 1 loop
+trip 1000
+invocations 1
+name rec1
+invariants 1
+slots 4
+node 0 load mem 0 0 8
+node 1 fmul inv 1 0
+node 2 fadd
+node 3 store mem 1 0 8
+edge 0 2 flow 0
+edge 1 2 flow 0
+edge 2 1 flow 1
+edge 2 3 flow 0
+end

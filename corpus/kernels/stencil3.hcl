@@ -1,0 +1,20 @@
+hcl 1 loop
+trip 1000
+invocations 1
+name stencil3
+invariants 1
+slots 7
+node 0 load mem 0 -8 8
+node 1 load mem 0 0 8
+node 2 load mem 0 8 8
+node 3 fadd
+node 4 fadd
+node 5 fmul inv 1 0
+node 6 store mem 1 0 8
+edge 0 3 flow 0
+edge 1 3 flow 0
+edge 2 4 flow 0
+edge 3 4 flow 0
+edge 4 5 flow 0
+edge 5 6 flow 0
+end

@@ -1,0 +1,14 @@
+hcl 1 loop
+trip 500
+invocations 1
+name vdiv
+invariants 0
+slots 4
+node 0 load mem 0 0 8
+node 1 load mem 1 0 8
+node 2 fdiv
+node 3 store mem 2 0 8
+edge 0 2 flow 0
+edge 1 2 flow 0
+edge 2 3 flow 0
+end

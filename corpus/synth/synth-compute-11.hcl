@@ -1,0 +1,72 @@
+hcl 1 loop
+trip 1619
+invocations 2
+name synth-compute-11
+invariants 1
+slots 34
+node 0 load mem 1 0 8
+node 1 load mem 0 88 8
+node 2 fmul inv 1 0
+node 3 fmul inv 1 0
+node 4 fmul
+node 5 load mem 0 72 8
+node 6 fadd
+node 7 load mem 0 72 16
+node 8 fmul
+node 9 load mem 0 -8 16
+node 10 load mem 2 32 8
+node 11 fadd
+node 12 fadd
+node 13 fmul
+node 14 store mem 3 0 8
+node 15 load mem 4 24 8
+node 16 load mem 2 56 528
+node 17 fadd
+node 18 load mem 5 8 1040
+node 19 fadd
+node 20 fadd
+node 21 store mem 6 0 16
+node 22 load mem 0 88 8
+node 23 load mem 4 56 1424
+node 24 fadd
+node 25 load mem 6 24 1320
+node 26 fmul
+node 27 load mem 7 32 1104
+node 28 load mem 4 72 16
+node 29 fmul
+node 30 load mem 2 24 8
+node 31 fmul
+node 32 fadd
+node 33 store mem 8 0 8
+edge 0 4 flow 0
+edge 1 2 flow 0
+edge 2 3 flow 0
+edge 3 4 flow 0
+edge 4 6 flow 0
+edge 5 6 flow 0
+edge 6 13 flow 0
+edge 7 8 flow 0
+edge 8 12 flow 0
+edge 9 11 flow 0
+edge 10 11 flow 0
+edge 11 12 flow 0
+edge 12 13 flow 0
+edge 13 14 flow 0
+edge 15 17 flow 0
+edge 16 17 flow 0
+edge 17 19 flow 0
+edge 18 19 flow 0
+edge 19 20 flow 0
+edge 20 21 flow 0
+edge 22 24 flow 0
+edge 23 24 flow 0
+edge 24 26 flow 0
+edge 25 26 flow 0
+edge 26 32 flow 0
+edge 27 29 flow 0
+edge 28 29 flow 0
+edge 29 31 flow 0
+edge 30 31 flow 0
+edge 31 32 flow 0
+edge 32 33 flow 0
+end

@@ -1,0 +1,14 @@
+hcl 1 loop
+trip 37594
+invocations 3
+name synth-compute-12
+invariants 5
+slots 4
+node 0 load mem 0 88 16
+node 1 fsqrt
+node 2 fdiv
+node 3 store mem 2 0 8
+edge 0 1 flow 0
+edge 1 2 flow 0
+edge 2 3 flow 0
+end

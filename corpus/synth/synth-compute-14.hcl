@@ -1,0 +1,139 @@
+hcl 1 loop
+trip 27604
+invocations 2
+name synth-compute-14
+invariants 1
+slots 62
+node 0 load mem 1 72 8
+node 1 fmul inv 1 0
+node 2 load mem 0 8 808
+node 3 fadd
+node 4 fdiv
+node 5 load mem 0 72 2424
+node 6 fadd inv 1 0
+node 7 fmul
+node 8 load mem 1 32 8
+node 9 fadd
+node 10 load mem 2 8 8
+node 11 fadd
+node 12 load mem 1 0 8
+node 13 load mem 2 64 8
+node 14 fmul
+node 15 load mem 2 80 8
+node 16 fadd
+node 17 fadd
+node 18 fadd
+node 19 store mem 3 0 672
+node 20 load mem 0 56 8
+node 21 fmul
+node 22 load mem 0 16 16
+node 23 fmul
+node 24 load mem 3 88 8
+node 25 fadd inv 1 0
+node 26 fadd
+node 27 load mem 2 -16 8
+node 28 fmul inv 1 0
+node 29 fmul
+node 30 fmul
+node 31 fmul
+node 32 fmul
+node 33 fadd
+node 34 fadd
+node 35 fmul
+node 36 fadd
+node 37 fadd
+node 38 fmul
+node 39 store mem 4 0 2224
+node 40 load mem 2 0 8
+node 41 load mem 3 72 16
+node 42 fmul
+node 43 load mem 3 80 16
+node 44 fadd inv 1 0
+node 45 load mem 4 80 16
+node 46 fadd
+node 47 fadd
+node 48 load mem 1 72 8
+node 49 fadd
+node 50 load mem 4 -16 4024
+node 51 load mem 1 16 8
+node 52 fmul inv 1 0
+node 53 fadd inv 1 0
+node 54 fadd
+node 55 load mem 5 24 8
+node 56 fadd
+node 57 fadd
+node 58 fmul
+node 59 fadd
+node 60 fadd
+node 61 store mem 6 0 8
+edge 0 1 flow 0
+edge 1 3 flow 0
+edge 2 3 flow 0
+edge 3 4 flow 0
+edge 4 7 flow 0
+edge 5 6 flow 0
+edge 6 7 flow 0
+edge 7 18 flow 0
+edge 8 9 flow 0
+edge 9 11 flow 0
+edge 10 11 flow 0
+edge 11 17 flow 0
+edge 12 14 flow 0
+edge 13 14 flow 0
+edge 14 16 flow 0
+edge 15 16 flow 0
+edge 16 17 flow 0
+edge 17 18 flow 0
+edge 18 19 flow 0
+edge 18 30 flow 5
+edge 18 31 flow 13
+edge 18 32 flow 12
+edge 18 33 flow 13
+edge 18 34 flow 5
+edge 18 35 flow 10
+edge 18 36 flow 7
+edge 18 37 flow 12
+edge 18 38 flow 8
+edge 20 21 flow 0
+edge 21 23 flow 0
+edge 22 23 flow 0
+edge 23 26 flow 0
+edge 24 25 flow 0
+edge 25 26 flow 0
+edge 26 29 flow 0
+edge 27 28 flow 0
+edge 28 29 flow 0
+edge 29 30 flow 0
+edge 30 31 flow 0
+edge 31 32 flow 0
+edge 32 33 flow 0
+edge 33 34 flow 0
+edge 34 35 flow 0
+edge 35 36 flow 0
+edge 36 37 flow 0
+edge 37 38 flow 0
+edge 38 39 flow 0
+edge 38 59 flow 9
+edge 38 60 flow 10
+edge 40 42 flow 0
+edge 41 42 flow 0
+edge 42 47 flow 0
+edge 43 44 flow 0
+edge 44 46 flow 0
+edge 45 46 flow 0
+edge 46 47 flow 0
+edge 47 49 flow 0
+edge 48 49 flow 0
+edge 49 58 flow 0
+edge 50 54 flow 0
+edge 51 52 flow 0
+edge 52 53 flow 0
+edge 53 54 flow 0
+edge 54 56 flow 0
+edge 55 56 flow 0
+edge 56 57 flow 0
+edge 57 58 flow 0
+edge 58 59 flow 0
+edge 59 60 flow 0
+edge 60 61 flow 0
+end

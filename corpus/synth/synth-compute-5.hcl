@@ -1,0 +1,78 @@
+hcl 1 loop
+trip 7899
+invocations 2
+name synth-compute-5
+invariants 4
+slots 36
+node 0 load mem 1 -16 2080
+node 1 load mem 2 80 8
+node 2 fmul inv 1 2
+node 3 fadd
+node 4 load mem 3 56 8
+node 5 fadd
+node 6 load mem 1 96 8
+node 7 fadd
+node 8 load mem 2 96 1936
+node 9 fadd
+node 10 fadd
+node 11 store mem 4 0 8
+node 12 load mem 5 0 8
+node 13 fadd
+node 14 load mem 6 32 16
+node 15 fadd
+node 16 fadd
+node 17 load mem 0 72 8
+node 18 load mem 7 -16 8
+node 19 fadd
+node 20 fadd
+node 21 fadd
+node 22 fmul
+node 23 fmul
+node 24 store mem 8 0 8
+node 25 load mem 0 80 16
+node 26 load mem 5 32 16
+node 27 fadd
+node 28 fdiv
+node 29 load mem 0 -16 8
+node 30 load mem 6 0 8
+node 31 fmul
+node 32 load mem 2 80 8
+node 33 fadd
+node 34 fadd
+node 35 store mem 9 0 8
+edge 0 3 flow 0
+edge 1 2 flow 0
+edge 2 3 flow 0
+edge 3 5 flow 0
+edge 4 5 flow 0
+edge 5 10 flow 0
+edge 6 7 flow 0
+edge 7 9 flow 0
+edge 8 9 flow 0
+edge 9 10 flow 0
+edge 10 11 flow 0
+edge 10 22 flow 11
+edge 10 23 flow 11
+edge 12 13 flow 0
+edge 13 16 flow 0
+edge 14 15 flow 0
+edge 15 16 flow 0
+edge 16 21 flow 0
+edge 17 19 flow 0
+edge 18 19 flow 0
+edge 19 20 flow 0
+edge 20 21 flow 0
+edge 21 22 flow 0
+edge 22 23 flow 0
+edge 23 24 flow 0
+edge 25 27 flow 0
+edge 26 27 flow 0
+edge 27 28 flow 0
+edge 28 34 flow 0
+edge 29 31 flow 0
+edge 30 31 flow 0
+edge 31 33 flow 0
+edge 32 33 flow 0
+edge 33 34 flow 0
+edge 34 35 flow 0
+end

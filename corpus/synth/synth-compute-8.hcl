@@ -1,0 +1,58 @@
+hcl 1 loop
+trip 15951
+invocations 1
+name synth-compute-8
+invariants 4
+slots 26
+node 0 load mem 2 8 16
+node 1 load mem 3 -8 8
+node 2 fmul
+node 3 load mem 4 24 8
+node 4 fdiv
+node 5 fmul
+node 6 load mem 1 -8 8
+node 7 fadd
+node 8 load mem 1 80 848
+node 9 load mem 2 -8 16
+node 10 fmul
+node 11 load mem 3 0 3144
+node 12 fadd
+node 13 fmul
+node 14 load mem 3 -8 8
+node 15 load mem 2 24 8
+node 16 fadd
+node 17 load mem 3 40 8
+node 18 fadd inv 1 2
+node 19 load mem 2 24 8
+node 20 fmul inv 1 3
+node 21 fmul
+node 22 fadd
+node 23 fadd
+node 24 fadd
+node 25 store mem 5 0 1112
+edge 0 2 flow 0
+edge 1 2 flow 0
+edge 2 5 flow 0
+edge 3 4 flow 0
+edge 4 5 flow 0
+edge 5 7 flow 0
+edge 6 7 flow 0
+edge 7 24 flow 0
+edge 8 10 flow 0
+edge 9 10 flow 0
+edge 10 13 flow 0
+edge 11 12 flow 0
+edge 12 13 flow 0
+edge 13 23 flow 0
+edge 14 16 flow 0
+edge 15 16 flow 0
+edge 16 22 flow 0
+edge 17 18 flow 0
+edge 18 21 flow 0
+edge 19 20 flow 0
+edge 20 21 flow 0
+edge 21 22 flow 0
+edge 22 23 flow 0
+edge 23 24 flow 0
+edge 24 25 flow 0
+end

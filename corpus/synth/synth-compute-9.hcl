@@ -1,0 +1,69 @@
+hcl 1 loop
+trip 14311
+invocations 1
+name synth-compute-9
+invariants 5
+slots 32
+node 0 load mem 0 8 8
+node 1 load mem 1 0 8
+node 2 fadd inv 1 3
+node 3 fadd
+node 4 load mem 1 24 1176
+node 5 fmul inv 1 2
+node 6 fmul
+node 7 load mem 1 -8 8
+node 8 fadd
+node 9 fadd
+node 10 store mem 2 0 1664
+node 11 load mem 0 -8 8
+node 12 load mem 1 24 8
+node 13 fadd
+node 14 load mem 3 56 8
+node 15 fmul
+node 16 load mem 2 40 8
+node 17 load mem 4 72 3400
+node 18 fadd inv 1 1
+node 19 fadd
+node 20 load mem 1 56 8
+node 21 fadd
+node 22 fadd
+node 23 load mem 1 24 8
+node 24 fsqrt
+node 25 load mem 3 16 8
+node 26 fmul inv 1 1
+node 27 fmul
+node 28 load mem 0 56 696
+node 29 fmul
+node 30 fmul
+node 31 store mem 5 0 8
+edge 0 3 flow 0
+edge 1 2 flow 0
+edge 2 3 flow 0
+edge 3 6 flow 0
+edge 4 5 flow 0
+edge 5 6 flow 0
+edge 6 8 flow 0
+edge 7 8 flow 0
+edge 8 9 flow 0
+edge 9 10 flow 0
+edge 11 13 flow 0
+edge 12 13 flow 0
+edge 13 15 flow 0
+edge 14 15 flow 0
+edge 15 22 flow 0
+edge 16 19 flow 0
+edge 17 18 flow 0
+edge 18 19 flow 0
+edge 19 21 flow 0
+edge 20 21 flow 0
+edge 21 22 flow 0
+edge 22 30 flow 0
+edge 23 24 flow 0
+edge 24 27 flow 0
+edge 25 26 flow 0
+edge 26 27 flow 0
+edge 27 29 flow 0
+edge 28 29 flow 0
+edge 29 30 flow 0
+edge 30 31 flow 0
+end

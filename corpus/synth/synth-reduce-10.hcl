@@ -1,0 +1,138 @@
+hcl 1 loop
+trip 177
+invocations 1
+name synth-reduce-10
+invariants 4
+slots 64
+node 0 load mem 1 88 8
+node 1 load mem 1 80 552
+node 2 fmul inv 1 1
+node 3 fmul
+node 4 fadd
+node 5 load mem 0 72 8
+node 6 load mem 0 16 8
+node 7 fadd inv 1 2
+node 8 fmul inv 1 0
+node 9 fadd
+node 10 load mem 2 -16 8
+node 11 load mem 2 16 680
+node 12 fadd
+node 13 fmul
+node 14 fmul
+node 15 fadd
+node 16 load mem 1 56 16
+node 17 load mem 3 56 16
+node 18 fmul inv 1 2
+node 19 fadd
+node 20 load mem 0 24 8
+node 21 fadd inv 1 1
+node 22 fadd inv 1 1
+node 23 fmul inv 1 3
+node 24 load mem 1 88 896
+node 25 fmul
+node 26 fmul
+node 27 load mem 1 32 8
+node 28 fadd
+node 29 fadd
+node 30 load mem 3 16 8
+node 31 load mem 2 56 8
+node 32 fmul
+node 33 load mem 1 96 8
+node 34 fmul
+node 35 load mem 2 80 8
+node 36 load mem 4 0 8
+node 37 fadd
+node 38 load mem 4 32 8
+node 39 fmul
+node 40 fmul
+node 41 fmul
+node 42 load mem 3 24 8
+node 43 load mem 2 -16 16
+node 44 fmul
+node 45 load mem 4 48 8
+node 46 fmul
+node 47 load mem 1 56 1584
+node 48 fadd
+node 49 fadd
+node 50 load mem 2 72 8
+node 51 fmul
+node 52 load mem 5 56 8
+node 53 fadd
+node 54 load mem 3 40 8
+node 55 load mem 5 40 8
+node 56 fadd
+node 57 load mem 6 32 8
+node 58 fmul
+node 59 fadd
+node 60 fadd
+node 61 fmul
+node 62 fmul
+node 63 fmul
+edge 0 3 flow 0
+edge 1 2 flow 0
+edge 2 3 flow 0
+edge 3 4 flow 0
+edge 4 14 flow 0
+edge 5 9 flow 0
+edge 6 7 flow 0
+edge 7 8 flow 0
+edge 8 9 flow 0
+edge 9 13 flow 0
+edge 10 12 flow 0
+edge 11 12 flow 0
+edge 12 13 flow 0
+edge 13 14 flow 0
+edge 14 15 flow 0
+edge 14 61 flow 13
+edge 14 62 flow 5
+edge 15 15 flow 1
+edge 16 19 flow 0
+edge 17 18 flow 0
+edge 18 19 flow 0
+edge 19 26 flow 0
+edge 20 21 flow 0
+edge 21 22 flow 0
+edge 22 23 flow 0
+edge 23 25 flow 0
+edge 24 25 flow 0
+edge 25 26 flow 0
+edge 26 28 flow 0
+edge 27 28 flow 0
+edge 28 29 flow 0
+edge 29 29 flow 1
+edge 30 32 flow 0
+edge 31 32 flow 0
+edge 32 34 flow 0
+edge 33 34 flow 0
+edge 34 40 flow 0
+edge 35 37 flow 0
+edge 36 37 flow 0
+edge 37 39 flow 0
+edge 38 39 flow 0
+edge 39 40 flow 0
+edge 40 41 flow 0
+edge 40 60 flow 5
+edge 41 41 flow 1
+edge 42 44 flow 0
+edge 43 44 flow 0
+edge 44 46 flow 0
+edge 45 46 flow 0
+edge 46 48 flow 0
+edge 47 48 flow 0
+edge 48 49 flow 0
+edge 49 49 flow 1
+edge 50 51 flow 0
+edge 51 53 flow 0
+edge 52 53 flow 0
+edge 53 59 flow 0
+edge 54 56 flow 0
+edge 55 56 flow 0
+edge 56 58 flow 0
+edge 57 58 flow 0
+edge 58 59 flow 0
+edge 59 60 flow 0
+edge 60 61 flow 0
+edge 61 62 flow 0
+edge 62 63 flow 0
+edge 63 63 flow 1
+end

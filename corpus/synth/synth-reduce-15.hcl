@@ -1,0 +1,33 @@
+hcl 1 loop
+trip 153
+invocations 1
+name synth-reduce-15
+invariants 2
+slots 13
+node 0 load mem 2 72 8
+node 1 load mem 1 32 8
+node 2 fadd
+node 3 load mem 0 80 8
+node 4 fmul
+node 5 fadd
+node 6 load mem 0 64 8
+node 7 fmul inv 1 1
+node 8 load mem 0 40 8
+node 9 fadd
+node 10 load mem 3 24 8
+node 11 fadd
+node 12 fadd
+edge 0 2 flow 0
+edge 1 2 flow 0
+edge 2 4 flow 0
+edge 3 4 flow 0
+edge 4 5 flow 0
+edge 5 5 flow 1
+edge 6 7 flow 0
+edge 7 9 flow 0
+edge 8 9 flow 0
+edge 9 11 flow 0
+edge 10 11 flow 0
+edge 11 12 flow 0
+edge 12 12 flow 1
+end

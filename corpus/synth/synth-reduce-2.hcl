@@ -1,0 +1,19 @@
+hcl 1 loop
+trip 968
+invocations 1
+name synth-reduce-2
+invariants 3
+slots 6
+node 0 load mem 1 88 1128
+node 1 fdiv
+node 2 fadd
+node 3 load mem 2 0 8
+node 4 fmul
+node 5 fmul
+edge 0 1 flow 0
+edge 1 2 flow 0
+edge 2 2 flow 1
+edge 3 4 flow 0
+edge 4 5 flow 0
+edge 5 5 flow 1
+end

@@ -1,0 +1,52 @@
+hcl 1 loop
+trip 202
+invocations 5
+name synth-reduce-3
+invariants 4
+slots 21
+node 0 load mem 1 72 656
+node 1 load mem 0 72 8
+node 2 fadd
+node 3 fmul
+node 4 load mem 3 24 8
+node 5 load mem 2 16 8
+node 6 fmul
+node 7 fadd
+node 8 load mem 0 80 16
+node 9 fadd
+node 10 fmul
+node 11 fmul
+node 12 fmul
+node 13 load mem 3 88 8
+node 14 fadd
+node 15 fmul
+node 16 fadd
+node 17 load mem 3 64 8
+node 18 load mem 2 56 8
+node 19 fadd
+node 20 fmul
+edge 0 2 flow 0
+edge 1 2 flow 0
+edge 2 3 flow 0
+edge 2 11 flow 8
+edge 3 3 flow 2
+edge 4 6 flow 0
+edge 5 6 flow 0
+edge 6 7 flow 0
+edge 6 10 flow 10
+edge 6 15 flow 12
+edge 7 7 flow 1
+edge 8 9 flow 0
+edge 9 10 flow 0
+edge 10 11 flow 0
+edge 11 12 flow 0
+edge 12 12 flow 2
+edge 13 14 flow 0
+edge 14 15 flow 0
+edge 15 16 flow 0
+edge 16 16 flow 1
+edge 17 19 flow 0
+edge 18 19 flow 0
+edge 19 20 flow 0
+edge 20 20 flow 2
+end

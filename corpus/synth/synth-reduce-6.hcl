@@ -1,0 +1,46 @@
+hcl 1 loop
+trip 166
+invocations 4
+name synth-reduce-6
+invariants 0
+slots 17
+node 0 load mem 0 -16 664
+node 1 load mem 1 8 8
+node 2 fadd
+node 3 fadd
+node 4 load mem 0 24 16
+node 5 load mem 3 96 3024
+node 6 fadd
+node 7 fadd
+node 8 fadd
+node 9 load mem 2 8 16
+node 10 load mem 2 40 8
+node 11 fmul
+node 12 fmul
+node 13 fadd
+node 14 fmul
+node 15 fmul
+node 16 fmul
+edge 0 2 flow 0
+edge 1 2 flow 0
+edge 2 3 flow 0
+edge 2 7 flow 5
+edge 2 13 flow 13
+edge 2 14 flow 7
+edge 2 15 flow 5
+edge 3 3 flow 1
+edge 4 6 flow 0
+edge 5 6 flow 0
+edge 6 7 flow 0
+edge 7 8 flow 0
+edge 7 12 flow 7
+edge 8 8 flow 1
+edge 9 11 flow 0
+edge 10 11 flow 0
+edge 11 12 flow 0
+edge 12 13 flow 0
+edge 13 14 flow 0
+edge 14 15 flow 0
+edge 15 16 flow 0
+edge 16 16 flow 2
+end

@@ -1,0 +1,91 @@
+hcl 1 loop
+trip 523
+invocations 4
+name synth-stream-0
+invariants 5
+slots 43
+node 0 load mem 1 48 8
+node 1 fadd
+node 2 load mem 2 -16 8
+node 3 fmul
+node 4 store mem 3 0 8
+node 5 load mem 0 96 8
+node 6 fmul
+node 7 load mem 3 56 8
+node 8 fmul
+node 9 store mem 4 0 1720
+node 10 load mem 2 72 8
+node 11 load mem 0 40 8
+node 12 fadd inv 1 4
+node 13 fadd
+node 14 fadd
+node 15 store mem 5 0 8
+node 16 load mem 6 32 16
+node 17 load mem 6 40 8
+node 18 fadd
+node 19 load mem 6 80 672
+node 20 load mem 7 8 8
+node 21 fadd
+node 22 fmul
+node 23 fmul
+node 24 fadd
+node 25 fmul
+node 26 store mem 8 0 8
+node 27 load mem 2 40 8
+node 28 load mem 6 48 16
+node 29 fmul
+node 30 load mem 7 32 2192
+node 31 fmul
+node 32 fmul
+node 33 store mem 9 0 3280
+node 34 load mem 6 56 8
+node 35 load mem 1 8 8
+node 36 fadd
+node 37 load mem 4 64 8
+node 38 load mem 3 96 8
+node 39 fmul inv 1 2
+node 40 fadd
+node 41 fmul
+node 42 store mem 10 0 8
+edge 0 1 flow 0
+edge 1 3 flow 0
+edge 2 3 flow 0
+edge 3 4 flow 0
+edge 3 25 flow 12
+edge 5 6 flow 0
+edge 6 8 flow 0
+edge 7 8 flow 0
+edge 8 9 flow 0
+edge 8 23 flow 11
+edge 8 24 flow 14
+edge 10 13 flow 0
+edge 11 12 flow 0
+edge 12 13 flow 0
+edge 13 14 flow 0
+edge 14 15 flow 0
+edge 16 18 flow 0
+edge 17 18 flow 0
+edge 18 22 flow 0
+edge 19 21 flow 0
+edge 20 21 flow 0
+edge 21 22 flow 0
+edge 22 23 flow 0
+edge 23 24 flow 0
+edge 24 25 flow 0
+edge 25 26 flow 0
+edge 25 32 flow 11
+edge 27 29 flow 0
+edge 28 29 flow 0
+edge 29 31 flow 0
+edge 30 31 flow 0
+edge 31 32 flow 0
+edge 32 33 flow 0
+edge 34 36 flow 0
+edge 35 36 flow 0
+edge 36 41 flow 0
+edge 37 40 flow 0
+edge 38 39 flow 0
+edge 39 40 flow 0
+edge 40 41 flow 0
+edge 41 42 flow 0
+end

@@ -1,0 +1,193 @@
+hcl 1 loop
+trip 3163
+invocations 1
+name synth-stream-1
+invariants 5
+slots 90
+node 0 load mem 0 80 8
+node 1 load mem 1 72 8
+node 2 fmul
+node 3 load mem 2 96 8
+node 4 fmul
+node 5 load mem 2 48 8
+node 6 load mem 2 80 16
+node 7 fadd
+node 8 fmul
+node 9 fmul
+node 10 store mem 3 0 8
+node 11 load mem 1 -8 8
+node 12 load mem 0 16 8
+node 13 fmul
+node 14 load mem 2 88 888
+node 15 fadd
+node 16 load mem 0 40 8
+node 17 fadd
+node 18 fadd
+node 19 fmul
+node 20 store mem 4 0 8
+node 21 load mem 1 -8 8
+node 22 fmul
+node 23 load mem 4 32 8
+node 24 load mem 5 40 3856
+node 25 fadd
+node 26 fadd
+node 27 load mem 2 96 8
+node 28 fadd
+node 29 fmul
+node 30 fmul
+node 31 fmul
+node 32 fmul
+node 33 store mem 6 0 8
+node 34 load mem 5 16 8
+node 35 load mem 4 24 8
+node 36 fadd inv 1 1
+node 37 fadd
+node 38 load mem 5 80 888
+node 39 fadd
+node 40 load mem 7 -8 16
+node 41 fadd
+node 42 store mem 8 0 8
+node 43 load mem 5 16 8
+node 44 load mem 3 48 856
+node 45 fmul
+node 46 load mem 3 -16 1760
+node 47 fmul inv 1 3
+node 48 fadd
+node 49 load mem 1 72 8
+node 50 fmul
+node 51 store mem 9 0 8
+node 52 load mem 2 64 8
+node 53 load mem 3 40 16
+node 54 fmul
+node 55 load mem 10 32 8
+node 56 fadd
+node 57 fmul
+node 58 fadd
+node 59 store mem 11 0 8
+node 60 load mem 7 64 8
+node 61 load mem 0 96 8
+node 62 fmul
+node 63 load mem 10 56 1152
+node 64 fadd
+node 65 load mem 0 32 8
+node 66 load mem 2 0 8
+node 67 fmul
+node 68 load mem 8 24 8
+node 69 fadd
+node 70 fmul
+node 71 fadd
+node 72 fadd
+node 73 fadd
+node 74 fadd
+node 75 fmul
+node 76 fadd
+node 77 fadd
+node 78 store mem 12 0 8
+node 79 load mem 8 24 16
+node 80 load mem 10 40 8
+node 81 fadd inv 1 1
+node 82 fmul
+node 83 load mem 6 -16 8
+node 84 load mem 1 80 8
+node 85 fadd
+node 86 fmul
+node 87 load mem 7 80 8
+node 88 fadd
+node 89 store mem 13 0 1280
+edge 0 2 flow 0
+edge 1 2 flow 0
+edge 2 4 flow 0
+edge 3 4 flow 0
+edge 4 9 flow 0
+edge 5 7 flow 0
+edge 6 7 flow 0
+edge 7 8 flow 0
+edge 8 9 flow 0
+edge 9 10 flow 0
+edge 9 18 flow 10
+edge 9 19 flow 13
+edge 9 29 flow 10
+edge 9 31 flow 10
+edge 9 72 flow 12
+edge 9 74 flow 11
+edge 11 13 flow 0
+edge 12 13 flow 0
+edge 13 15 flow 0
+edge 14 15 flow 0
+edge 15 17 flow 0
+edge 16 17 flow 0
+edge 17 18 flow 0
+edge 18 19 flow 0
+edge 19 20 flow 0
+edge 19 30 flow 8
+edge 19 32 flow 13
+edge 19 58 flow 10
+edge 19 71 flow 7
+edge 19 77 flow 9
+edge 21 22 flow 0
+edge 22 26 flow 0
+edge 23 25 flow 0
+edge 24 25 flow 0
+edge 25 26 flow 0
+edge 26 28 flow 0
+edge 27 28 flow 0
+edge 28 29 flow 0
+edge 29 30 flow 0
+edge 30 31 flow 0
+edge 31 32 flow 0
+edge 32 33 flow 0
+edge 32 75 flow 14
+edge 34 37 flow 0
+edge 35 36 flow 0
+edge 36 37 flow 0
+edge 37 39 flow 0
+edge 38 39 flow 0
+edge 39 41 flow 0
+edge 40 41 flow 0
+edge 41 42 flow 0
+edge 43 45 flow 0
+edge 44 45 flow 0
+edge 45 48 flow 0
+edge 46 47 flow 0
+edge 47 48 flow 0
+edge 48 50 flow 0
+edge 49 50 flow 0
+edge 50 51 flow 0
+edge 50 76 flow 7
+edge 52 54 flow 0
+edge 53 54 flow 0
+edge 54 56 flow 0
+edge 55 56 flow 0
+edge 56 57 flow 0
+edge 57 58 flow 0
+edge 58 59 flow 0
+edge 58 73 flow 7
+edge 60 62 flow 0
+edge 61 62 flow 0
+edge 62 64 flow 0
+edge 63 64 flow 0
+edge 64 70 flow 0
+edge 65 67 flow 0
+edge 66 67 flow 0
+edge 67 69 flow 0
+edge 68 69 flow 0
+edge 69 70 flow 0
+edge 70 71 flow 0
+edge 71 72 flow 0
+edge 72 73 flow 0
+edge 73 74 flow 0
+edge 74 75 flow 0
+edge 75 76 flow 0
+edge 76 77 flow 0
+edge 77 78 flow 0
+edge 79 82 flow 0
+edge 80 81 flow 0
+edge 81 82 flow 0
+edge 82 86 flow 0
+edge 83 85 flow 0
+edge 84 85 flow 0
+edge 85 86 flow 0
+edge 86 88 flow 0
+edge 87 88 flow 0
+edge 88 89 flow 0
+end

@@ -1,0 +1,243 @@
+hcl 1 loop
+trip 295
+invocations 1
+name synth-stream-13
+invariants 4
+slots 118
+node 0 load mem 3 16 8
+node 1 fmul inv 1 3
+node 2 fdiv
+node 3 load mem 1 48 8
+node 4 fadd
+node 5 load mem 0 48 8
+node 6 fadd inv 1 3
+node 7 fadd
+node 8 load mem 3 32 720
+node 9 fadd
+node 10 fmul
+node 11 store mem 4 0 8
+node 12 load mem 3 96 16
+node 13 fmul
+node 14 load mem 2 8 3488
+node 15 load mem 2 0 8
+node 16 fadd inv 1 2
+node 17 fadd
+node 18 fadd
+node 19 load mem 2 56 16
+node 20 load mem 0 80 16
+node 21 fadd
+node 22 load mem 0 32 16
+node 23 fmul
+node 24 fadd
+node 25 fmul
+node 26 store mem 5 0 8
+node 27 load mem 1 56 1816
+node 28 load mem 6 88 8
+node 29 fadd
+node 30 load mem 6 -16 8
+node 31 load mem 3 -8 8
+node 32 fadd
+node 33 fadd
+node 34 load mem 1 0 8
+node 35 load mem 3 80 8
+node 36 fadd
+node 37 load mem 5 -8 8
+node 38 fmul
+node 39 fmul
+node 40 fadd
+node 41 store mem 7 0 3816
+node 42 load mem 7 -8 744
+node 43 fmul
+node 44 load mem 1 16 8
+node 45 fmul
+node 46 load mem 7 16 8
+node 47 load mem 8 88 8
+node 48 fmul
+node 49 load mem 0 48 8
+node 50 fmul
+node 51 fadd
+node 52 fadd
+node 53 fmul
+node 54 store mem 9 0 16
+node 55 load mem 4 24 8
+node 56 fmul inv 1 2
+node 57 load mem 3 48 8
+node 58 fadd
+node 59 load mem 6 72 8
+node 60 fmul
+node 61 load mem 4 56 1400
+node 62 fadd inv 1 3
+node 63 fmul inv 1 2
+node 64 fmul
+node 65 fmul
+node 66 store mem 10 0 8
+node 67 load mem 9 96 8
+node 68 load mem 2 64 8
+node 69 fadd
+node 70 load mem 5 24 8
+node 71 fadd
+node 72 fmul
+node 73 load mem 4 56 8
+node 74 fadd
+node 75 fadd
+node 76 store mem 11 0 3360
+node 77 load mem 3 -16 8
+node 78 fdiv
+node 79 load mem 6 96 8
+node 80 load mem 11 -16 16
+node 81 fmul
+node 82 fadd
+node 83 fadd
+node 84 fmul
+node 85 fmul
+node 86 store mem 12 0 8
+node 87 load mem 4 48 8
+node 88 load mem 13 24 8
+node 89 fmul
+node 90 fdiv
+node 91 load mem 7 72 8
+node 92 load mem 13 -16 8
+node 93 fadd
+node 94 load mem 11 64 8
+node 95 load mem 0 96 16
+node 96 fadd
+node 97 fmul
+node 98 fadd
+node 99 store mem 14 0 16
+node 100 load mem 12 72 528
+node 101 load mem 3 40 8
+node 102 fadd
+node 103 fmul
+node 104 fadd
+node 105 fadd
+node 106 store mem 15 0 8
+node 107 load mem 0 80 8
+node 108 load mem 11 64 3048
+node 109 fadd
+node 110 load mem 9 56 8
+node 111 fadd inv 1 0
+node 112 fadd
+node 113 load mem 8 -8 8
+node 114 fadd inv 1 2
+node 115 fmul
+node 116 fadd
+node 117 store mem 16 0 2088
+edge 0 1 flow 0
+edge 1 2 flow 0
+edge 2 4 flow 0
+edge 3 4 flow 0
+edge 4 10 flow 0
+edge 5 6 flow 0
+edge 6 7 flow 0
+edge 7 9 flow 0
+edge 8 9 flow 0
+edge 9 10 flow 0
+edge 10 11 flow 0
+edge 10 25 flow 12
+edge 10 84 flow 12
+edge 12 13 flow 0
+edge 13 18 flow 0
+edge 14 17 flow 0
+edge 15 16 flow 0
+edge 16 17 flow 0
+edge 17 18 flow 0
+edge 18 24 flow 0
+edge 19 21 flow 0
+edge 20 21 flow 0
+edge 21 23 flow 0
+edge 22 23 flow 0
+edge 23 24 flow 0
+edge 24 25 flow 0
+edge 25 26 flow 0
+edge 25 40 flow 7
+edge 25 52 flow 12
+edge 25 53 flow 6
+edge 25 75 flow 6
+edge 27 29 flow 0
+edge 28 29 flow 0
+edge 29 33 flow 0
+edge 30 32 flow 0
+edge 31 32 flow 0
+edge 32 33 flow 0
+edge 33 39 flow 0
+edge 34 36 flow 0
+edge 35 36 flow 0
+edge 36 38 flow 0
+edge 37 38 flow 0
+edge 38 39 flow 0
+edge 39 40 flow 0
+edge 40 41 flow 0
+edge 42 43 flow 0
+edge 43 45 flow 0
+edge 44 45 flow 0
+edge 45 51 flow 0
+edge 46 48 flow 0
+edge 47 48 flow 0
+edge 48 50 flow 0
+edge 49 50 flow 0
+edge 50 51 flow 0
+edge 51 52 flow 0
+edge 52 53 flow 0
+edge 53 54 flow 0
+edge 53 65 flow 6
+edge 53 85 flow 6
+edge 55 56 flow 0
+edge 56 58 flow 0
+edge 57 58 flow 0
+edge 58 60 flow 0
+edge 59 60 flow 0
+edge 60 64 flow 0
+edge 61 62 flow 0
+edge 62 63 flow 0
+edge 63 64 flow 0
+edge 64 65 flow 0
+edge 65 66 flow 0
+edge 67 69 flow 0
+edge 68 69 flow 0
+edge 69 72 flow 0
+edge 70 71 flow 0
+edge 71 72 flow 0
+edge 72 74 flow 0
+edge 73 74 flow 0
+edge 74 75 flow 0
+edge 75 76 flow 0
+edge 75 105 flow 9
+edge 77 78 flow 0
+edge 78 82 flow 0
+edge 79 81 flow 0
+edge 80 81 flow 0
+edge 81 82 flow 0
+edge 82 83 flow 0
+edge 83 84 flow 0
+edge 84 85 flow 0
+edge 85 86 flow 0
+edge 87 89 flow 0
+edge 88 89 flow 0
+edge 89 90 flow 0
+edge 90 98 flow 0
+edge 91 93 flow 0
+edge 92 93 flow 0
+edge 93 97 flow 0
+edge 94 96 flow 0
+edge 95 96 flow 0
+edge 96 97 flow 0
+edge 97 98 flow 0
+edge 98 99 flow 0
+edge 98 116 flow 14
+edge 100 102 flow 0
+edge 101 102 flow 0
+edge 102 103 flow 0
+edge 103 104 flow 0
+edge 104 105 flow 0
+edge 105 106 flow 0
+edge 107 109 flow 0
+edge 108 109 flow 0
+edge 109 112 flow 0
+edge 110 111 flow 0
+edge 111 112 flow 0
+edge 112 115 flow 0
+edge 113 114 flow 0
+edge 114 115 flow 0
+edge 115 116 flow 0
+edge 116 117 flow 0
+end

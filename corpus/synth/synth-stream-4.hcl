@@ -1,0 +1,174 @@
+hcl 1 loop
+trip 3062
+invocations 1
+name synth-stream-4
+invariants 5
+slots 80
+node 0 load mem 3 -16 8
+node 1 fmul
+node 2 load mem 1 24 8
+node 3 fadd inv 1 3
+node 4 fadd
+node 5 store mem 4 0 8
+node 6 load mem 3 8 8
+node 7 load mem 5 -16 8
+node 8 fadd
+node 9 load mem 2 88 8
+node 10 load mem 0 80 8
+node 11 fmul
+node 12 fadd
+node 13 fadd
+node 14 store mem 6 0 8
+node 15 load mem 5 48 8
+node 16 load mem 7 -16 8
+node 17 fadd
+node 18 load mem 6 -16 16
+node 19 fmul
+node 20 fmul
+node 21 store mem 8 0 8
+node 22 load mem 3 16 8
+node 23 fadd inv 1 4
+node 24 load mem 9 32 1304
+node 25 fadd
+node 26 load mem 5 64 16
+node 27 fadd
+node 28 fadd
+node 29 fadd
+node 30 store mem 10 0 8
+node 31 load mem 4 0 16
+node 32 load mem 7 88 16
+node 33 fadd
+node 34 fadd
+node 35 fadd
+node 36 store mem 11 0 1096
+node 37 load mem 10 0 8
+node 38 load mem 11 -8 16
+node 39 fadd
+node 40 load mem 2 64 8
+node 41 fmul
+node 42 store mem 12 0 8
+node 43 load mem 0 -16 8
+node 44 fmul
+node 45 fdiv
+node 46 fadd
+node 47 store mem 13 0 736
+node 48 load mem 5 40 16
+node 49 load mem 9 80 8
+node 50 fadd
+node 51 load mem 12 72 1024
+node 52 fadd
+node 53 fmul
+node 54 fmul
+node 55 fadd
+node 56 fadd
+node 57 fmul
+node 58 store mem 14 0 8
+node 59 load mem 13 32 3608
+node 60 load mem 8 56 8
+node 61 fadd
+node 62 load mem 0 64 8
+node 63 load mem 0 0 8
+node 64 fadd
+node 65 fadd
+node 66 fadd
+node 67 fadd
+node 68 fmul
+node 69 fmul
+node 70 fmul
+node 71 fadd
+node 72 store mem 15 0 8
+node 73 load mem 2 64 8
+node 74 fmul
+node 75 load mem 8 -8 8
+node 76 load mem 6 40 16
+node 77 fmul
+node 78 fadd
+node 79 store mem 16 0 8
+edge 0 1 flow 0
+edge 1 4 flow 0
+edge 2 3 flow 0
+edge 3 4 flow 0
+edge 4 5 flow 0
+edge 4 13 flow 14
+edge 4 20 flow 9
+edge 4 29 flow 6
+edge 6 8 flow 0
+edge 7 8 flow 0
+edge 8 12 flow 0
+edge 9 11 flow 0
+edge 10 11 flow 0
+edge 11 12 flow 0
+edge 12 13 flow 0
+edge 13 14 flow 0
+edge 15 17 flow 0
+edge 16 17 flow 0
+edge 17 19 flow 0
+edge 18 19 flow 0
+edge 19 20 flow 0
+edge 20 21 flow 0
+edge 20 28 flow 6
+edge 20 46 flow 8
+edge 20 54 flow 12
+edge 20 66 flow 13
+edge 20 67 flow 5
+edge 22 23 flow 0
+edge 23 25 flow 0
+edge 24 25 flow 0
+edge 25 27 flow 0
+edge 26 27 flow 0
+edge 27 28 flow 0
+edge 28 29 flow 0
+edge 29 30 flow 0
+edge 29 35 flow 12
+edge 29 53 flow 10
+edge 31 33 flow 0
+edge 32 33 flow 0
+edge 33 34 flow 0
+edge 34 35 flow 0
+edge 35 36 flow 0
+edge 35 55 flow 13
+edge 35 56 flow 12
+edge 35 69 flow 13
+edge 37 39 flow 0
+edge 38 39 flow 0
+edge 39 41 flow 0
+edge 40 41 flow 0
+edge 41 42 flow 0
+edge 41 70 flow 8
+edge 43 44 flow 0
+edge 44 45 flow 0
+edge 45 46 flow 0
+edge 46 47 flow 0
+edge 46 57 flow 12
+edge 46 68 flow 7
+edge 46 71 flow 5
+edge 48 50 flow 0
+edge 49 50 flow 0
+edge 50 52 flow 0
+edge 51 52 flow 0
+edge 52 53 flow 0
+edge 53 54 flow 0
+edge 54 55 flow 0
+edge 55 56 flow 0
+edge 56 57 flow 0
+edge 57 58 flow 0
+edge 59 61 flow 0
+edge 60 61 flow 0
+edge 61 65 flow 0
+edge 62 64 flow 0
+edge 63 64 flow 0
+edge 64 65 flow 0
+edge 65 66 flow 0
+edge 66 67 flow 0
+edge 67 68 flow 0
+edge 68 69 flow 0
+edge 69 70 flow 0
+edge 70 71 flow 0
+edge 71 72 flow 0
+edge 73 74 flow 0
+edge 74 78 flow 0
+edge 75 77 flow 0
+edge 76 77 flow 0
+edge 77 78 flow 0
+edge 78 79 flow 0
+end

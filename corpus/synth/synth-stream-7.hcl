@@ -1,0 +1,72 @@
+hcl 1 loop
+trip 694
+invocations 6
+name synth-stream-7
+invariants 2
+slots 34
+node 0 load mem 0 -8 8
+node 1 load mem 1 96 8
+node 2 fadd
+node 3 load mem 2 -16 8
+node 4 fmul inv 1 0
+node 5 fadd inv 1 1
+node 6 fadd
+node 7 store mem 3 0 8
+node 8 load mem 3 32 1648
+node 9 load mem 4 -16 8
+node 10 fmul inv 1 0
+node 11 fadd
+node 12 load mem 4 72 8
+node 13 fadd inv 1 0
+node 14 load mem 3 72 8
+node 15 fadd
+node 16 fadd
+node 17 fmul
+node 18 store mem 5 0 8
+node 19 load mem 2 24 8
+node 20 load mem 1 -8 3056
+node 21 fmul
+node 22 load mem 3 16 8
+node 23 load mem 0 0 8
+node 24 fadd
+node 25 fadd
+node 26 store mem 6 0 8
+node 27 load mem 1 80 16
+node 28 fadd
+node 29 load mem 0 64 8
+node 30 load mem 5 96 8
+node 31 fadd
+node 32 fadd
+node 33 store mem 7 0 8
+edge 0 2 flow 0
+edge 1 2 flow 0
+edge 2 6 flow 0
+edge 3 4 flow 0
+edge 4 5 flow 0
+edge 5 6 flow 0
+edge 6 7 flow 0
+edge 6 17 flow 10
+edge 8 11 flow 0
+edge 9 10 flow 0
+edge 10 11 flow 0
+edge 11 16 flow 0
+edge 12 13 flow 0
+edge 13 15 flow 0
+edge 14 15 flow 0
+edge 15 16 flow 0
+edge 16 17 flow 0
+edge 17 18 flow 0
+edge 19 21 flow 0
+edge 20 21 flow 0
+edge 21 25 flow 0
+edge 22 24 flow 0
+edge 23 24 flow 0
+edge 24 25 flow 0
+edge 25 26 flow 0
+edge 27 28 flow 0
+edge 28 32 flow 0
+edge 29 31 flow 0
+edge 30 31 flow 0
+edge 31 32 flow 0
+edge 32 33 flow 0
+end

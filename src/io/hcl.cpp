@@ -1,0 +1,835 @@
+#include "io/hcl.h"
+
+#include <unistd.h>
+
+#include <atomic>
+
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "io/scanner.h"
+
+namespace hcrf::io {
+
+// ---------------------------------------------------------------------------
+// Scanner implementation (declared in io/scanner.h; shared with the
+// manifest parser in service/batch.cpp)
+// ---------------------------------------------------------------------------
+
+[[noreturn]] void Fail(std::string_view file, int line,
+                       const std::string& message) {
+  throw HclError(file, line, message);
+}
+
+Scanner Tokenize(std::string_view text, std::string_view file) {
+  Scanner sc;
+  sc.file = file;
+  int number = 0;
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    size_t nl = text.find('\n', begin);
+    const size_t end = nl == std::string_view::npos ? text.size() : nl;
+    std::string_view line = text.substr(begin, end - begin);
+    ++number;
+    begin = end + 1;
+    if (nl == std::string_view::npos && line.empty()) break;
+
+    TokLine tl;
+    tl.number = number;
+    size_t i = 0;
+    while (i < line.size()) {
+      while (i < line.size() && (line[i] == ' ' || line[i] == '\t' ||
+                                 line[i] == '\r')) {
+        ++i;
+      }
+      size_t start = i;
+      while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+             line[i] != '\r') {
+        ++i;
+      }
+      if (i > start) tl.toks.push_back(line.substr(start, i - start));
+    }
+    if (tl.toks.empty() || tl.toks[0].front() == '#') continue;
+    sc.lines.push_back(std::move(tl));
+    if (nl == std::string_view::npos) break;
+  }
+  return sc;
+}
+
+long ScanLong(const Scanner& sc, int line, std::string_view tok,
+              std::string_view what) {
+  long v = 0;
+  auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc() || ptr != tok.data() + tok.size()) {
+    Fail(sc.file, line,
+         "expected integer for " + std::string(what) + ", got '" +
+             std::string(tok) + "'");
+  }
+  return v;
+}
+
+int ScanInt(const Scanner& sc, int line, std::string_view tok,
+            std::string_view what) {
+  const long v = ScanLong(sc, line, tok, what);
+  if (v < INT32_MIN || v > INT32_MAX) {
+    Fail(sc.file, line, std::string(what) + " out of range");
+  }
+  return static_cast<int>(v);
+}
+
+double ScanDouble(const Scanner& sc, int line, std::string_view tok,
+                  std::string_view what) {
+  double v = 0;
+  auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc() || ptr != tok.data() + tok.size()) {
+    Fail(sc.file, line,
+         "expected number for " + std::string(what) + ", got '" +
+             std::string(tok) + "'");
+  }
+  return v;
+}
+
+void WantToks(const Scanner& sc, const TokLine& tl, size_t n) {
+  if (tl.toks.size() != n) {
+    Fail(sc.file, tl.number,
+         "directive '" + std::string(tl.toks[0]) + "' expects " +
+             std::to_string(n - 1) + " operand(s), got " +
+             std::to_string(tl.toks.size() - 1));
+  }
+}
+
+void ExpectHeader(Scanner& sc, std::string_view kind) {
+  if (sc.Done()) Fail(sc.file, 1, "empty document");
+  const TokLine& tl = sc.Next();
+  if (tl.toks[0] != "hcl" || tl.toks.size() != 3) {
+    Fail(sc.file, tl.number, "expected header 'hcl <version> <kind>'");
+  }
+  const int version = ScanInt(sc, tl.number, tl.toks[1], "version");
+  if (version != kHclVersion) {
+    Fail(sc.file, tl.number,
+         "unsupported hcl version " + std::to_string(version) +
+             " (this build reads version " + std::to_string(kHclVersion) +
+             ")");
+  }
+  if (tl.toks[2] != kind) {
+    Fail(sc.file, tl.number,
+         "expected a '" + std::string(kind) + "' document, got '" +
+             std::string(tl.toks[2]) + "'");
+  }
+}
+
+namespace {
+
+// Shortest representation that parses back to the exact same double; the
+// canonical dumps depend on this being deterministic.
+std::string FormatDouble(double v) {
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  return std::string(buf, ptr);
+}
+
+OpClass ParseOpClass(const Scanner& sc, int line, std::string_view tok) {
+  for (int i = 0; i < kNumOpClasses; ++i) {
+    const OpClass op = static_cast<OpClass>(i);
+    if (tok == ToString(op)) return op;
+  }
+  Fail(sc.file, line, "unknown op class '" + std::string(tok) + "'");
+}
+
+DepKind ParseDepKind(const Scanner& sc, int line, std::string_view tok) {
+  for (DepKind k : {DepKind::kFlow, DepKind::kAnti, DepKind::kOutput,
+                    DepKind::kMem}) {
+    if (tok == ToString(k)) return k;
+  }
+  Fail(sc.file, line, "unknown dependence kind '" + std::string(tok) + "'");
+}
+
+core::BoundClass ParseBound(const Scanner& sc, int line,
+                            std::string_view tok) {
+  for (core::BoundClass b :
+       {core::BoundClass::kFU, core::BoundClass::kMemPort,
+        core::BoundClass::kRecurrence, core::BoundClass::kComm}) {
+    if (tok == core::ToString(b)) return b;
+  }
+  Fail(sc.file, line, "unknown bound class '" + std::string(tok) + "'");
+}
+
+core::ClusterPolicy ParsePolicy(const Scanner& sc, int line,
+                                std::string_view tok) {
+  if (std::optional<core::ClusterPolicy> p = ClusterPolicyFromName(tok)) {
+    return *p;
+  }
+  Fail(sc.file, line, "unknown cluster policy '" + std::string(tok) + "'");
+}
+
+// ---------------------------------------------------------------------------
+// Graph body: shared between loop documents and embedded result graphs.
+// ---------------------------------------------------------------------------
+
+// Graph names are serialized as a single token: whitespace/control
+// characters become '_' (and a leading '#' would read as a comment), so
+// every dump reparses. Kernel and synthetic names are already clean.
+std::string TokenSafeName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (static_cast<unsigned char>(c) <= ' ') c = '_';
+  }
+  if (!out.empty() && out[0] == '#') out[0] = '_';
+  return out;
+}
+
+void DumpGraphBody(const DDG& g, std::string& out) {
+  if (!g.name().empty()) out += "name " + TokenSafeName(g.name()) + "\n";
+  out += "invariants " + std::to_string(g.num_invariants()) + "\n";
+  out += "slots " + std::to_string(g.NumSlots()) + "\n";
+  for (NodeId v = 0; v < g.NumSlots(); ++v) {
+    if (!g.IsAlive(v)) continue;
+    const Node& n = g.node(v);
+    out += "node " + std::to_string(v) + " " + std::string(ToString(n.op));
+    if (n.mem.has_value()) {
+      out += " mem " + std::to_string(n.mem->array_id) + " " +
+             std::to_string(n.mem->base) + " " + std::to_string(n.mem->stride);
+    }
+    if (!n.invariant_uses.empty()) {
+      out += " inv " + std::to_string(n.invariant_uses.size());
+      for (std::int32_t inv : n.invariant_uses) {
+        out += " " + std::to_string(inv);
+      }
+    }
+    if (n.inserted) out += " inserted";
+    if (n.spill) out += " spill";
+    out += "\n";
+  }
+  for (NodeId v = 0; v < g.NumSlots(); ++v) {
+    if (!g.IsAlive(v)) continue;
+    for (const Edge& e : g.OutEdges(v)) {
+      out += "edge " + std::to_string(e.src) + " " + std::to_string(e.dst) +
+             " " + std::string(ToString(e.kind)) + " " +
+             std::to_string(e.distance) + "\n";
+    }
+  }
+}
+
+/// Accumulates graph directives and materializes the DDG (with tombstones
+/// re-created and edges validated) when the section terminator is reached.
+struct GraphBuilder {
+  std::string name;
+  int invariants = 0;
+  int slots = -1;  ///< -1 until declared; must precede node/edge lines.
+  struct NodeRec {
+    Node node;
+    bool defined = false;
+  };
+  std::vector<NodeRec> nodes;
+  struct EdgeRec {
+    NodeId src, dst;
+    DepKind kind;
+    int distance;
+    int line;
+  };
+  std::vector<EdgeRec> edges;
+
+  /// Returns true when the directive belongs to the graph body.
+  bool Consume(const Scanner& sc, const TokLine& tl) {
+    const std::string_view d = tl.toks[0];
+    if (d == "name") {
+      WantToks(sc, tl, 2);
+      name = std::string(tl.toks[1]);
+      return true;
+    }
+    if (d == "invariants") {
+      WantToks(sc, tl, 2);
+      invariants = ScanInt(sc, tl.number, tl.toks[1], "invariants");
+      if (invariants < 0) Fail(sc.file, tl.number, "invariants < 0");
+      return true;
+    }
+    if (d == "slots") {
+      WantToks(sc, tl, 2);
+      slots = ScanInt(sc, tl.number, tl.toks[1], "slots");
+      if (slots < 0) Fail(sc.file, tl.number, "slots < 0");
+      nodes.assign(static_cast<size_t>(slots), NodeRec{});
+      return true;
+    }
+    if (d == "node") {
+      ConsumeNode(sc, tl);
+      return true;
+    }
+    if (d == "edge") {
+      WantToks(sc, tl, 5);
+      EdgeRec e{};
+      e.src = ScanInt(sc, tl.number, tl.toks[1], "edge src");
+      e.dst = ScanInt(sc, tl.number, tl.toks[2], "edge dst");
+      e.kind = ParseDepKind(sc, tl.number, tl.toks[3]);
+      e.distance = ScanInt(sc, tl.number, tl.toks[4], "edge distance");
+      e.line = tl.number;
+      edges.push_back(e);
+      return true;
+    }
+    return false;
+  }
+
+  void ConsumeNode(const Scanner& sc, const TokLine& tl) {
+    if (slots < 0) {
+      Fail(sc.file, tl.number, "'node' before 'slots' declaration");
+    }
+    if (tl.toks.size() < 3) {
+      Fail(sc.file, tl.number, "'node' expects '<id> <op> [attrs...]'");
+    }
+    const int id = ScanInt(sc, tl.number, tl.toks[1], "node id");
+    if (id < 0 || id >= slots) {
+      Fail(sc.file, tl.number,
+           "node id " + std::to_string(id) + " outside [0, " +
+               std::to_string(slots) + ")");
+    }
+    NodeRec& rec = nodes[static_cast<size_t>(id)];
+    if (rec.defined) {
+      Fail(sc.file, tl.number, "duplicate node id " + std::to_string(id));
+    }
+    rec.defined = true;
+    rec.node.op = ParseOpClass(sc, tl.number, tl.toks[2]);
+    size_t i = 3;
+    while (i < tl.toks.size()) {
+      const std::string_view attr = tl.toks[i];
+      if (attr == "mem") {
+        if (tl.toks.size() < i + 4) {
+          Fail(sc.file, tl.number, "'mem' expects '<array> <base> <stride>'");
+        }
+        MemRef mr;
+        mr.array_id = ScanInt(sc, tl.number, tl.toks[i + 1], "mem array");
+        mr.base = ScanLong(sc, tl.number, tl.toks[i + 2], "mem base");
+        mr.stride = ScanLong(sc, tl.number, tl.toks[i + 3], "mem stride");
+        rec.node.mem = mr;
+        i += 4;
+      } else if (attr == "inv") {
+        if (i + 1 >= tl.toks.size()) {
+          Fail(sc.file, tl.number, "'inv' expects '<count> <ids...>'");
+        }
+        const int count = ScanInt(sc, tl.number, tl.toks[i + 1], "inv count");
+        if (count < 0 || i + 2 + static_cast<size_t>(count) > tl.toks.size()) {
+          Fail(sc.file, tl.number, "'inv' id list shorter than its count");
+        }
+        for (int k = 0; k < count; ++k) {
+          rec.node.invariant_uses.push_back(
+              ScanInt(sc, tl.number, tl.toks[i + 2 + k], "invariant id"));
+        }
+        i += 2 + static_cast<size_t>(count);
+      } else if (attr == "inserted") {
+        rec.node.inserted = true;
+        ++i;
+      } else if (attr == "spill") {
+        rec.node.spill = true;
+        ++i;
+      } else {
+        Fail(sc.file, tl.number,
+             "unknown node attribute '" + std::string(attr) + "'");
+      }
+    }
+  }
+
+  DDG Build(const Scanner& sc, int end_line) const {
+    if (slots < 0) Fail(sc.file, end_line, "graph missing 'slots'");
+    DDG g(name);
+    for (int i = 0; i < invariants; ++i) g.AddInvariant();
+    for (int id = 0; id < slots; ++id) {
+      g.AddNode(nodes[static_cast<size_t>(id)].node);
+      if (!nodes[static_cast<size_t>(id)].defined) {
+        g.RemoveNode(id, /*force=*/true);
+      }
+    }
+    for (const EdgeRec& e : edges) {
+      auto check_endpoint = [&](NodeId v, const char* which) {
+        if (v < 0 || v >= slots ||
+            !nodes[static_cast<size_t>(v)].defined) {
+          Fail(sc.file, e.line,
+               std::string("dangling edge: ") + which + " node " +
+                   std::to_string(v) + " is not defined");
+        }
+      };
+      check_endpoint(e.src, "source");
+      check_endpoint(e.dst, "destination");
+      if (e.distance < 0) Fail(sc.file, e.line, "edge distance < 0");
+      if (e.src == e.dst && e.distance == 0) {
+        Fail(sc.file, e.line, "zero-distance self edge");
+      }
+      g.AddEdge(e.src, e.dst, e.kind, e.distance);
+    }
+    for (int id = 0; id < slots; ++id) {
+      for (std::int32_t inv : nodes[static_cast<size_t>(id)].node.invariant_uses) {
+        if (inv < 0 || inv >= invariants) {
+          Fail(sc.file, end_line,
+               "node " + std::to_string(id) + " uses invariant " +
+                   std::to_string(inv) + " outside [0, " +
+                   std::to_string(invariants) + ")");
+        }
+      }
+    }
+    std::string why;
+    if (!g.Check(&why)) {
+      Fail(sc.file, end_line, "graph check failed: " + why);
+    }
+    return g;
+  }
+};
+
+}  // namespace
+
+HclError::HclError(std::string_view file, int line, const std::string& message)
+    : std::runtime_error(std::string(file) + ":" + std::to_string(line) +
+                         ": " + message),
+      line_(line),
+      message_(message) {}
+
+std::optional<core::ClusterPolicy> ClusterPolicyFromName(
+    std::string_view name) {
+  for (core::ClusterPolicy p :
+       {core::ClusterPolicy::kBalanced, core::ClusterPolicy::kRoundRobin,
+        core::ClusterPolicy::kFirstFit}) {
+    if (name == core::ToString(p)) return p;
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Loops
+// ---------------------------------------------------------------------------
+
+std::string DumpLoop(const workload::Loop& loop) {
+  std::string out = "hcl 1 loop\n";
+  out += "trip " + std::to_string(loop.trip) + "\n";
+  out += "invocations " + std::to_string(loop.invocations) + "\n";
+  DumpGraphBody(loop.ddg, out);
+  out += "end\n";
+  return out;
+}
+
+workload::Loop ParseLoop(std::string_view text, std::string_view filename) {
+  Scanner sc = Tokenize(text, filename);
+  ExpectHeader(sc, "loop");
+  workload::Loop loop;
+  GraphBuilder gb;
+  while (true) {
+    if (sc.Done()) Fail(sc.file, sc.LastLine(), "missing 'end'");
+    const TokLine& tl = sc.Next();
+    const std::string_view d = tl.toks[0];
+    if (d == "end") {
+      loop.ddg = gb.Build(sc, tl.number);
+      if (!sc.Done()) {
+        Fail(sc.file, sc.Peek().number, "content after 'end'");
+      }
+      return loop;
+    }
+    if (d == "trip") {
+      WantToks(sc, tl, 2);
+      loop.trip = ScanLong(sc, tl.number, tl.toks[1], "trip");
+      if (loop.trip <= 0) Fail(sc.file, tl.number, "trip must be positive");
+    } else if (d == "invocations") {
+      WantToks(sc, tl, 2);
+      loop.invocations =
+          ScanLong(sc, tl.number, tl.toks[1], "invocations");
+      if (loop.invocations <= 0) {
+        Fail(sc.file, tl.number, "invocations must be positive");
+      }
+    } else if (!gb.Consume(sc, tl)) {
+      Fail(sc.file, tl.number, "unknown directive '" + std::string(d) + "'");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Machine configurations
+// ---------------------------------------------------------------------------
+
+std::string DumpMachine(const MachineConfig& m) {
+  std::string out = "hcl 1 machine\n";
+  out += "fus " + std::to_string(m.num_fus) + "\n";
+  out += "mem_ports " + std::to_string(m.num_mem_ports) + "\n";
+  out += "rf clusters " + std::to_string(m.rf.clusters) + " cregs " +
+         std::to_string(m.rf.cluster_regs) + " sregs " +
+         std::to_string(m.rf.shared_regs) + " lp " + std::to_string(m.rf.lp) +
+         " sp " + std::to_string(m.rf.sp) + " buses " +
+         std::to_string(m.rf.buses) + "\n";
+  out += "clock_ns " + FormatDouble(m.clock_ns) + "\n";
+  const LatencyTable& lat = m.lat;
+  out += "lat fadd " + std::to_string(lat.fadd) + " fmul " +
+         std::to_string(lat.fmul) + " fdiv " + std::to_string(lat.fdiv) +
+         " fsqrt " + std::to_string(lat.fsqrt) + " load_hit " +
+         std::to_string(lat.load_hit) + " store " + std::to_string(lat.store) +
+         " load_miss " + std::to_string(lat.load_miss) + " move " +
+         std::to_string(lat.move) + " loadr " + std::to_string(lat.loadr) +
+         " storer " + std::to_string(lat.storer) + "\n";
+  out += "end\n";
+  return out;
+}
+
+MachineConfig ParseMachine(std::string_view text, std::string_view filename) {
+  Scanner sc = Tokenize(text, filename);
+  ExpectHeader(sc, "machine");
+  MachineConfig m;
+  while (true) {
+    if (sc.Done()) Fail(sc.file, sc.LastLine(), "missing 'end'");
+    const TokLine& tl = sc.Next();
+    const std::string_view d = tl.toks[0];
+    if (d == "end") {
+      std::string why;
+      if (!m.IsValid(&why)) {
+        Fail(sc.file, tl.number, "invalid machine configuration: " + why);
+      }
+      if (!sc.Done()) Fail(sc.file, sc.Peek().number, "content after 'end'");
+      return m;
+    }
+    if (d == "fus") {
+      WantToks(sc, tl, 2);
+      m.num_fus = ScanInt(sc, tl.number, tl.toks[1], "fus");
+    } else if (d == "mem_ports") {
+      WantToks(sc, tl, 2);
+      m.num_mem_ports = ScanInt(sc, tl.number, tl.toks[1], "mem_ports");
+    } else if (d == "rf") {
+      if (tl.toks.size() == 3 && tl.toks[1] == "name") {
+        try {
+          m.rf = RFConfig::Parse(tl.toks[2]);
+        } catch (const std::invalid_argument& e) {
+          Fail(sc.file, tl.number, e.what());
+        }
+      } else {
+        WantToks(sc, tl, 13);
+        RFConfig rf;
+        for (size_t i = 1; i + 1 < tl.toks.size(); i += 2) {
+          const std::string_view key = tl.toks[i];
+          const int v = ScanInt(sc, tl.number, tl.toks[i + 1], key);
+          if (key == "clusters") rf.clusters = v;
+          else if (key == "cregs") rf.cluster_regs = v;
+          else if (key == "sregs") rf.shared_regs = v;
+          else if (key == "lp") rf.lp = v;
+          else if (key == "sp") rf.sp = v;
+          else if (key == "buses") rf.buses = v;
+          else Fail(sc.file, tl.number, "unknown rf field '" + std::string(key) + "'");
+        }
+        m.rf = rf;
+      }
+    } else if (d == "clock_ns") {
+      WantToks(sc, tl, 2);
+      m.clock_ns = ScanDouble(sc, tl.number, tl.toks[1], "clock_ns");
+    } else if (d == "lat") {
+      if (tl.toks.size() % 2 == 0) {
+        Fail(sc.file, tl.number, "'lat' expects key/value pairs");
+      }
+      for (size_t i = 1; i + 1 < tl.toks.size(); i += 2) {
+        const std::string_view key = tl.toks[i];
+        const int v = ScanInt(sc, tl.number, tl.toks[i + 1], key);
+        if (key == "fadd") m.lat.fadd = v;
+        else if (key == "fmul") m.lat.fmul = v;
+        else if (key == "fdiv") m.lat.fdiv = v;
+        else if (key == "fsqrt") m.lat.fsqrt = v;
+        else if (key == "load_hit") m.lat.load_hit = v;
+        else if (key == "store") m.lat.store = v;
+        else if (key == "load_miss") m.lat.load_miss = v;
+        else if (key == "move") m.lat.move = v;
+        else if (key == "loadr") m.lat.loadr = v;
+        else if (key == "storer") m.lat.storer = v;
+        else Fail(sc.file, tl.number, "unknown latency '" + std::string(key) + "'");
+      }
+    } else {
+      Fail(sc.file, tl.number, "unknown directive '" + std::string(d) + "'");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Options
+// ---------------------------------------------------------------------------
+
+std::string DumpOptions(const core::MirsOptions& opt) {
+  std::string out = "hcl 1 options\n";
+  out += "budget_ratio " + FormatDouble(opt.budget_ratio) + "\n";
+  out += "max_ii " + std::to_string(opt.max_ii) + "\n";
+  out += "iterative " + std::to_string(opt.iterative ? 1 : 0) + "\n";
+  out += "cluster_policy " + std::string(core::ToString(opt.cluster_policy)) +
+         "\n";
+  out += "end\n";
+  return out;
+}
+
+core::MirsOptions ParseOptions(std::string_view text,
+                               std::string_view filename) {
+  Scanner sc = Tokenize(text, filename);
+  ExpectHeader(sc, "options");
+  core::MirsOptions opt;
+  while (true) {
+    if (sc.Done()) Fail(sc.file, sc.LastLine(), "missing 'end'");
+    const TokLine& tl = sc.Next();
+    const std::string_view d = tl.toks[0];
+    if (d == "end") {
+      if (!sc.Done()) Fail(sc.file, sc.Peek().number, "content after 'end'");
+      return opt;
+    }
+    if (d == "budget_ratio") {
+      WantToks(sc, tl, 2);
+      opt.budget_ratio = ScanDouble(sc, tl.number, tl.toks[1], d);
+    } else if (d == "max_ii") {
+      WantToks(sc, tl, 2);
+      opt.max_ii = ScanInt(sc, tl.number, tl.toks[1], d);
+    } else if (d == "iterative") {
+      WantToks(sc, tl, 2);
+      opt.iterative = ScanInt(sc, tl.number, tl.toks[1], d) != 0;
+    } else if (d == "cluster_policy") {
+      WantToks(sc, tl, 2);
+      opt.cluster_policy = ParsePolicy(sc, tl.number, tl.toks[1]);
+    } else {
+      Fail(sc.file, tl.number, "unknown directive '" + std::string(d) + "'");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Schedule results
+// ---------------------------------------------------------------------------
+
+std::string DumpResult(const core::ScheduleResult& r) {
+  std::string out = "hcl 1 result\n";
+  out += "ok " + std::to_string(r.ok ? 1 : 0) + "\n";
+  out += "ii " + std::to_string(r.ii) + "\n";
+  out += "sc " + std::to_string(r.sc) + "\n";
+  out += "mii " + std::to_string(r.mii) + "\n";
+  out += "res_mii " + std::to_string(r.res_mii) + "\n";
+  out += "rec_mii " + std::to_string(r.rec_mii) + "\n";
+  out += "bound " + std::string(core::ToString(r.bound)) + "\n";
+  out += "mem_ops_per_iter " + std::to_string(r.mem_ops_per_iter) + "\n";
+  const core::ScheduleStats& s = r.stats;
+  out += "stats attempts " + std::to_string(s.attempts) + " ejections " +
+         std::to_string(s.ejections) + " force_places " +
+         std::to_string(s.force_places) + " restarts " +
+         std::to_string(s.restarts) + " comm_ops " +
+         std::to_string(s.comm_ops) + " spill_stores " +
+         std::to_string(s.spill_stores) + " spill_loads " +
+         std::to_string(s.spill_loads) + " storer_ops " +
+         std::to_string(s.storer_ops) + " loadr_ops " +
+         std::to_string(s.loadr_ops) + " move_ops " +
+         std::to_string(s.move_ops) + " spills_inserted " +
+         std::to_string(s.spills_inserted) + " chains_built " +
+         std::to_string(s.chains_built) + " chains_undone " +
+         std::to_string(s.chains_undone) + " budget_spent " +
+         FormatDouble(s.budget_spent) + " budget_granted " +
+         FormatDouble(s.budget_granted) + "\n";
+  out += "overrides " + std::to_string(r.overrides.producer_latency.size()) +
+         "\n";
+  for (size_t i = 0; i < r.overrides.producer_latency.size(); ++i) {
+    if (r.overrides.producer_latency[i] > 0) {
+      out += "override " + std::to_string(i) + " " +
+             std::to_string(r.overrides.producer_latency[i]) + "\n";
+    }
+  }
+  out += "graph\n";
+  DumpGraphBody(r.graph, out);
+  out += "endgraph\n";
+  out += "schedule " + std::to_string(r.schedule.ii()) + "\n";
+  for (NodeId v = 0; v < r.graph.NumSlots(); ++v) {
+    if (!r.schedule.IsScheduled(v)) continue;
+    const sched::Placement& p = r.schedule.Of(v);
+    out += "place " + std::to_string(v) + " " + std::to_string(p.cycle) +
+           " " + std::to_string(p.cluster) + " " +
+           std::to_string(p.src_cluster) + "\n";
+  }
+  out += "end\n";
+  return out;
+}
+
+core::ScheduleResult ParseResult(std::string_view text,
+                                 std::string_view filename) {
+  Scanner sc = Tokenize(text, filename);
+  ExpectHeader(sc, "result");
+  core::ScheduleResult r;
+  bool have_graph = false;
+  int schedule_ii = 0;
+  struct Place {
+    NodeId node;
+    sched::Placement p;
+  };
+  std::vector<Place> places;
+  bool have_schedule = false;
+  while (true) {
+    if (sc.Done()) Fail(sc.file, sc.LastLine(), "missing 'end'");
+    const TokLine& tl = sc.Next();
+    const std::string_view d = tl.toks[0];
+    if (d == "end") {
+      if (!sc.Done()) Fail(sc.file, sc.Peek().number, "content after 'end'");
+      r.schedule = sched::PartialSchedule(have_schedule ? schedule_ii : 1);
+      for (const Place& pl : places) {
+        if (pl.node < 0 || pl.node >= r.graph.NumSlots() ||
+            !r.graph.IsAlive(pl.node)) {
+          Fail(sc.file, tl.number,
+               "placement of undefined node " + std::to_string(pl.node));
+        }
+        r.schedule.Assign(pl.node, pl.p);
+      }
+      return r;
+    }
+    if (d == "ok") {
+      WantToks(sc, tl, 2);
+      r.ok = ScanInt(sc, tl.number, tl.toks[1], d) != 0;
+    } else if (d == "ii") {
+      WantToks(sc, tl, 2);
+      r.ii = ScanInt(sc, tl.number, tl.toks[1], d);
+    } else if (d == "sc") {
+      WantToks(sc, tl, 2);
+      r.sc = ScanInt(sc, tl.number, tl.toks[1], d);
+    } else if (d == "mii") {
+      WantToks(sc, tl, 2);
+      r.mii = ScanInt(sc, tl.number, tl.toks[1], d);
+    } else if (d == "res_mii") {
+      WantToks(sc, tl, 2);
+      r.res_mii = ScanInt(sc, tl.number, tl.toks[1], d);
+    } else if (d == "rec_mii") {
+      WantToks(sc, tl, 2);
+      r.rec_mii = ScanInt(sc, tl.number, tl.toks[1], d);
+    } else if (d == "bound") {
+      WantToks(sc, tl, 2);
+      r.bound = ParseBound(sc, tl.number, tl.toks[1]);
+    } else if (d == "mem_ops_per_iter") {
+      WantToks(sc, tl, 2);
+      r.mem_ops_per_iter = ScanInt(sc, tl.number, tl.toks[1], d);
+    } else if (d == "stats") {
+      if (tl.toks.size() % 2 == 0) {
+        Fail(sc.file, tl.number, "'stats' expects key/value pairs");
+      }
+      core::ScheduleStats& s = r.stats;
+      for (size_t i = 1; i + 1 < tl.toks.size(); i += 2) {
+        const std::string_view key = tl.toks[i];
+        const std::string_view val = tl.toks[i + 1];
+        if (key == "attempts") s.attempts = ScanLong(sc, tl.number, val, key);
+        else if (key == "ejections") s.ejections = ScanLong(sc, tl.number, val, key);
+        else if (key == "force_places") s.force_places = ScanLong(sc, tl.number, val, key);
+        else if (key == "restarts") s.restarts = ScanInt(sc, tl.number, val, key);
+        else if (key == "comm_ops") s.comm_ops = ScanInt(sc, tl.number, val, key);
+        else if (key == "spill_stores") s.spill_stores = ScanInt(sc, tl.number, val, key);
+        else if (key == "spill_loads") s.spill_loads = ScanInt(sc, tl.number, val, key);
+        else if (key == "storer_ops") s.storer_ops = ScanInt(sc, tl.number, val, key);
+        else if (key == "loadr_ops") s.loadr_ops = ScanInt(sc, tl.number, val, key);
+        else if (key == "move_ops") s.move_ops = ScanInt(sc, tl.number, val, key);
+        else if (key == "spills_inserted") s.spills_inserted = ScanInt(sc, tl.number, val, key);
+        else if (key == "chains_built") s.chains_built = ScanLong(sc, tl.number, val, key);
+        else if (key == "chains_undone") s.chains_undone = ScanLong(sc, tl.number, val, key);
+        else if (key == "budget_spent") s.budget_spent = ScanDouble(sc, tl.number, val, key);
+        else if (key == "budget_granted") s.budget_granted = ScanDouble(sc, tl.number, val, key);
+        else Fail(sc.file, tl.number, "unknown stat '" + std::string(key) + "'");
+      }
+    } else if (d == "overrides") {
+      WantToks(sc, tl, 2);
+      const int n = ScanInt(sc, tl.number, tl.toks[1], d);
+      if (n < 0) Fail(sc.file, tl.number, "overrides size < 0");
+      r.overrides.producer_latency.assign(static_cast<size_t>(n), 0);
+    } else if (d == "override") {
+      WantToks(sc, tl, 3);
+      const int id = ScanInt(sc, tl.number, tl.toks[1], "override node");
+      const int lat = ScanInt(sc, tl.number, tl.toks[2], "override latency");
+      if (id < 0 ||
+          static_cast<size_t>(id) >= r.overrides.producer_latency.size()) {
+        Fail(sc.file, tl.number,
+             "override node " + std::to_string(id) +
+                 " outside the declared 'overrides' size");
+      }
+      r.overrides.producer_latency[static_cast<size_t>(id)] = lat;
+    } else if (d == "graph") {
+      WantToks(sc, tl, 1);
+      GraphBuilder gb;
+      while (true) {
+        if (sc.Done()) Fail(sc.file, sc.LastLine(), "missing 'endgraph'");
+        const TokLine& gl = sc.Next();
+        if (gl.toks[0] == "endgraph") {
+          r.graph = gb.Build(sc, gl.number);
+          have_graph = true;
+          break;
+        }
+        if (!gb.Consume(sc, gl)) {
+          Fail(sc.file, gl.number,
+               "unknown graph directive '" + std::string(gl.toks[0]) + "'");
+        }
+      }
+    } else if (d == "schedule") {
+      WantToks(sc, tl, 2);
+      schedule_ii = ScanInt(sc, tl.number, tl.toks[1], "schedule ii");
+      if (schedule_ii < 1) Fail(sc.file, tl.number, "schedule ii < 1");
+      if (!have_graph) {
+        Fail(sc.file, tl.number, "'schedule' before 'graph' section");
+      }
+      have_schedule = true;
+    } else if (d == "place") {
+      WantToks(sc, tl, 5);
+      if (!have_schedule) {
+        Fail(sc.file, tl.number, "'place' before 'schedule' declaration");
+      }
+      Place pl;
+      pl.node = ScanInt(sc, tl.number, tl.toks[1], "place node");
+      pl.p.cycle = ScanInt(sc, tl.number, tl.toks[2], "place cycle");
+      pl.p.cluster = ScanInt(sc, tl.number, tl.toks[3], "place cluster");
+      pl.p.src_cluster =
+          ScanInt(sc, tl.number, tl.toks[4], "place src_cluster");
+      places.push_back(pl);
+    } else {
+      Fail(sc.file, tl.number, "unknown directive '" + std::string(d) + "'");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// File helpers
+// ---------------------------------------------------------------------------
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) throw std::runtime_error("error reading " + path);
+  return ss.str();
+}
+
+void WriteFileAtomic(const std::string& path, std::string_view text) {
+  namespace fs = std::filesystem;
+  const fs::path target(path);
+  if (target.has_parent_path()) {
+    std::error_code ec;
+    fs::create_directories(target.parent_path(), ec);
+  }
+  // The temp name must be unique per *call*, not just per path: pool
+  // threads can write the same cache entry concurrently, and sharing a
+  // temp file would let one thread rename the other's half-written data
+  // into place.
+  static std::atomic<unsigned long> write_seq{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<unsigned long>(::getpid())) +
+      "." + std::to_string(write_seq.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot create " + tmp);
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    if (!out) {
+      throw std::runtime_error("error writing " + tmp);
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw std::runtime_error("cannot rename " + tmp + " to " + path);
+  }
+}
+
+workload::Loop LoadLoopFile(const std::string& path) {
+  return ParseLoop(ReadFile(path), path);
+}
+
+MachineConfig LoadMachineFile(const std::string& path) {
+  return ParseMachine(ReadFile(path), path);
+}
+
+core::ScheduleResult LoadResultFile(const std::string& path) {
+  return ParseResult(ReadFile(path), path);
+}
+
+}  // namespace hcrf::io

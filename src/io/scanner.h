@@ -1,0 +1,58 @@
+// Shared lexing layer of the .hcl family of formats: whitespace
+// tokenization with 1-based line numbers, comment/blank skipping, and
+// strict token -> number conversions that fail with line-carrying
+// HclErrors. Used by the document parsers in hcl.cpp and the manifest
+// parser in service/batch.cpp so the two cannot drift.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "io/hcl.h"
+
+namespace hcrf::io {
+
+/// One non-blank, non-comment input line, split on spaces/tabs.
+struct TokLine {
+  int number = 0;  ///< 1-based line number in the source text.
+  std::vector<std::string_view> toks;
+};
+
+/// Tokenized document with a cursor. Views point into the source text,
+/// which must outlive the scanner.
+struct Scanner {
+  std::string_view file;
+  std::vector<TokLine> lines;
+  size_t pos = 0;
+
+  bool Done() const { return pos >= lines.size(); }
+  const TokLine& Peek() const { return lines[pos]; }
+  const TokLine& Next() { return lines[pos++]; }
+  /// Line number to blame when input ends unexpectedly.
+  int LastLine() const { return lines.empty() ? 1 : lines.back().number; }
+};
+
+/// Splits `text` into token lines; `#`-prefixed and blank lines are
+/// dropped (their numbers still count).
+Scanner Tokenize(std::string_view text, std::string_view file);
+
+[[noreturn]] void Fail(std::string_view file, int line,
+                       const std::string& message);
+
+/// Strict conversions: the whole token must parse.
+long ScanLong(const Scanner& sc, int line, std::string_view tok,
+              std::string_view what);
+int ScanInt(const Scanner& sc, int line, std::string_view tok,
+            std::string_view what);
+double ScanDouble(const Scanner& sc, int line, std::string_view tok,
+                  std::string_view what);
+
+/// Enforces the exact operand count of a directive line.
+void WantToks(const Scanner& sc, const TokLine& tl, size_t n);
+
+/// Checks and consumes the `hcl <version> <kind>` header line (version
+/// must be kHclVersion); shared by every document parser and the
+/// manifest parser.
+void ExpectHeader(Scanner& sc, std::string_view kind);
+
+}  // namespace hcrf::io

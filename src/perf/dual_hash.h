@@ -1,0 +1,41 @@
+// 128-bit structural hashing shared by the process-wide caches.
+//
+// Two independent 64-bit accumulators (FNV-1a and a golden-ratio mixer)
+// form one 128-bit key: both the MII sweep cache (perf/runner.cpp) and the
+// persistent schedule cache (service/sched_cache.cpp) key correctness-
+// relevant values on content, and 2^-64 collision odds over long-lived
+// heavy-traffic processes are not negligible enough to trust one hash.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace hcrf::perf {
+
+struct DualHash {
+  std::uint64_t a = 1469598103934665603ull;  // FNV-1a
+  std::uint64_t b = 0x9e3779b97f4a7c15ull;   // golden-ratio accumulator
+
+  void Mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      a ^= (v >> (8 * i)) & 0xff;
+      a *= 1099511628211ull;
+    }
+    b = (b ^ (v + 0x9e3779b97f4a7c15ull + (b << 6) + (b >> 2))) *
+        0xff51afd7ed558ccdull;
+  }
+  void MixDouble(double d) { Mix(std::bit_cast<std::uint64_t>(d)); }
+};
+
+/// Plain 64-bit FNV-1a over bytes (cache-entry checksums).
+inline std::uint64_t Fnv1a(std::string_view bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace hcrf::perf

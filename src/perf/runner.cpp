@@ -1,5 +1,6 @@
 #include "perf/runner.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -7,6 +8,7 @@
 
 #include "ddg/mii.h"
 #include "memsim/replay.h"
+#include "perf/dual_hash.h"
 #include "perf/thread_pool.h"
 
 namespace hcrf::perf {
@@ -24,22 +26,6 @@ namespace {
 // cache keys on a structural hash of everything the value depends on and
 // shares it process-wide.
 
-// Two independent 64-bit hashes form a 128-bit key: a correct MII matters
-// for the reproduction numbers, and 2^-64 collision odds over long-lived
-// bench processes are not negligible enough to trust a single hash.
-struct MiiHash {
-  std::uint64_t a = 1469598103934665603ull;  // FNV-1a
-  std::uint64_t b = 0x9e3779b97f4a7c15ull;   // golden-ratio accumulator
-  void Mix(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      a ^= (v >> (8 * i)) & 0xff;
-      a *= 1099511628211ull;
-    }
-    b = (b ^ (v + 0x9e3779b97f4a7c15ull + (b << 6) + (b >> 2))) *
-        0xff51afd7ed558ccdull;
-  }
-};
-
 struct MiiKeyT {
   std::uint64_t a = 0;
   std::uint64_t b = 0;
@@ -53,7 +39,7 @@ struct MiiKeyHash {
 };
 
 MiiKeyT MiiKey(const DDG& g, const MachineConfig& m) {
-  MiiHash f;
+  DualHash f;
   // Resources and latencies the bounds read.
   f.Mix(static_cast<std::uint64_t>(m.num_fus));
   f.Mix(static_cast<std::uint64_t>(m.num_mem_ports));
@@ -92,26 +78,32 @@ class MiiCache {
       std::lock_guard<std::mutex> lk(mu_);
       auto it = map_.find(key);
       if (it != map_.end()) {
-        ++stats_.hits;
+        hits_.fetch_add(1, std::memory_order_relaxed);
         return it->second;
       }
     }
     const MIIInfo mii = ComputeMII(g, m);
     std::lock_guard<std::mutex> lk(mu_);
-    ++stats_.misses;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     map_.emplace(key, mii);
     return mii;
   }
 
+  // The hit/miss counters are atomics (not fields guarded by mu_) so that
+  // GetMiiCacheStats never races with — or contends against — runner
+  // threads in the middle of a sweep.
   MiiCacheStats stats() const {
-    std::lock_guard<std::mutex> lk(mu_);
-    return stats_;
+    MiiCacheStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    return s;
   }
 
  private:
   mutable std::mutex mu_;
   std::unordered_map<MiiKeyT, MIIInfo, MiiKeyHash> map_;
-  MiiCacheStats stats_;
+  std::atomic<long> hits_{0};
+  std::atomic<long> misses_{0};
 };
 
 // ---------------------------------------------------------------------------

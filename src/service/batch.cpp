@@ -1,0 +1,205 @@
+#include "service/batch.h"
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+
+#include "io/hcl.h"
+#include "io/scanner.h"
+#include "perf/thread_pool.h"
+
+namespace hcrf::service {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+ManifestEntry ParseRequestLine(const io::Scanner& sc, const io::TokLine& tl) {
+  if (tl.toks.size() % 2 != 1) {
+    io::Fail(sc.file, tl.number, "'request' expects key/value pairs");
+  }
+  ManifestEntry e;
+  e.line = tl.number;
+  for (size_t i = 1; i + 1 < tl.toks.size(); i += 2) {
+    const std::string_view key = tl.toks[i];
+    const std::string_view val = tl.toks[i + 1];
+    if (key == "graph") {
+      e.graph = std::string(val);
+    } else if (key == "machine") {
+      e.machine = std::string(val);
+    } else if (key == "rf") {
+      e.rf = std::string(val);
+      e.rf_set = true;
+    } else if (key == "characterize") {
+      e.characterize = io::ScanInt(sc, tl.number, val, key) != 0;
+      e.characterize_set = true;
+    } else if (key == "budget") {
+      e.budget_ratio = io::ScanDouble(sc, tl.number, val, key);
+    } else if (key == "max_ii") {
+      e.max_ii = io::ScanInt(sc, tl.number, val, key);
+    } else if (key == "iterative") {
+      e.iterative = io::ScanInt(sc, tl.number, val, key) != 0;
+    } else if (key == "policy") {
+      e.policy = io::ClusterPolicyFromName(val);
+      if (!e.policy) {
+        io::Fail(sc.file, tl.number,
+                 "unknown cluster policy '" + std::string(val) + "'");
+      }
+    } else {
+      io::Fail(sc.file, tl.number,
+               "unknown request field '" + std::string(key) + "'");
+    }
+  }
+  if (e.graph.empty()) {
+    io::Fail(sc.file, tl.number, "'request' missing the 'graph' field");
+  }
+  if (!e.machine.empty() && (e.rf_set || e.characterize_set)) {
+    io::Fail(sc.file, tl.number,
+             "'machine' is mutually exclusive with 'rf'/'characterize'");
+  }
+  return e;
+}
+
+}  // namespace
+
+std::vector<ManifestEntry> ParseManifest(std::string_view text,
+                                         std::string_view filename) {
+  io::Scanner sc = io::Tokenize(text, filename);
+  io::ExpectHeader(sc, "manifest");
+  std::vector<ManifestEntry> entries;
+  while (true) {
+    if (sc.Done()) io::Fail(filename, sc.LastLine(), "missing 'end'");
+    const io::TokLine& tl = sc.Next();
+    if (tl.toks[0] == "end") {
+      io::WantToks(sc, tl, 1);
+      if (!sc.Done()) {
+        io::Fail(filename, sc.Peek().number, "content after 'end'");
+      }
+      return entries;
+    }
+    if (tl.toks[0] != "request") {
+      io::Fail(filename, tl.number,
+               "unknown directive '" + std::string(tl.toks[0]) + "'");
+    }
+    entries.push_back(ParseRequestLine(sc, tl));
+  }
+}
+
+std::vector<ManifestEntry> LoadManifestFile(const std::string& path) {
+  return ParseManifest(io::ReadFile(path), path);
+}
+
+BatchReport RunBatch(const std::vector<BatchRequest>& requests,
+                     const BatchOptions& opt) {
+  BatchReport report;
+  report.items.resize(requests.size());
+
+  std::unique_ptr<ScheduleCache> cache;
+  if (!opt.cache_dir.empty()) {
+    cache = std::make_unique<ScheduleCache>(opt.cache_dir);
+  }
+
+  const auto wall0 = std::chrono::steady_clock::now();
+  perf::ThreadPool& pool = perf::ThreadPool::Shared();
+  const int max_workers =
+      opt.threads > 0 ? opt.threads : pool.num_workers() + 1;
+  pool.ParallelFor(requests.size(), max_workers, [&](size_t i) {
+    const BatchRequest& req = requests[i];
+    BatchItem& item = report.items[i];
+    item.id = req.id;
+    const auto t0 = std::chrono::steady_clock::now();
+    const CacheKey key =
+        cache ? MakeCacheKey(req.loop.ddg, req.machine, req.options)
+              : CacheKey{};
+    if (cache) {
+      if (std::optional<core::ScheduleResult> hit = cache->Get(key)) {
+        item.result = *std::move(hit);
+        item.ok = item.result.ok;
+        item.cache_hit = true;
+      }
+    }
+    if (!item.cache_hit) {
+      item.result = core::MirsHC(req.loop.ddg, req.machine, req.options);
+      item.ok = item.result.ok;
+      if (cache) cache->Put(key, item.result);
+    }
+    if (!item.ok && item.error.empty()) {
+      item.error = "scheduling failed (no II <= max_ii admitted a schedule)";
+    }
+    item.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  });
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+
+  for (const BatchItem& item : report.items) {
+    if (item.cache_hit) {
+      ++report.hits;
+    } else {
+      ++report.scheduled;
+    }
+    if (!item.ok) ++report.failed;
+  }
+  if (cache) report.cache = cache->stats();
+  return report;
+}
+
+BatchReport RunManifest(const std::string& manifest_path,
+                        const BatchOptions& opt) {
+  const std::vector<ManifestEntry> entries = LoadManifestFile(manifest_path);
+  const fs::path base = fs::path(manifest_path).parent_path();
+
+  std::vector<BatchRequest> requests;
+  std::vector<size_t> request_slot;  // maps run items back to report slots
+  requests.reserve(entries.size());
+
+  BatchReport report;
+  report.items.resize(entries.size());
+
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const ManifestEntry& e = entries[i];
+    BatchItem& item = report.items[i];
+    const std::string graph_path = (base / e.graph).string();
+    item.id = e.graph;
+    try {
+      BatchRequest req;
+      req.loop = io::LoadLoopFile(graph_path);
+      req.id = req.loop.ddg.name().empty() ? e.graph : req.loop.ddg.name();
+      if (!e.machine.empty()) {
+        req.machine = io::LoadMachineFile((base / e.machine).string());
+      } else {
+        req.machine = MachineConfig::WithRF(RFConfig::Parse(e.rf));
+        if (e.characterize && !req.machine.rf.UnboundedClusterRegs() &&
+            !req.machine.rf.UnboundedSharedRegs()) {
+          req.machine = hw::ApplyCharacterization(req.machine, opt.rf_model);
+        }
+      }
+      if (e.budget_ratio) req.options.budget_ratio = *e.budget_ratio;
+      if (e.max_ii) req.options.max_ii = *e.max_ii;
+      if (e.iterative) req.options.iterative = *e.iterative;
+      if (e.policy) req.options.cluster_policy = *e.policy;
+      item.id = req.id;
+      requests.push_back(std::move(req));
+      request_slot.push_back(i);
+    } catch (const std::exception& ex) {
+      item.ok = false;
+      item.error = ex.what();
+      ++report.failed;
+    }
+  }
+
+  BatchReport run = RunBatch(requests, opt);
+  for (size_t r = 0; r < run.items.size(); ++r) {
+    report.items[request_slot[r]] = std::move(run.items[r]);
+  }
+  report.cache = run.cache;
+  report.scheduled = run.scheduled;
+  report.hits = run.hits;
+  report.failed += run.failed;
+  report.seconds = run.seconds;
+  return report;
+}
+
+}  // namespace hcrf::service

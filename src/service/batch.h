@@ -1,0 +1,103 @@
+// Batch scheduling front-end: scheduling as a service over .hcl files.
+//
+// A manifest (`hcl 1 manifest`) lists scheduling requests — a dependence
+// graph file plus the machine configuration and options to schedule it
+// under. The batch scheduler loads the requests, dispatches them through
+// the shared perf::ThreadPool, and backs them with the persistent
+// ScheduleCache so repeated sweeps over a corpus skip scheduling entirely.
+//
+// Manifest grammar (one request per line, `#` comments allowed):
+//     hcl 1 manifest
+//     request graph <path> [rf <name>] [machine <path>] [characterize 0|1]
+//             [budget <x>] [max_ii <n>] [iterative 0|1] [policy <name>]
+//     end
+// `graph` paths (and `machine` paths) are resolved relative to the
+// manifest's directory. `rf` names a paper-notation RF organization that
+// is applied to baseline resources and, unless `characterize 0`, run
+// through the hardware model (hw::ApplyCharacterization) exactly as the
+// benches do; `machine` loads a full `hcl 1 machine` document instead and
+// is mutually exclusive with `rf`/`characterize`.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/mirs.h"
+#include "hwmodel/characterize.h"
+#include "machine/machine_config.h"
+#include "service/sched_cache.h"
+#include "workload/workload.h"
+
+namespace hcrf::service {
+
+/// One parsed manifest line (before graph/machine files are loaded).
+struct ManifestEntry {
+  std::string graph;    ///< As written in the manifest.
+  std::string machine;  ///< Machine-document path; empty = use `rf`.
+  std::string rf = "S128";
+  bool characterize = true;
+  /// Whether rf/characterize appeared explicitly (the parser rejects
+  /// combining either with `machine`, even at their default values).
+  bool rf_set = false;
+  bool characterize_set = false;
+  std::optional<double> budget_ratio;
+  std::optional<int> max_ii;
+  std::optional<bool> iterative;
+  std::optional<core::ClusterPolicy> policy;
+  int line = 0;  ///< Manifest line, for error reporting.
+};
+
+/// Parses a manifest document. Throws io::HclError with line numbers.
+std::vector<ManifestEntry> ParseManifest(std::string_view text,
+                                         std::string_view filename);
+std::vector<ManifestEntry> LoadManifestFile(const std::string& path);
+
+/// A fully-resolved scheduling request.
+struct BatchRequest {
+  std::string id;  ///< Label for reports (graph name or file stem).
+  workload::Loop loop;
+  MachineConfig machine;
+  core::MirsOptions options;
+};
+
+struct BatchOptions {
+  /// Persistent cache directory; empty disables caching.
+  std::string cache_dir;
+  /// Parallelism (perf::RunOptions convention: 0 = hardware concurrency,
+  /// 1 = strictly serial on the caller).
+  int threads = 0;
+  /// Hardware model used when a manifest entry asks for characterization.
+  hw::RFModelMode rf_model = hw::RFModelMode::kPaperTable;
+};
+
+struct BatchItem {
+  std::string id;
+  bool ok = false;
+  bool cache_hit = false;
+  std::string error;  ///< Load/schedule failure; empty on success.
+  core::ScheduleResult result;
+  double seconds = 0.0;  ///< Wall time spent on this request.
+};
+
+struct BatchReport {
+  std::vector<BatchItem> items;  ///< In request order.
+  ScheduleCache::Stats cache;    ///< Zeroes when caching is disabled.
+  int scheduled = 0;             ///< Fresh MirsHC runs.
+  int hits = 0;                  ///< Requests served from the cache.
+  int failed = 0;
+  double seconds = 0.0;  ///< Wall time of the whole batch.
+};
+
+/// Schedules every request (in parallel, cache-backed). Never throws for
+/// per-request failures; they surface as failed items.
+BatchReport RunBatch(const std::vector<BatchRequest>& requests,
+                     const BatchOptions& opt);
+
+/// Loads `manifest_path`, resolves its requests and runs them. Entries
+/// whose graph/machine files fail to load become failed items (the rest
+/// of the batch still runs); a malformed manifest itself throws.
+BatchReport RunManifest(const std::string& manifest_path,
+                        const BatchOptions& opt);
+
+}  // namespace hcrf::service

@@ -1,0 +1,203 @@
+#include "service/sched_cache.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "io/hcl.h"
+#include "perf/dual_hash.h"
+
+namespace hcrf::service {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using perf::DualHash;
+using perf::Fnv1a;
+
+// Bumped whenever the serialized result format or the hashed content set
+// changes; salts every key so stale-format entries read as misses.
+constexpr std::uint64_t kCacheFormatSalt = 2;
+
+std::string ToHex(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf, 16);
+}
+
+}  // namespace
+
+std::string CacheKey::Hex() const { return ToHex(a) + ToHex(b); }
+
+CacheKey MakeCacheKey(const DDG& g, const MachineConfig& m,
+                      const core::MirsOptions& opt,
+                      const sched::LatencyOverrides& overrides) {
+  DualHash f;
+  f.Mix(kCacheFormatSalt);
+
+  // Machine: resources, RF organization, latencies, clock.
+  f.Mix(static_cast<std::uint64_t>(m.num_fus));
+  f.Mix(static_cast<std::uint64_t>(m.num_mem_ports));
+  for (int v : {m.rf.clusters, m.rf.cluster_regs, m.rf.shared_regs, m.rf.lp,
+                m.rf.sp, m.rf.buses}) {
+    f.Mix(static_cast<std::uint64_t>(v));
+  }
+  for (int v : {m.lat.fadd, m.lat.fmul, m.lat.fdiv, m.lat.fsqrt,
+                m.lat.load_hit, m.lat.store, m.lat.load_miss, m.lat.move,
+                m.lat.loadr, m.lat.storer}) {
+    f.Mix(static_cast<std::uint64_t>(v));
+  }
+  f.MixDouble(m.clock_ns);
+
+  // Options (the serializable subset; injected policy objects are the
+  // caller's responsibility and keyed out by convention).
+  f.MixDouble(opt.budget_ratio);
+  f.Mix(static_cast<std::uint64_t>(opt.max_ii));
+  f.Mix(static_cast<std::uint64_t>(opt.iterative ? 1 : 2));
+  f.Mix(static_cast<std::uint64_t>(opt.cluster_policy));
+
+  // Loop identity: the cached result document embeds the graph name, so
+  // structurally identical twins under different names must not share an
+  // entry — a hit has to be bit-identical to a fresh schedule.
+  f.Mix(static_cast<std::uint64_t>(g.name().size()));
+  f.Mix(Fnv1a(g.name()));
+
+  // Graph structure. Ids are stable and tombstones keep their slot, so
+  // hashing alive slots in ascending order is canonical.
+  f.Mix(static_cast<std::uint64_t>(g.NumSlots()));
+  f.Mix(static_cast<std::uint64_t>(g.num_invariants()));
+  for (NodeId v = 0; v < g.NumSlots(); ++v) {
+    if (!g.IsAlive(v)) continue;
+    const Node& n = g.node(v);
+    f.Mix(static_cast<std::uint64_t>(v));
+    f.Mix(static_cast<std::uint64_t>(n.op));
+    f.Mix((n.inserted ? 1u : 0u) | (n.spill ? 2u : 0u) |
+          (n.mem.has_value() ? 4u : 0u));
+    if (n.mem.has_value()) {
+      f.Mix(static_cast<std::uint64_t>(n.mem->array_id));
+      f.Mix(static_cast<std::uint64_t>(n.mem->base));
+      f.Mix(static_cast<std::uint64_t>(n.mem->stride));
+    }
+    f.Mix(static_cast<std::uint64_t>(n.invariant_uses.size()));
+    for (std::int32_t inv : n.invariant_uses) {
+      f.Mix(static_cast<std::uint64_t>(inv));
+    }
+    for (const Edge& e : g.OutEdges(v)) {
+      f.Mix(static_cast<std::uint64_t>(e.src));
+      f.Mix(static_cast<std::uint64_t>(e.dst));
+      f.Mix(static_cast<std::uint64_t>(e.kind));
+      f.Mix(static_cast<std::uint64_t>(e.distance));
+    }
+  }
+
+  // Binding-prefetch latency overrides (empty in the common service path).
+  f.Mix(static_cast<std::uint64_t>(overrides.producer_latency.size()));
+  for (size_t i = 0; i < overrides.producer_latency.size(); ++i) {
+    if (overrides.producer_latency[i] > 0) {
+      f.Mix(static_cast<std::uint64_t>(i));
+      f.Mix(static_cast<std::uint64_t>(overrides.producer_latency[i]));
+    }
+  }
+  return CacheKey{f.a, f.b};
+}
+
+ScheduleCache::ScheduleCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string ScheduleCache::EntryPath(const CacheKey& key) const {
+  return (fs::path(dir_) / (key.Hex() + ".hclc")).string();
+}
+
+std::optional<core::ScheduleResult> ScheduleCache::Get(const CacheKey& key) {
+  const std::string path = EntryPath(key);
+  std::string text;
+  try {
+    text = io::ReadFile(path);
+  } catch (const std::runtime_error&) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  const auto reject = [&]() {
+    rejects_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  };
+
+  // Header line: `hclc 1 <hex>`.
+  const size_t header_end = text.find('\n');
+  if (header_end == std::string::npos) return reject();
+  const std::string header = text.substr(0, header_end);
+  const std::string want = "hclc 1 " + key.Hex();
+  if (header != want) return reject();  // stale key or foreign format
+
+  // Trailer line: `checksum <hex>` over the body between them.
+  size_t trailer_begin = text.rfind("\nchecksum ");
+  if (trailer_begin == std::string::npos ||
+      trailer_begin < header_end) {
+    return reject();
+  }
+  ++trailer_begin;  // skip the '\n' that belongs to the body
+  const std::string_view body(text.data() + header_end + 1,
+                              trailer_begin - header_end - 1);
+  std::string trailer = text.substr(trailer_begin);
+  while (!trailer.empty() &&
+         (trailer.back() == '\n' || trailer.back() == '\r')) {
+    trailer.pop_back();
+  }
+  if (trailer != "checksum " + ToHex(Fnv1a(body))) return reject();
+
+  try {
+    core::ScheduleResult r = io::ParseResult(body, path);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return r;
+  } catch (const io::HclError&) {
+    return reject();
+  }
+}
+
+void ScheduleCache::Put(const CacheKey& key,
+                        const core::ScheduleResult& result) {
+  const std::string body = io::DumpResult(result);
+  std::string text = "hclc 1 " + key.Hex() + "\n";
+  text += body;
+  text += "checksum " + ToHex(Fnv1a(body)) + "\n";
+  try {
+    io::WriteFileAtomic(EntryPath(key), text);
+    writes_.fetch_add(1, std::memory_order_relaxed);
+  } catch (const std::runtime_error&) {
+    // Cache writes are best-effort; the schedule itself already exists.
+  }
+}
+
+ScheduleCache::Stats ScheduleCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.rejects = rejects_.load(std::memory_order_relaxed);
+  s.writes = writes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+ScheduleCache::DirStats ScheduleCache::Scan(const std::string& dir) {
+  DirStats ds;
+  // Error-code overloads throughout: the directory may be mutated (or an
+  // entry unlinked) while we scan, and a census must not throw over it.
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  const fs::directory_iterator end;
+  while (!ec && it != end) {
+    const fs::directory_entry& entry = *it;
+    std::error_code entry_ec;
+    if (entry.is_regular_file(entry_ec) && !entry_ec &&
+        entry.path().extension() == ".hclc") {
+      const std::uintmax_t size = entry.file_size(entry_ec);
+      if (!entry_ec) {
+        ++ds.entries;
+        ds.bytes += static_cast<long>(size);
+      }
+    }
+    it.increment(ec);
+  }
+  return ds;
+}
+
+}  // namespace hcrf::service

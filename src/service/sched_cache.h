@@ -1,0 +1,98 @@
+// Persistent, content-addressed schedule cache.
+//
+// Extends the in-memory MII sweep cache idea (src/perf/runner.cpp) to whole
+// schedules on disk: the key is a structural hash of everything a schedule
+// depends on — the dependence graph, the machine / RF configuration and the
+// value-typed scheduling options — and the value is the full
+// core::ScheduleResult in its canonical .hcl serialization. Repeated sweeps
+// over the same corpus therefore skip scheduling entirely, and a cached
+// result is bit-identical to a fresh one (io::DumpResult round-trip).
+//
+// Entry files are self-describing:
+//     hclc 1 <32-hex-digit key>
+//     <canonical `hcl 1 result` document>
+//     checksum <16-hex-digit fnv1a over the document>
+// A key mismatch (stale entry, e.g. a truncated-hash collision or a file
+// renamed by hand) or checksum/parse failure is counted as a reject and
+// falls through to a fresh schedule; corrupt entries never surface.
+//
+// Thread safety: Get/Put may be called concurrently (the batch scheduler
+// runs requests on the shared thread pool). Counters are atomics; writes
+// go through io::WriteFileAtomic (temp + rename), so readers never observe
+// torn entries. Two threads writing the same key write identical bytes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/mirs.h"
+#include "ddg/ddg.h"
+#include "machine/machine_config.h"
+#include "sched/lifetime.h"
+
+namespace hcrf::service {
+
+/// 128-bit structural key (two independent 64-bit hashes; same rationale
+/// as the MII sweep cache: collisions must stay negligible over long-lived
+/// heavy-traffic processes).
+struct CacheKey {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+
+  bool operator==(const CacheKey&) const = default;
+  /// 32 lowercase hex digits; doubles as the entry's file stem.
+  std::string Hex() const;
+};
+
+/// Hashes the schedule-relevant content: graph name and structure (ops,
+/// flags, memory refs, invariant uses, edges), machine (resources, RF fields,
+/// latencies, clock) and options (budget_ratio, max_ii, iterative,
+/// cluster_policy), plus per-load latency overrides when binding
+/// prefetching is in play. A format-version salt invalidates all entries
+/// when the serialization changes.
+CacheKey MakeCacheKey(const DDG& graph, const MachineConfig& m,
+                      const core::MirsOptions& opt,
+                      const sched::LatencyOverrides& overrides = {});
+
+class ScheduleCache {
+ public:
+  /// `dir` is created lazily on first Put.
+  explicit ScheduleCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Returns the cached result for `key`, or nullopt (miss or reject).
+  std::optional<core::ScheduleResult> Get(const CacheKey& key);
+
+  /// Stores `result` under `key` (atomic write; errors are swallowed —
+  /// the cache is an accelerator, never a correctness dependency).
+  void Put(const CacheKey& key, const core::ScheduleResult& result);
+
+  struct Stats {
+    long hits = 0;
+    long misses = 0;
+    long rejects = 0;  ///< Stale key, bad checksum or unparsable entry.
+    long writes = 0;
+  };
+  Stats stats() const;
+
+  /// Offline directory census for `hcrf_sched cache-stats`.
+  struct DirStats {
+    long entries = 0;
+    long bytes = 0;
+  };
+  static DirStats Scan(const std::string& dir);
+
+ private:
+  std::string EntryPath(const CacheKey& key) const;
+
+  std::string dir_;
+  std::atomic<long> hits_{0};
+  std::atomic<long> misses_{0};
+  std::atomic<long> rejects_{0};
+  std::atomic<long> writes_{0};
+};
+
+}  // namespace hcrf::service

@@ -1,0 +1,30 @@
+#include "workload/suite_cache.h"
+
+#include <algorithm>
+
+#include "workload/kernels.h"
+#include "workload/perfect_synth.h"
+
+namespace hcrf::workload {
+
+const Suite& SharedSyntheticSuite() {
+  static const Suite suite = PerfectSynthetic();
+  return suite;
+}
+
+const Suite& SharedKernelSuite() {
+  static const Suite suite = KernelSuite();
+  return suite;
+}
+
+Suite SuiteSlice(const Suite& full, std::size_t n) {
+  Suite out;
+  if (n == 0) return out;
+  const std::size_t stride = std::max<std::size_t>(1, full.size() / n);
+  for (std::size_t i = 0; i < full.size() && out.size() < n; i += stride) {
+    out.Add(full[i]);
+  }
+  return out;
+}
+
+}  // namespace hcrf::workload

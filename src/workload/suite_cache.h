@@ -1,0 +1,27 @@
+// Process-wide construction of the standard workloads.
+//
+// Every bench binary (and now the corpus exporter) used to regenerate the
+// synthetic Perfect Club stand-in on its own; this helper builds each
+// standard suite once per process and shares it. Generation is seeded and
+// deterministic, so sharing is purely a construction-cost optimization —
+// the loops are identical across call sites.
+#pragma once
+
+#include <cstddef>
+
+#include "workload/workload.h"
+
+namespace hcrf::workload {
+
+/// The default-parameter synthetic Perfect Club stand-in
+/// (PerfectSynthetic()), built once per process.
+const Suite& SharedSyntheticSuite();
+
+/// The hand-written kernel suite (KernelSuite()), built once per process.
+const Suite& SharedKernelSuite();
+
+/// Deterministic strided slice of `full` with (up to) `n` loops; the
+/// ablation benches use it for expensive sweeps.
+Suite SuiteSlice(const Suite& full, std::size_t n);
+
+}  // namespace hcrf::workload

@@ -1,0 +1,225 @@
+// .hcl serialization: canonical round-trips (dump -> parse -> dump is
+// byte-identical), faithful reconstruction including tombstones, and
+// strict line-numbered rejection of malformed input.
+#include <gtest/gtest.h>
+
+#include "core/mirs.h"
+#include "hwmodel/characterize.h"
+#include "io/hcl.h"
+#include "workload/kernels.h"
+#include "workload/suite_cache.h"
+
+namespace hcrf {
+namespace {
+
+TEST(HclLoop, KernelRoundTripsAreByteIdentical) {
+  for (const workload::Loop& loop : workload::SharedKernelSuite().loops()) {
+    const std::string once = io::DumpLoop(loop);
+    const workload::Loop back = io::ParseLoop(once, loop.ddg.name());
+    EXPECT_EQ(once, io::DumpLoop(back)) << loop.ddg.name();
+    EXPECT_EQ(loop.trip, back.trip);
+    EXPECT_EQ(loop.invocations, back.invocations);
+    EXPECT_EQ(loop.ddg.NumNodes(), back.ddg.NumNodes());
+    EXPECT_EQ(loop.ddg.NumEdges(), back.ddg.NumEdges());
+    EXPECT_EQ(loop.ddg.num_invariants(), back.ddg.num_invariants());
+  }
+}
+
+TEST(HclLoop, SyntheticSliceRoundTrips) {
+  const workload::Suite slice =
+      workload::SuiteSlice(workload::SharedSyntheticSuite(), 25);
+  ASSERT_GT(slice.size(), 0u);
+  for (const workload::Loop& loop : slice.loops()) {
+    const std::string once = io::DumpLoop(loop);
+    EXPECT_EQ(once, io::DumpLoop(io::ParseLoop(once))) << loop.ddg.name();
+  }
+}
+
+TEST(HclLoop, TombstonesSurviveTheRoundTrip) {
+  workload::Loop loop = workload::MakeDaxpy();
+  DDG& g = loop.ddg;
+  Node helper;
+  helper.op = OpClass::kMove;
+  helper.inserted = true;
+  const NodeId a = g.AddNode(helper);
+  const NodeId b = g.AddNode(helper);
+  g.AddFlow(a, b);
+  g.RemoveNode(a);  // tombstone in the middle of the id space
+
+  const std::string once = io::DumpLoop(loop);
+  const workload::Loop back = io::ParseLoop(once);
+  EXPECT_EQ(g.NumSlots(), back.ddg.NumSlots());
+  EXPECT_EQ(g.NumNodes(), back.ddg.NumNodes());
+  EXPECT_FALSE(back.ddg.IsAlive(a));
+  EXPECT_TRUE(back.ddg.IsAlive(b));
+  EXPECT_TRUE(back.ddg.node(b).inserted);
+  EXPECT_EQ(once, io::DumpLoop(back));
+}
+
+TEST(HclLoop, WhitespaceInNamesIsSanitizedToKeepDumpsParsable) {
+  workload::Loop loop = workload::MakeDaxpy();
+  loop.ddg.set_name("my loop\t1");
+  const std::string once = io::DumpLoop(loop);
+  const workload::Loop back = io::ParseLoop(once);
+  EXPECT_EQ(back.ddg.name(), "my_loop_1");
+  EXPECT_EQ(once, io::DumpLoop(back));
+}
+
+TEST(HclMachine, RoundTripPreservesEveryField) {
+  for (const char* name : {"S128", "4C32/1-1", "1C64S64/4-2", "4C16S64/2-1"}) {
+    MachineConfig m = MachineConfig::WithRF(RFConfig::Parse(name));
+    m = hw::ApplyCharacterization(m, hw::RFModelMode::kPaperTable);
+    const std::string once = io::DumpMachine(m);
+    const MachineConfig back = io::ParseMachine(once, name);
+    EXPECT_EQ(m.num_fus, back.num_fus);
+    EXPECT_EQ(m.num_mem_ports, back.num_mem_ports);
+    EXPECT_EQ(m.rf, back.rf);
+    EXPECT_EQ(m.lat, back.lat);
+    EXPECT_EQ(m.clock_ns, back.clock_ns);  // bit-exact via shortest repr
+    EXPECT_EQ(once, io::DumpMachine(back));
+  }
+}
+
+TEST(HclMachine, AcceptsPaperNotationRfNames) {
+  const MachineConfig m = io::ParseMachine(
+      "hcl 1 machine\nrf name 4C16S64\nend\n", "<test>");
+  EXPECT_EQ(m.rf.clusters, 4);
+  EXPECT_EQ(m.rf.cluster_regs, 16);
+  EXPECT_EQ(m.rf.shared_regs, 64);
+}
+
+TEST(HclOptions, RoundTrips) {
+  core::MirsOptions opt;
+  opt.budget_ratio = 3.25;
+  opt.max_ii = 512;
+  opt.iterative = false;
+  opt.cluster_policy = core::ClusterPolicy::kRoundRobin;
+  const std::string once = io::DumpOptions(opt);
+  const core::MirsOptions back = io::ParseOptions(once);
+  EXPECT_EQ(back.budget_ratio, 3.25);
+  EXPECT_EQ(back.max_ii, 512);
+  EXPECT_FALSE(back.iterative);
+  EXPECT_EQ(back.cluster_policy, core::ClusterPolicy::kRoundRobin);
+  EXPECT_EQ(once, io::DumpOptions(back));
+}
+
+TEST(HclResult, ScheduleResultRoundTripsBitIdentically) {
+  const MachineConfig m = MachineConfig::WithRF(RFConfig::Parse("4C16S64/2-1"));
+  for (const workload::Loop& loop :
+       {workload::MakeDaxpy(), workload::MakeHydro(), workload::MakeNorm2()}) {
+    const core::ScheduleResult r = core::MirsHC(loop.ddg, m);
+    ASSERT_TRUE(r.ok) << loop.ddg.name();
+    const std::string once = io::DumpResult(r);
+    const core::ScheduleResult back = io::ParseResult(once);
+    EXPECT_EQ(once, io::DumpResult(back)) << loop.ddg.name();
+    EXPECT_EQ(r.ii, back.ii);
+    EXPECT_EQ(r.sc, back.sc);
+    EXPECT_EQ(r.mii, back.mii);
+    EXPECT_EQ(r.bound, back.bound);
+    EXPECT_EQ(r.stats.attempts, back.stats.attempts);
+    EXPECT_EQ(r.stats.budget_spent, back.stats.budget_spent);
+    EXPECT_EQ(r.schedule.ii(), back.schedule.ii());
+    EXPECT_EQ(r.schedule.NumScheduled(), back.schedule.NumScheduled());
+    for (NodeId v = 0; v < r.graph.NumSlots(); ++v) {
+      ASSERT_EQ(r.schedule.IsScheduled(v), back.schedule.IsScheduled(v));
+      if (r.schedule.IsScheduled(v)) {
+        EXPECT_EQ(r.schedule.CycleOf(v), back.schedule.CycleOf(v));
+        EXPECT_EQ(r.schedule.ClusterOf(v), back.schedule.ClusterOf(v));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Malformed input: every rejection carries the offending line number.
+// ---------------------------------------------------------------------------
+
+int LineOfFailure(const std::string& text) {
+  try {
+    io::ParseLoop(text, "<test>");
+  } catch (const io::HclError& e) {
+    EXPECT_NE(std::string(e.what()).find("<test>:"), std::string::npos);
+    return e.line();
+  }
+  return -1;  // no error raised
+}
+
+TEST(HclErrors, BadVersionIsRejected) {
+  EXPECT_EQ(LineOfFailure("hcl 99 loop\nend\n"), 1);
+}
+
+TEST(HclErrors, BadMagicIsRejected) {
+  EXPECT_EQ(LineOfFailure("xml 1 loop\nend\n"), 1);
+}
+
+TEST(HclErrors, WrongKindIsRejected) {
+  EXPECT_EQ(LineOfFailure("hcl 1 machine\nend\n"), 1);
+}
+
+TEST(HclErrors, UnknownOpClassIsRejectedWithItsLine) {
+  const std::string text =
+      "hcl 1 loop\nslots 2\nnode 0 fadd\nnode 1 bogus\nend\n";
+  EXPECT_EQ(LineOfFailure(text), 4);
+  try {
+    io::ParseLoop(text, "<test>");
+    FAIL() << "expected HclError";
+  } catch (const io::HclError& e) {
+    EXPECT_NE(e.message().find("unknown op class 'bogus'"),
+              std::string::npos);
+  }
+}
+
+TEST(HclErrors, DanglingEdgeIsRejectedWithItsLine) {
+  EXPECT_EQ(
+      LineOfFailure("hcl 1 loop\nslots 2\nnode 0 fadd\nnode 1 fadd\n"
+                    "edge 0 7 flow 0\nend\n"),
+      5);
+  // An edge to a declared-but-undefined (tombstoned) slot is dangling too.
+  EXPECT_EQ(LineOfFailure("hcl 1 loop\nslots 3\nnode 0 fadd\nnode 1 fadd\n"
+                          "edge 0 2 flow 0\nend\n"),
+            5);
+}
+
+TEST(HclErrors, DuplicateNodeIdIsRejected) {
+  EXPECT_EQ(
+      LineOfFailure("hcl 1 loop\nslots 2\nnode 0 fadd\nnode 0 fmul\nend\n"),
+      4);
+}
+
+TEST(HclErrors, ZeroDistanceSelfEdgeIsRejected) {
+  EXPECT_EQ(LineOfFailure(
+                "hcl 1 loop\nslots 1\nnode 0 fadd\nedge 0 0 flow 0\nend\n"),
+            4);
+}
+
+TEST(HclErrors, UnknownDependenceKindIsRejected) {
+  EXPECT_EQ(LineOfFailure("hcl 1 loop\nslots 2\nnode 0 fadd\nnode 1 fadd\n"
+                          "edge 0 1 sideways 0\nend\n"),
+            5);
+}
+
+TEST(HclErrors, MissingEndIsRejected) {
+  EXPECT_GT(LineOfFailure("hcl 1 loop\nslots 1\nnode 0 fadd\n"), 0);
+}
+
+TEST(HclErrors, ContentAfterEndIsRejected) {
+  EXPECT_EQ(LineOfFailure("hcl 1 loop\nslots 0\nend\nslots 1\n"), 4);
+}
+
+TEST(HclErrors, UnknownDirectiveIsRejected) {
+  EXPECT_EQ(LineOfFailure("hcl 1 loop\nfrobnicate 3\nend\n"), 2);
+}
+
+TEST(HclErrors, NodeBeforeSlotsIsRejected) {
+  EXPECT_EQ(LineOfFailure("hcl 1 loop\nnode 0 fadd\nslots 1\nend\n"), 2);
+}
+
+TEST(HclErrors, CommentsAndBlankLinesAreIgnored) {
+  const workload::Loop loop = io::ParseLoop(
+      "# a hand-written file\nhcl 1 loop\n\nslots 1\n# mid comment\n"
+      "node 0 fadd\nend\n");
+  EXPECT_EQ(loop.ddg.NumNodes(), 1);
+}
+
+}  // namespace
+}  // namespace hcrf

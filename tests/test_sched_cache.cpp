@@ -1,0 +1,208 @@
+// Persistent schedule cache: hits return bit-identical results, corrupted
+// and stale entries are detected and fall through to a fresh schedule, and
+// the structural key separates what must be separated.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/mirs.h"
+#include "io/hcl.h"
+#include "service/sched_cache.h"
+#include "workload/kernels.h"
+
+namespace hcrf {
+namespace {
+
+namespace fs = std::filesystem;
+using service::CacheKey;
+using service::MakeCacheKey;
+using service::ScheduleCache;
+
+class SchedCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("hcrf-cache-" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string EntryPathOf(const CacheKey& key) const {
+    return (dir_ / (key.Hex() + ".hclc")).string();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(SchedCacheTest, HitReturnsBitIdenticalResult) {
+  const workload::Loop loop = workload::MakeHydro();
+  const MachineConfig m = MachineConfig::WithRF(RFConfig::Parse("4C16S64/2-1"));
+  const core::MirsOptions opt;
+  const core::ScheduleResult fresh = core::MirsHC(loop.ddg, m, opt);
+  ASSERT_TRUE(fresh.ok);
+
+  ScheduleCache cache(dir_.string());
+  const CacheKey key = MakeCacheKey(loop.ddg, m, opt);
+  EXPECT_FALSE(cache.Get(key).has_value());  // cold
+  cache.Put(key, fresh);
+  const auto hit = cache.Get(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(io::DumpResult(fresh), io::DumpResult(*hit));
+
+  const ScheduleCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 1);
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.rejects, 0);
+  EXPECT_EQ(s.writes, 1);
+}
+
+TEST_F(SchedCacheTest, EntriesPersistAcrossCacheInstances) {
+  const workload::Loop loop = workload::MakeDaxpy();
+  const MachineConfig m = MachineConfig::Baseline();
+  const core::MirsOptions opt;
+  const core::ScheduleResult fresh = core::MirsHC(loop.ddg, m, opt);
+  ASSERT_TRUE(fresh.ok);
+  const CacheKey key = MakeCacheKey(loop.ddg, m, opt);
+  {
+    ScheduleCache writer(dir_.string());
+    writer.Put(key, fresh);
+  }
+  ScheduleCache reader(dir_.string());
+  const auto hit = reader.Get(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(io::DumpResult(fresh), io::DumpResult(*hit));
+}
+
+TEST_F(SchedCacheTest, CorruptedEntryIsRejectedAndFallsThrough) {
+  const workload::Loop loop = workload::MakeDot();
+  const MachineConfig m = MachineConfig::Baseline();
+  const core::MirsOptions opt;
+  const core::ScheduleResult fresh = core::MirsHC(loop.ddg, m, opt);
+  ASSERT_TRUE(fresh.ok);
+
+  ScheduleCache cache(dir_.string());
+  const CacheKey key = MakeCacheKey(loop.ddg, m, opt);
+  cache.Put(key, fresh);
+
+  // Flip a digit inside the body; the checksum must catch it.
+  const std::string path = EntryPathOf(key);
+  std::string text = io::ReadFile(path);
+  const size_t pos = text.find("ii ");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 3] = text[pos + 3] == '9' ? '8' : '9';
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << text;
+
+  EXPECT_FALSE(cache.Get(key).has_value());
+  EXPECT_EQ(cache.stats().rejects, 1);
+
+  // Fall through: re-scheduling and re-putting heals the entry.
+  cache.Put(key, fresh);
+  const auto hit = cache.Get(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(io::DumpResult(fresh), io::DumpResult(*hit));
+}
+
+TEST_F(SchedCacheTest, TruncatedEntryIsRejected) {
+  const workload::Loop loop = workload::MakeVadd();
+  const MachineConfig m = MachineConfig::Baseline();
+  const core::MirsOptions opt;
+  const core::ScheduleResult fresh = core::MirsHC(loop.ddg, m, opt);
+  ASSERT_TRUE(fresh.ok);
+
+  ScheduleCache cache(dir_.string());
+  const CacheKey key = MakeCacheKey(loop.ddg, m, opt);
+  cache.Put(key, fresh);
+
+  const std::string path = EntryPathOf(key);
+  const std::string text = io::ReadFile(path);
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      << text.substr(0, text.size() / 2);
+
+  EXPECT_FALSE(cache.Get(key).has_value());
+  EXPECT_EQ(cache.stats().rejects, 1);
+}
+
+TEST_F(SchedCacheTest, StaleEntryUnderTheWrongKeyIsRejected) {
+  const workload::Loop loop = workload::MakeDaxpy();
+  const MachineConfig m = MachineConfig::Baseline();
+  core::MirsOptions opt;
+  const core::ScheduleResult fresh = core::MirsHC(loop.ddg, m, opt);
+  ASSERT_TRUE(fresh.ok);
+
+  ScheduleCache cache(dir_.string());
+  const CacheKey key = MakeCacheKey(loop.ddg, m, opt);
+  cache.Put(key, fresh);
+
+  // Simulate a stale/misfiled entry: the bytes of `key`'s entry placed
+  // where a different key's entry should live. The embedded key header
+  // must reject it even though checksum and body are intact.
+  opt.budget_ratio = 11.0;
+  const CacheKey other = MakeCacheKey(loop.ddg, m, opt);
+  ASSERT_FALSE(other == key);
+  fs::copy_file(EntryPathOf(key), EntryPathOf(other));
+  EXPECT_FALSE(cache.Get(other).has_value());
+  EXPECT_EQ(cache.stats().rejects, 1);
+}
+
+TEST_F(SchedCacheTest, KeySeparatesScheduleRelevantContent) {
+  const workload::Loop loop = workload::MakeStencil3();
+  const MachineConfig base = MachineConfig::Baseline();
+  const core::MirsOptions opt;
+  const CacheKey key = MakeCacheKey(loop.ddg, base, opt);
+
+  // Same content, fresh objects -> same key (content addressing).
+  EXPECT_TRUE(MakeCacheKey(workload::MakeStencil3().ddg, base, opt) == key);
+
+  // The cached result embeds the graph name, so structurally identical
+  // loops under different names must get different keys (a hit must be
+  // bit-identical to a fresh schedule).
+  workload::Loop renamed = workload::MakeStencil3();
+  renamed.ddg.set_name("stencil3-renamed");
+  EXPECT_FALSE(MakeCacheKey(renamed.ddg, base, opt) == key);
+
+  // Machine, options and graph perturbations -> different keys.
+  MachineConfig m2 = base;
+  m2.rf = RFConfig::Parse("4C16S64/2-1");
+  EXPECT_FALSE(MakeCacheKey(loop.ddg, m2, opt) == key);
+
+  MachineConfig m3 = base;
+  m3.lat.fmul = 5;
+  EXPECT_FALSE(MakeCacheKey(loop.ddg, m3, opt) == key);
+
+  core::MirsOptions o2;
+  o2.iterative = false;
+  EXPECT_FALSE(MakeCacheKey(loop.ddg, base, o2) == key);
+
+  workload::Loop mutated = workload::MakeStencil3();
+  mutated.ddg.AddEdge(0, 1, DepKind::kMem, 1);
+  EXPECT_FALSE(MakeCacheKey(mutated.ddg, base, opt) == key);
+
+  // Latency overrides (binding prefetching) are part of the key.
+  sched::LatencyOverrides ov;
+  ov.producer_latency.assign(4, 0);
+  ov.producer_latency[0] = 10;
+  EXPECT_FALSE(MakeCacheKey(loop.ddg, base, opt, ov) == key);
+}
+
+TEST_F(SchedCacheTest, ScanCountsEntries) {
+  const MachineConfig m = MachineConfig::Baseline();
+  const core::MirsOptions opt;
+  ScheduleCache cache(dir_.string());
+  int stored = 0;
+  for (const workload::Loop& loop :
+       {workload::MakeDaxpy(), workload::MakeDot(), workload::MakeVdiv()}) {
+    const core::ScheduleResult r = core::MirsHC(loop.ddg, m, opt);
+    ASSERT_TRUE(r.ok);
+    cache.Put(MakeCacheKey(loop.ddg, m, opt), r);
+    ++stored;
+  }
+  const ScheduleCache::DirStats ds = ScheduleCache::Scan(dir_.string());
+  EXPECT_EQ(ds.entries, stored);
+  EXPECT_GT(ds.bytes, 0);
+}
+
+}  // namespace
+}  // namespace hcrf

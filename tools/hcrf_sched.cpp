@@ -1,0 +1,418 @@
+// hcrf_sched: the scheduling service's command-line driver.
+//
+//   hcrf_sched schedule <loop.hcl> [options]   schedule one graph file
+//   hcrf_sched run <manifest> [options]        run a batch manifest
+//   hcrf_sched dump <file>                     parse + canonical re-dump
+//   hcrf_sched validate <file.hcl>             strict load + graph check
+//   hcrf_sched export [options]                write a suite as .hcl corpus
+//   hcrf_sched cache-stats <dir>               census of a schedule cache
+//   hcrf_sched smoke <manifest>                cold+warm cache self-check
+//
+// Run `hcrf_sched help` for per-command options. Exit status: 0 on
+// success, 1 on bad usage / failed requests / failed self-check.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "hwmodel/characterize.h"
+#include "io/hcl.h"
+#include "machine/machine_config.h"
+#include "service/batch.h"
+#include "service/sched_cache.h"
+#include "workload/suite_cache.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace hcrf;
+
+int Usage() {
+  std::fprintf(stderr, R"(usage: hcrf_sched <command> [args]
+
+commands:
+  schedule <loop.hcl>    schedule one dependence-graph file
+      --rf=NAME            RF organization (paper notation; default S128)
+      --machine=FILE       full `hcl 1 machine` document instead of --rf
+      --no-characterize    skip the hardware model (keep baseline clock)
+      --budget=X --max-ii=N --policy=NAME --non-iterative
+      --cache=DIR          persistent schedule cache
+      --out=FILE           write the result document (default stdout)
+  run <manifest>         run every request of a batch manifest
+      --cache=DIR --threads=N --out-dir=DIR --quiet
+  dump <file>            parse any .hcl document, re-dump canonically
+  validate <file.hcl>    strict parse + structural check, print a summary
+  export                 write a workload suite as a .hcl corpus
+      --suite=kernels|synth  (default kernels)
+      --n=N                  cap the number of exported loops
+      --rf=NAME              RF the generated manifest schedules on
+                             (default 4C16S64/2-1, the paper's proposal)
+      --out=DIR              corpus directory (default corpus)
+  cache-stats <dir>      entry count and bytes of a schedule cache
+  smoke <manifest>       run twice (cold, warm cache); verify the warm run
+                         hits the cache and its output is bit-identical
+)");
+  return 1;
+}
+
+/// `--key=value` / `--flag` parsing over argv[from..).
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> flags;
+
+  static Args Parse(int argc, char** argv, int from) {
+    Args a;
+    for (int i = from; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const size_t eq = arg.find('=');
+        if (eq == std::string::npos) {
+          a.flags.emplace_back(arg.substr(2), "");
+        } else {
+          a.flags.emplace_back(arg.substr(2, eq - 2), arg.substr(eq + 1));
+        }
+      } else {
+        a.positional.push_back(arg);
+      }
+    }
+    return a;
+  }
+
+  const std::string* Flag(const std::string& name) const {
+    for (const auto& [k, v] : flags) {
+      if (k == name) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Rejects flags outside `known` (typo safety for a service entry point).
+bool CheckFlags(const Args& a, std::initializer_list<const char*> known) {
+  for (const auto& [k, v] : a.flags) {
+    bool ok = false;
+    for (const char* name : known) {
+      if (k == name) ok = true;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "hcrf_sched: unknown option --%s\n", k.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+MachineConfig MachineFromFlags(const Args& args) {
+  if (const std::string* path = args.Flag("machine")) {
+    return io::LoadMachineFile(*path);
+  }
+  const std::string* rf = args.Flag("rf");
+  MachineConfig m =
+      MachineConfig::WithRF(RFConfig::Parse(rf != nullptr ? *rf : "S128"));
+  if (args.Flag("no-characterize") == nullptr &&
+      !m.rf.UnboundedClusterRegs() && !m.rf.UnboundedSharedRegs()) {
+    m = hw::ApplyCharacterization(m, hw::RFModelMode::kPaperTable);
+  }
+  return m;
+}
+
+core::MirsOptions OptionsFromFlags(const Args& args) {
+  core::MirsOptions opt;
+  if (const std::string* v = args.Flag("budget")) opt.budget_ratio = std::stod(*v);
+  if (const std::string* v = args.Flag("max-ii")) opt.max_ii = std::stoi(*v);
+  if (args.Flag("non-iterative") != nullptr) opt.iterative = false;
+  if (const std::string* v = args.Flag("policy")) {
+    const std::optional<core::ClusterPolicy> p = io::ClusterPolicyFromName(*v);
+    if (!p) throw std::runtime_error("unknown --policy=" + *v);
+    opt.cluster_policy = *p;
+  }
+  return opt;
+}
+
+void PrintItem(const service::BatchItem& item) {
+  if (!item.ok) {
+    std::printf("%-28s FAILED  %s\n", item.id.c_str(), item.error.c_str());
+    return;
+  }
+  std::printf("%-28s II %3d (MII %3d)  SC %2d  bound %-7s %s  %.3f ms\n",
+              item.id.c_str(), item.result.ii, item.result.mii,
+              item.result.sc,
+              std::string(core::ToString(item.result.bound)).c_str(),
+              item.cache_hit ? "cache-hit " : "scheduled ",
+              item.seconds * 1e3);
+}
+
+int CmdSchedule(const Args& args) {
+  if (args.positional.size() != 1 ||
+      !CheckFlags(args, {"rf", "machine", "no-characterize", "budget",
+                         "max-ii", "policy", "non-iterative", "cache",
+                         "out"})) {
+    return Usage();
+  }
+  const workload::Loop loop = io::LoadLoopFile(args.positional[0]);
+  const MachineConfig m = MachineFromFlags(args);
+  const core::MirsOptions opt = OptionsFromFlags(args);
+
+  service::BatchRequest req;
+  req.id = loop.ddg.name().empty() ? args.positional[0] : loop.ddg.name();
+  req.loop = loop;
+  req.machine = m;
+  req.options = opt;
+
+  service::BatchOptions bopt;
+  if (const std::string* c = args.Flag("cache")) bopt.cache_dir = *c;
+  const service::BatchReport report = service::RunBatch({req}, bopt);
+  const service::BatchItem& item = report.items[0];
+  PrintItem(item);
+  if (!item.ok) return 1;
+
+  const std::string text = io::DumpResult(item.result);
+  if (const std::string* out = args.Flag("out")) {
+    io::WriteFileAtomic(*out, text);
+  } else {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+  }
+  return 0;
+}
+
+int RunManifestOnce(const std::string& manifest,
+                    const service::BatchOptions& bopt, bool quiet,
+                    const std::string* out_dir,
+                    service::BatchReport* out_report) {
+  const service::BatchReport report = service::RunManifest(manifest, bopt);
+  for (const service::BatchItem& item : report.items) {
+    if (!quiet) PrintItem(item);
+    if (out_dir != nullptr && item.ok) {
+      std::string stem = item.id;
+      for (char& c : stem) {
+        if (c == '/' || c == '\\') c = '_';
+      }
+      io::WriteFileAtomic((fs::path(*out_dir) / (stem + ".hclr")).string(),
+                          io::DumpResult(item.result));
+    }
+  }
+  std::printf(
+      "batch: %zu requests, %d scheduled, %d cache hits, %d failed, "
+      "%.3f s wall\n",
+      report.items.size(), report.scheduled, report.hits, report.failed,
+      report.seconds);
+  if (!bopt.cache_dir.empty()) {
+    std::printf("cache: %ld hits, %ld misses, %ld rejects, %ld writes (%s)\n",
+                report.cache.hits, report.cache.misses, report.cache.rejects,
+                report.cache.writes, bopt.cache_dir.c_str());
+  }
+  if (out_report != nullptr) *out_report = report;
+  return report.failed == 0 ? 0 : 1;
+}
+
+int CmdRun(const Args& args) {
+  if (args.positional.size() != 1 ||
+      !CheckFlags(args, {"cache", "threads", "out-dir", "quiet"})) {
+    return Usage();
+  }
+  service::BatchOptions bopt;
+  if (const std::string* c = args.Flag("cache")) bopt.cache_dir = *c;
+  if (const std::string* t = args.Flag("threads")) bopt.threads = std::stoi(*t);
+  return RunManifestOnce(args.positional[0], bopt,
+                         args.Flag("quiet") != nullptr, args.Flag("out-dir"),
+                         nullptr);
+}
+
+int CmdDump(const Args& args) {
+  if (args.positional.size() != 1 || !CheckFlags(args, {})) return Usage();
+  const std::string& path = args.positional[0];
+  const std::string text = io::ReadFile(path);
+  // Dispatch on the document kind named in the header's third token.
+  std::string kind;
+  const size_t nl = text.find('\n');
+  const std::string header = text.substr(0, nl);
+  const size_t last_space = header.rfind(' ');
+  if (last_space != std::string::npos) kind = header.substr(last_space + 1);
+  std::string out;
+  if (kind == "loop") {
+    out = io::DumpLoop(io::ParseLoop(text, path));
+  } else if (kind == "machine") {
+    out = io::DumpMachine(io::ParseMachine(text, path));
+  } else if (kind == "options") {
+    out = io::DumpOptions(io::ParseOptions(text, path));
+  } else if (kind == "result") {
+    out = io::DumpResult(io::ParseResult(text, path));
+  } else {
+    std::fprintf(stderr, "%s: unrecognized document kind '%s'\n",
+                 path.c_str(), kind.c_str());
+    return 1;
+  }
+  std::fwrite(out.data(), 1, out.size(), stdout);
+  return 0;
+}
+
+int CmdValidate(const Args& args) {
+  if (args.positional.size() != 1 || !CheckFlags(args, {})) return Usage();
+  const std::string& path = args.positional[0];
+  const workload::Loop loop = io::LoadLoopFile(path);
+  const DDG& g = loop.ddg;
+  const DDG::OpCounts counts = g.CountOps(LatencyTable{});
+  std::printf(
+      "%s: ok\n  name %s\n  nodes %d (compute %d, memory %d, comm %d)\n"
+      "  edges %d\n  invariants %d\n  trip %ld x %ld invocations\n",
+      path.c_str(), g.name().empty() ? "<anonymous>" : g.name().c_str(),
+      g.NumNodes(), counts.compute, counts.memory, counts.comm, g.NumEdges(),
+      g.num_invariants(), loop.trip, loop.invocations);
+  return 0;
+}
+
+int CmdExport(const Args& args) {
+  if (!args.positional.empty() ||
+      !CheckFlags(args, {"suite", "n", "rf", "out"})) {
+    return Usage();
+  }
+  const std::string* suite_flag = args.Flag("suite");
+  const std::string suite_name =
+      suite_flag != nullptr ? *suite_flag : "kernels";
+  const std::string* out_flag = args.Flag("out");
+  const std::string out_dir = out_flag != nullptr ? *out_flag : "corpus";
+  const std::string* rf_flag = args.Flag("rf");
+  const std::string rf = rf_flag != nullptr ? *rf_flag : "4C16S64/2-1";
+
+  const workload::Suite* suite = nullptr;
+  if (suite_name == "kernels") {
+    suite = &workload::SharedKernelSuite();
+  } else if (suite_name == "synth") {
+    suite = &workload::SharedSyntheticSuite();
+  } else {
+    std::fprintf(stderr, "hcrf_sched: unknown --suite=%s\n",
+                 suite_name.c_str());
+    return 1;
+  }
+  size_t n = suite->size();
+  if (const std::string* nv = args.Flag("n")) {
+    n = std::min(n, static_cast<size_t>(std::stoul(*nv)));
+  }
+
+  std::string manifest = "hcl 1 manifest\n";
+  for (size_t i = 0; i < n; ++i) {
+    const workload::Loop& loop = (*suite)[i];
+    const std::string stem = loop.ddg.name().empty()
+                                 ? suite_name + "-" + std::to_string(i)
+                                 : loop.ddg.name();
+    const std::string rel = suite_name + "/" + stem + ".hcl";
+    io::WriteFileAtomic((fs::path(out_dir) / rel).string(),
+                        io::DumpLoop(loop));
+    manifest += "request graph " + rel + " rf " + rf + "\n";
+  }
+  manifest += "end\n";
+  const std::string manifest_path =
+      (fs::path(out_dir) / (suite_name + ".manifest")).string();
+  io::WriteFileAtomic(manifest_path, manifest);
+  std::printf("exported %zu loops to %s/%s/ and %s\n", n, out_dir.c_str(),
+              suite_name.c_str(), manifest_path.c_str());
+  return 0;
+}
+
+int CmdCacheStats(const Args& args) {
+  if (args.positional.size() != 1 || !CheckFlags(args, {})) return Usage();
+  const service::ScheduleCache::DirStats ds =
+      service::ScheduleCache::Scan(args.positional[0]);
+  std::printf("%s: %ld entries, %ld bytes\n", args.positional[0].c_str(),
+              ds.entries, ds.bytes);
+  return 0;
+}
+
+// Cold run, then warm run against the same fresh cache; the warm run must
+// be served entirely from the cache and produce bit-identical results.
+// This is the CI smoke and the acceptance check of the subsystem.
+int CmdSmoke(const Args& args) {
+  if (args.positional.size() != 1 || !CheckFlags(args, {"cache"})) {
+    return Usage();
+  }
+  service::BatchOptions bopt;
+  std::error_code ec;
+  if (const std::string* c = args.Flag("cache")) {
+    // Never delete a user-supplied directory; the cold run just needs it
+    // empty, so refuse anything with existing contents.
+    bopt.cache_dir = *c;
+    if (fs::exists(bopt.cache_dir, ec) && !fs::is_empty(bopt.cache_dir, ec)) {
+      std::fprintf(stderr,
+                   "smoke: --cache=%s exists and is not empty; smoke needs a "
+                   "cold cache and will not delete user data\n",
+                   bopt.cache_dir.c_str());
+      return 1;
+    }
+  } else {
+    bopt.cache_dir =
+        (fs::temp_directory_path() /
+         ("hcrf-smoke-cache-" + std::to_string(::getpid())))
+            .string();
+    fs::remove_all(bopt.cache_dir, ec);
+  }
+
+  std::printf("== cold run ==\n");
+  service::BatchReport cold;
+  if (RunManifestOnce(args.positional[0], bopt, /*quiet=*/true, nullptr,
+                      &cold) != 0) {
+    std::fprintf(stderr, "smoke: cold run had failures\n");
+    return 1;
+  }
+  std::printf("== warm run ==\n");
+  service::BatchReport warm;
+  if (RunManifestOnce(args.positional[0], bopt, /*quiet=*/true, nullptr,
+                      &warm) != 0) {
+    std::fprintf(stderr, "smoke: warm run had failures\n");
+    return 1;
+  }
+
+  bool ok = true;
+  if (warm.hits <= 0 || warm.scheduled != 0) {
+    std::fprintf(stderr,
+                 "smoke: warm run expected all cache hits, got %d hits / %d "
+                 "scheduled\n",
+                 warm.hits, warm.scheduled);
+    ok = false;
+  }
+  if (cold.items.size() != warm.items.size()) {
+    std::fprintf(stderr, "smoke: item count mismatch\n");
+    ok = false;
+  } else {
+    for (size_t i = 0; i < cold.items.size(); ++i) {
+      if (io::DumpResult(cold.items[i].result) !=
+          io::DumpResult(warm.items[i].result)) {
+        std::fprintf(stderr, "smoke: result %s differs between runs\n",
+                     cold.items[i].id.c_str());
+        ok = false;
+      }
+    }
+  }
+  if (args.Flag("cache") == nullptr) fs::remove_all(bopt.cache_dir, ec);
+  std::printf("smoke: %s (%d loops, warm run served %d from cache)\n",
+              ok ? "PASS" : "FAIL", static_cast<int>(warm.items.size()),
+              warm.hits);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  const Args args = Args::Parse(argc, argv, 2);
+  try {
+    if (cmd == "schedule") return CmdSchedule(args);
+    if (cmd == "run") return CmdRun(args);
+    if (cmd == "dump") return CmdDump(args);
+    if (cmd == "validate") return CmdValidate(args);
+    if (cmd == "export") return CmdExport(args);
+    if (cmd == "cache-stats") return CmdCacheStats(args);
+    if (cmd == "smoke") return CmdSmoke(args);
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+      Usage();
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hcrf_sched: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "hcrf_sched: unknown command '%s'\n", cmd.c_str());
+  return Usage();
+}
