@@ -1,0 +1,11 @@
+hcl 1 sweep
+name ci-smoke
+graph ../kernels/daxpy.hcl
+graph ../kernels/dot.hcl
+graph ../kernels/stencil3.hcl
+rf S128
+grid clusters 2 4
+grid cluster_regs 16
+grid shared_regs 64
+characterize 1
+end

@@ -1,0 +1,12 @@
+hcl 1 sweep
+name paper-organizations
+suite kernels
+suite synth
+rf S128
+rf 4C32
+rf 1C64S64
+rf 2C32S64
+rf 4C16S64
+rf 8C8S64
+characterize 1
+end

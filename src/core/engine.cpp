@@ -33,6 +33,12 @@ EngineDriver::EngineDriver(const DDG& loop, const MachineConfig& m,
                              : std::make_shared<const HrmsOrderPolicy>()),
       selector_(opt.cluster_selector ? opt.cluster_selector()
                                      : MakeClusterSelector(opt.cluster_policy)) {
+  // Canonicalize the overrides: trailing zero entries are behaviorally
+  // inert (LatencyOverrides::For falls back) but would leak into the
+  // serialized result, and the schedule cache keys padding-equivalent
+  // requests together, so their dumps must be bit-identical.
+  std::vector<int>& pl = base_overrides_.producer_latency;
+  while (!pl.empty() && pl.back() <= 0) pl.pop_back();
 }
 
 // ---------------------------------------------------------------------------
@@ -122,6 +128,12 @@ bool EngineDriver::PlaceNode(NodeId u, int cluster, int src_cluster) {
     for (NodeId victim : st_.mrt->ConflictingNodes(needs, t)) {
       Eject(victim);
     }
+    // Ejecting a victim can undo the communication chain u itself belongs
+    // to, garbage-collecting u. Placing the tombstone would permanently
+    // hold its MRT slots and serialize a "placement of undefined node"
+    // that the strict result parser (and so the schedule cache) rejects;
+    // there is nothing left to place, which is not a failure.
+    if (!st_.g.IsAlive(u)) return true;
     if (!st_.mrt->CanPlace(needs, t)) {
       // A comm-node ejection rerouted a chain and refilled the slot; give
       // up on this attempt (budget will drive an II bump).
@@ -306,6 +318,13 @@ bool EngineDriver::TryII(int ii) {
         }
       }
       if (!comm_.EnsureCommunication(u, cluster)) return false;
+      // Building u's communication can force-place chain nodes, whose
+      // ejection cascade may dissolve the very chain u belongs to and
+      // garbage-collect u. A tombstoned node must not be placed: the
+      // stale placement would hold MRT slots forever and serialize as a
+      // "placement of undefined node" that the strict result parser (and
+      // so the schedule cache) rejects.
+      if (!st_.g.IsAlive(u)) continue;
       if (!PlaceNode(u, cluster, src_cluster)) return false;
       // Register-pressure checks are O(values); checking every few
       // placements (and always when the list drains) keeps the paper's

@@ -8,6 +8,7 @@
 // implements NodePlacer for the others.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -40,12 +41,15 @@ struct BudgetAccount {
     granted = 0;
     grant_cap = cap;
   }
-  /// Returns the amount actually granted (0 once the cap is reached).
+  /// Returns the amount actually granted: `amount` clamped to the cap's
+  /// remaining headroom (0 once the cap is reached), so the total grant
+  /// never overshoots grant_cap.
   double Grant(double amount) {
-    if (granted >= grant_cap) return 0;
-    remaining += amount;
-    granted += amount;
-    return amount;
+    const double clamped = std::min(amount, grant_cap - granted);
+    if (clamped <= 0) return 0;
+    remaining += clamped;
+    granted += clamped;
+    return clamped;
   }
   bool exhausted() const { return remaining <= 0; }
   void Spend(double amount) { remaining -= amount; }

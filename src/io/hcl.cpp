@@ -123,16 +123,14 @@ void ExpectHeader(Scanner& sc, std::string_view kind) {
   }
 }
 
-namespace {
-
-// Shortest representation that parses back to the exact same double; the
-// canonical dumps depend on this being deterministic.
 std::string FormatDouble(double v) {
   char buf[64];
   auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
   (void)ec;
   return std::string(buf, ptr);
 }
+
+namespace {
 
 OpClass ParseOpClass(const Scanner& sc, int line, std::string_view tok) {
   for (int i = 0; i < kNumOpClasses; ++i) {

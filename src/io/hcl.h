@@ -98,6 +98,11 @@ std::string DumpResult(const core::ScheduleResult& result);
 core::ScheduleResult ParseResult(std::string_view text,
                                  std::string_view filename = "<hcl>");
 
+/// Shortest decimal representation that parses back to the exact same
+/// double — the formatting every canonical .hcl dump (and the sweep spec
+/// dumper) uses, so documents round-trip byte-identically.
+std::string FormatDouble(double v);
+
 // ---------------------------------------------------------------------------
 // File helpers (thin wrappers; Parse* filenames feed error messages).
 // ---------------------------------------------------------------------------

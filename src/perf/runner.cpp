@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <unordered_map>
 
@@ -23,8 +24,11 @@ namespace {
 // the global resource counts (ResMII is cluster-agnostic; RecMII ignores
 // resources entirely) -- NOT on the RF organization. A design-space sweep
 // therefore recomputes the exact same MII once per configuration; this
-// cache keys on a structural hash of everything the value depends on and
-// shares it process-wide.
+// cache keys on a structural hash and shares it process-wide, bounded by
+// a FIFO entry cap so a long-lived sweep service cannot grow it without
+// limit. The key also mixes the producer-latency overrides: ComputeMII
+// does not read them today, but runs with binding-prefetch overrides must
+// never share entries with base-latency runs (see CachedMii in runner.h).
 
 struct MiiKeyT {
   std::uint64_t a = 0;
@@ -38,7 +42,8 @@ struct MiiKeyHash {
   }
 };
 
-MiiKeyT MiiKey(const DDG& g, const MachineConfig& m) {
+MiiKeyT MiiKey(const DDG& g, const MachineConfig& m,
+               const sched::LatencyOverrides& overrides) {
   DualHash f;
   // Resources and latencies the bounds read.
   f.Mix(static_cast<std::uint64_t>(m.num_fus));
@@ -47,6 +52,21 @@ MiiKeyT MiiKey(const DDG& g, const MachineConfig& m) {
   for (int v : {lat.fadd, lat.fmul, lat.fdiv, lat.fsqrt, lat.load_hit,
                 lat.store, lat.load_miss, lat.move, lat.loadr, lat.storer}) {
     f.Mix(static_cast<std::uint64_t>(v));
+  }
+  // Producer-latency overrides (binding prefetching). Only the positive
+  // (index, value) pairs plus their count are mixed: trailing zero entries
+  // are behaviorally inert, so padded vectors key identically to their
+  // trimmed equivalents (and to empty for all-zero vectors).
+  std::uint64_t active_overrides = 0;
+  for (int v : overrides.producer_latency) {
+    if (v > 0) ++active_overrides;
+  }
+  f.Mix(active_overrides);
+  for (size_t i = 0; i < overrides.producer_latency.size(); ++i) {
+    if (overrides.producer_latency[i] > 0) {
+      f.Mix(static_cast<std::uint64_t>(i));
+      f.Mix(static_cast<std::uint64_t>(overrides.producer_latency[i]));
+    }
   }
   // Graph structure: ops and dependences (ids are stable, tombstones keep
   // their slot, so hashing alive slots in order is canonical).
@@ -72,8 +92,9 @@ class MiiCache {
     return *cache;
   }
 
-  MIIInfo Get(const DDG& g, const MachineConfig& m) {
-    const MiiKeyT key = MiiKey(g, m);
+  MIIInfo Get(const DDG& g, const MachineConfig& m,
+              const sched::LatencyOverrides& overrides) {
+    const MiiKeyT key = MiiKey(g, m, overrides);
     {
       std::lock_guard<std::mutex> lk(mu_);
       auto it = map_.find(key);
@@ -85,25 +106,51 @@ class MiiCache {
     const MIIInfo mii = ComputeMII(g, m);
     std::lock_guard<std::mutex> lk(mu_);
     misses_.fetch_add(1, std::memory_order_relaxed);
-    map_.emplace(key, mii);
+    if (map_.emplace(key, mii).second) {
+      fifo_.push_back(key);
+      while (static_cast<long>(map_.size()) > capacity_) {
+        map_.erase(fifo_.front());
+        fifo_.pop_front();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
     return mii;
   }
 
-  // The hit/miss counters are atomics (not fields guarded by mu_) so that
-  // GetMiiCacheStats never races with — or contends against — runner
-  // threads in the middle of a sweep.
+  long SetCapacity(long max_entries) {
+    std::lock_guard<std::mutex> lk(mu_);
+    const long previous = capacity_;
+    capacity_ = max_entries > 0 ? max_entries : 1;
+    while (static_cast<long>(map_.size()) > capacity_) {
+      map_.erase(fifo_.front());
+      fifo_.pop_front();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return previous;
+  }
+
+  // The hit/miss/eviction counters are atomics (not fields guarded by mu_)
+  // so that GetMiiCacheStats never races with — or contends against —
+  // runner threads in the middle of a sweep; the entry count takes the
+  // lock (it reads the map).
   MiiCacheStats stats() const {
     MiiCacheStats s;
     s.hits = hits_.load(std::memory_order_relaxed);
     s.misses = misses_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(mu_);
+    s.entries = static_cast<long>(map_.size());
     return s;
   }
 
  private:
   mutable std::mutex mu_;
   std::unordered_map<MiiKeyT, MIIInfo, MiiKeyHash> map_;
+  std::deque<MiiKeyT> fifo_;  ///< Insertion order; front is evicted first.
+  long capacity_ = 4096;
   std::atomic<long> hits_{0};
   std::atomic<long> misses_{0};
+  std::atomic<long> evictions_{0};
 };
 
 // ---------------------------------------------------------------------------
@@ -122,7 +169,7 @@ LoopMetrics RunOne(const workload::Loop& loop, const MachineConfig& m,
   // hash lookup on a sweep hit; see the LoopMetrics::sched_seconds doc).
   const auto t0 = std::chrono::steady_clock::now();
   if (opt.reuse_mii_cache && !mirs.precomputed_mii) {
-    mirs.precomputed_mii = MiiCache::Shared().Get(loop.ddg, m);
+    mirs.precomputed_mii = MiiCache::Shared().Get(loop.ddg, m, overrides);
   }
   const core::ScheduleResult sr = core::MirsHC(loop.ddg, m, mirs, overrides);
   const auto t1 = std::chrono::steady_clock::now();
@@ -178,5 +225,14 @@ SuiteMetrics RunSuite(const workload::Suite& suite, const MachineConfig& m,
 }
 
 MiiCacheStats GetMiiCacheStats() { return MiiCache::Shared().stats(); }
+
+long SetMiiCacheCapacity(long max_entries) {
+  return MiiCache::Shared().SetCapacity(max_entries);
+}
+
+MIIInfo CachedMii(const DDG& g, const MachineConfig& m,
+                  const sched::LatencyOverrides& overrides) {
+  return MiiCache::Shared().Get(g, m, overrides);
+}
 
 }  // namespace hcrf::perf

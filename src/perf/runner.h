@@ -14,8 +14,10 @@
 
 #include <vector>
 
+#include "ddg/mii.h"
 #include "memsim/prefetch.h"
 #include "perf/metrics.h"
+#include "sched/lifetime.h"
 #include "workload/workload.h"
 
 namespace hcrf::perf {
@@ -45,12 +47,34 @@ std::vector<LoopMetrics> RunSuiteDetailed(const workload::Suite& suite,
 SuiteMetrics RunSuite(const workload::Suite& suite, const MachineConfig& m,
                       const RunOptions& opt = {});
 
-/// Hit/miss counters of the process-wide MII sweep cache (observability
-/// for the benches; hits mean a sweep configuration skipped ComputeMII).
+/// Counters of the process-wide MII sweep cache (observability for the
+/// benches and the sweep service; hits mean a configuration skipped
+/// ComputeMII). `entries` is the current resident count, `evictions` how
+/// many entries the size cap pushed out.
 struct MiiCacheStats {
   long hits = 0;
   long misses = 0;
+  long entries = 0;
+  long evictions = 0;
 };
 MiiCacheStats GetMiiCacheStats();
+
+/// Entry cap of the MII sweep cache. The cache is process-wide and a
+/// long-lived sweep service would otherwise grow it without bound; beyond
+/// the cap the oldest entry is evicted (FIFO). Returns the previous cap.
+/// The default (4096) comfortably holds every (suite x latency-table)
+/// combination of the paper benches.
+long SetMiiCacheCapacity(long max_entries);
+
+/// Shared MII sweep-cache lookup: returns the memoized MII of (g, m,
+/// overrides), computing and inserting it on a miss. The key covers the
+/// graph structure, the global resource counts, the latency table and the
+/// producer-latency overrides. ComputeMII itself currently reads only the
+/// latency table, but the key must cover everything the value *may*
+/// depend on: keying the overrides guarantees a binding-prefetch run can
+/// never be cross-served a base-latency entry (or vice versa), and keeps
+/// the cache sound if RecMII ever honours the overridden load latencies.
+MIIInfo CachedMii(const DDG& g, const MachineConfig& m,
+                  const sched::LatencyOverrides& overrides = {});
 
 }  // namespace hcrf::perf

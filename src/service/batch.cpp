@@ -6,6 +6,7 @@
 
 #include "io/hcl.h"
 #include "io/scanner.h"
+#include "perf/runner.h"
 #include "perf/thread_pool.h"
 
 namespace hcrf::service {
@@ -109,7 +110,7 @@ BatchReport RunBatch(const std::vector<BatchRequest>& requests,
     item.id = req.id;
     const auto t0 = std::chrono::steady_clock::now();
     const CacheKey key =
-        cache ? MakeCacheKey(req.loop.ddg, req.machine, req.options)
+        cache ? MakeCacheKey(req.loop->ddg, req.machine, req.options)
               : CacheKey{};
     if (cache) {
       if (std::optional<core::ScheduleResult> hit = cache->Get(key)) {
@@ -119,7 +120,15 @@ BatchReport RunBatch(const std::vector<BatchRequest>& requests,
       }
     }
     if (!item.cache_hit) {
-      item.result = core::MirsHC(req.loop.ddg, req.machine, req.options);
+      core::MirsOptions mirs = req.options;
+      if (!mirs.precomputed_mii) {
+        // The MII depends on the graph, the latency table and the global
+        // resource counts — not the RF organization — so the process-wide
+        // sweep cache shares it across the configurations of a
+        // design-space sweep (and across repeated batches in-process).
+        mirs.precomputed_mii = perf::CachedMii(req.loop->ddg, req.machine);
+      }
+      item.result = core::MirsHC(req.loop->ddg, req.machine, mirs);
       item.ok = item.result.ok;
       if (cache) cache->Put(key, item.result);
     }
@@ -165,8 +174,8 @@ BatchReport RunManifest(const std::string& manifest_path,
     item.id = e.graph;
     try {
       BatchRequest req;
-      req.loop = io::LoadLoopFile(graph_path);
-      req.id = req.loop.ddg.name().empty() ? e.graph : req.loop.ddg.name();
+      req.loop = std::make_shared<workload::Loop>(io::LoadLoopFile(graph_path));
+      req.id = req.loop->ddg.name().empty() ? e.graph : req.loop->ddg.name();
       if (!e.machine.empty()) {
         req.machine = io::LoadMachineFile((base / e.machine).string());
       } else {

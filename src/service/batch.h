@@ -19,6 +19,7 @@
 // is mutually exclusive with `rf`/`characterize`.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -53,10 +54,13 @@ std::vector<ManifestEntry> ParseManifest(std::string_view text,
                                          std::string_view filename);
 std::vector<ManifestEntry> LoadManifestFile(const std::string& path);
 
-/// A fully-resolved scheduling request.
+/// A fully-resolved scheduling request. The loop is shared, not owned: a
+/// design-space sweep schedules the same loop under every organization of
+/// its grid, and per-request copies of whole dependence graphs would
+/// scale as organizations x loops.
 struct BatchRequest {
   std::string id;  ///< Label for reports (graph name or file stem).
-  workload::Loop loop;
+  std::shared_ptr<const workload::Loop> loop;
   MachineConfig machine;
   core::MirsOptions options;
 };

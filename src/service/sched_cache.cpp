@@ -17,7 +17,7 @@ using perf::Fnv1a;
 
 // Bumped whenever the serialized result format or the hashed content set
 // changes; salts every key so stale-format entries read as misses.
-constexpr std::uint64_t kCacheFormatSalt = 2;
+constexpr std::uint64_t kCacheFormatSalt = 3;
 
 std::string ToHex(std::uint64_t v) {
   char buf[17];
@@ -92,7 +92,15 @@ CacheKey MakeCacheKey(const DDG& g, const MachineConfig& m,
   }
 
   // Binding-prefetch latency overrides (empty in the common service path).
-  f.Mix(static_cast<std::uint64_t>(overrides.producer_latency.size()));
+  // Only the positive (index, value) pairs and their count are mixed:
+  // zero entries are behaviorally inert (LatencyOverrides::For falls back),
+  // so two equivalent vectors that differ only in trailing-zero padding —
+  // or an all-zero vector and an empty one — must key identically.
+  std::uint64_t active_overrides = 0;
+  for (int v : overrides.producer_latency) {
+    if (v > 0) ++active_overrides;
+  }
+  f.Mix(active_overrides);
   for (size_t i = 0; i < overrides.producer_latency.size(); ++i) {
     if (overrides.producer_latency[i] > 0) {
       f.Mix(static_cast<std::uint64_t>(i));

@@ -50,8 +50,9 @@ struct CacheKey {
 /// flags, memory refs, invariant uses, edges), machine (resources, RF fields,
 /// latencies, clock) and options (budget_ratio, max_ii, iterative,
 /// cluster_policy), plus per-load latency overrides when binding
-/// prefetching is in play. A format-version salt invalidates all entries
-/// when the serialization changes.
+/// prefetching is in play (only the positive override entries count, so
+/// trailing-zero padding does not split keys). A format-version salt
+/// invalidates all entries when the serialization changes.
 CacheKey MakeCacheKey(const DDG& graph, const MachineConfig& m,
                       const core::MirsOptions& opt,
                       const sched::LatencyOverrides& overrides = {});

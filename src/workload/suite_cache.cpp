@@ -17,6 +17,12 @@ const Suite& SharedKernelSuite() {
   return suite;
 }
 
+const Suite* SharedSuiteByName(std::string_view name) {
+  if (name == "kernels") return &SharedKernelSuite();
+  if (name == "synth") return &SharedSyntheticSuite();
+  return nullptr;
+}
+
 Suite SuiteSlice(const Suite& full, std::size_t n) {
   Suite out;
   if (n == 0) return out;

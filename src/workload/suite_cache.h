@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string_view>
 
 #include "workload/workload.h"
 
@@ -19,6 +20,11 @@ const Suite& SharedSyntheticSuite();
 
 /// The hand-written kernel suite (KernelSuite()), built once per process.
 const Suite& SharedKernelSuite();
+
+/// Shared suite by its corpus name — "kernels" or "synth" — the spelling
+/// used by `hcrf_sched export --suite` and sweep-spec `suite` directives.
+/// nullptr when the name is unknown.
+const Suite* SharedSuiteByName(std::string_view name);
 
 /// Deterministic strided slice of `full` with (up to) `n` loops; the
 /// ablation benches use it for expensive sweeps.

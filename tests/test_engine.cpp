@@ -1,0 +1,63 @@
+// Engine-driver accounting and bookkeeping invariants: the Budget_Ratio
+// grant cap boundary, and the force-and-eject path never leaving stale
+// placements for garbage-collected nodes in a final schedule.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/mirs.h"
+#include "hwmodel/characterize.h"
+#include "io/hcl.h"
+#include "workload/suite_cache.h"
+
+namespace hcrf {
+namespace {
+
+TEST(BudgetAccount, GrantClampsToTheCapHeadroom) {
+  core::BudgetAccount b;
+  b.Start(10.0, 5.0);
+  EXPECT_DOUBLE_EQ(b.Grant(3.0), 3.0);  // plenty of headroom
+  EXPECT_DOUBLE_EQ(b.Grant(3.0), 2.0);  // clamped: only 2 of 5 remain
+  EXPECT_DOUBLE_EQ(b.Grant(3.0), 0.0);  // cap reached
+  EXPECT_DOUBLE_EQ(b.granted, 5.0);     // never overshoots grant_cap
+  EXPECT_DOUBLE_EQ(b.remaining, 15.0);  // initial 10 + the 5 granted
+  b.Spend(1.0);
+  EXPECT_DOUBLE_EQ(b.remaining, 14.0);
+}
+
+TEST(BudgetAccount, ExactCapGrantThenNothing) {
+  core::BudgetAccount b;
+  b.Start(0.0, 6.0);
+  EXPECT_DOUBLE_EQ(b.Grant(6.0), 6.0);
+  EXPECT_DOUBLE_EQ(b.Grant(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(b.granted, 6.0);
+}
+
+// Regression: on pure clustered organizations, force-placing a Move could
+// eject a victim whose ejection cascade dissolved the very chain the Move
+// belonged to (comm GC tombstones it) — and the tombstone was then placed
+// anyway. The stale placement serialized as a "placement of undefined
+// node" that the strict result parser (and so the schedule cache) rejects.
+TEST(EngineDriver, NoPlacementsForTombstonedNodes) {
+  const workload::Suite& suite = workload::SharedSyntheticSuite();
+  const workload::Loop* loop = nullptr;
+  for (size_t i = 0; i < suite.size(); ++i) {
+    if (suite[i].ddg.name() == "synth-stream-138") loop = &suite[i];
+  }
+  ASSERT_NE(loop, nullptr);
+  const MachineConfig m = hw::ApplyCharacterization(
+      MachineConfig::WithRF(RFConfig::Parse("4C32")),
+      hw::RFModelMode::kPaperTable);
+  const core::ScheduleResult r = core::MirsHC(loop->ddg, m, {});
+  ASSERT_TRUE(r.ok);
+  for (NodeId v = 0; v < r.graph.NumSlots(); ++v) {
+    EXPECT_FALSE(r.schedule.IsScheduled(v) && !r.graph.IsAlive(v))
+        << "tombstoned node " << v << " still scheduled";
+  }
+  // The canonical dump must survive its own strict re-parse bit-exactly —
+  // the property every schedule-cache hit depends on.
+  const std::string dump = io::DumpResult(r);
+  EXPECT_EQ(io::DumpResult(io::ParseResult(dump)), dump);
+}
+
+}  // namespace
+}  // namespace hcrf

@@ -110,6 +110,60 @@ TEST(Runner, PrefetchCutsStalls) {
   EXPECT_LT(b.stall_cycles, a.stall_cycles);
 }
 
+// The MII sweep cache must key producer-latency overrides: a binding-
+// prefetch run must never share an entry with — and so never be
+// cross-served from — a base-latency run of the same loop and machine.
+TEST(MiiCache, OverridesArePartOfTheKey) {
+  // A latency no other test uses keeps this test's keys to itself (the
+  // cache is process-wide; all assertions are deltas).
+  MachineConfig m = MachineConfig::Baseline();
+  m.lat.fadd = 6;
+  workload::Suite suite;
+  suite.Add(workload::MakeVadd(512));
+  RunOptions none;
+  none.threads = 1;
+  RunOptions all = none;
+  all.prefetch = memsim::PrefetchMode::kAll;
+
+  const MiiCacheStats s0 = GetMiiCacheStats();
+  RunSuiteDetailed(suite, m, none);
+  const MiiCacheStats s1 = GetMiiCacheStats();
+  EXPECT_EQ(s1.misses, s0.misses + 1);
+
+  // Non-empty overrides -> a distinct entry, not a hit on the plain one.
+  RunSuiteDetailed(suite, m, all);
+  const MiiCacheStats s2 = GetMiiCacheStats();
+  EXPECT_EQ(s2.misses, s1.misses + 1);
+  EXPECT_EQ(s2.hits, s1.hits);
+
+  // Rerunning with the same overrides is served from its own entry.
+  RunSuiteDetailed(suite, m, all);
+  const MiiCacheStats s3 = GetMiiCacheStats();
+  EXPECT_EQ(s3.misses, s2.misses);
+  EXPECT_EQ(s3.hits, s2.hits + 1);
+}
+
+TEST(MiiCache, CapacityBoundsResidencyWithEviction) {
+  const long old_cap = SetMiiCacheCapacity(4);
+  const MiiCacheStats trimmed = GetMiiCacheStats();
+  EXPECT_LE(trimmed.entries, 4);
+
+  workload::Suite suite;
+  suite.Add(workload::MakeDot());
+  RunOptions opt;
+  opt.threads = 1;
+  for (int i = 0; i < 6; ++i) {
+    MachineConfig m = MachineConfig::Baseline();
+    m.lat.fmul = 40 + i;  // six distinct latency tables -> six keys
+    RunSuiteDetailed(suite, m, opt);
+  }
+  const MiiCacheStats after = GetMiiCacheStats();
+  EXPECT_EQ(after.misses, trimmed.misses + 6);
+  EXPECT_EQ(after.entries, 4);  // six inserts into a cap of four
+  EXPECT_GE(after.evictions, trimmed.evictions + 2);
+  SetMiiCacheCapacity(old_cap);
+}
+
 TEST(Tables, Formatting) {
   EXPECT_EQ(Table::Num(1.2345, 2), "1.23");
   EXPECT_EQ(Table::VsPaper(1.5, 2.0, 1), "1.5 (2.0)");

@@ -187,6 +187,37 @@ TEST_F(SchedCacheTest, KeySeparatesScheduleRelevantContent) {
   EXPECT_FALSE(MakeCacheKey(loop.ddg, base, opt, ov) == key);
 }
 
+// Zero override entries are behaviorally inert: vectors that differ only
+// in trailing-zero padding must share a key — and, since the engine
+// canonicalizes its overrides, a padded request's fresh schedule is
+// bit-identical to the trimmed request's cached one.
+TEST_F(SchedCacheTest, PaddedOverrideVectorsKeyIdentically) {
+  const workload::Loop loop = workload::MakeDaxpy();
+  const MachineConfig m = MachineConfig::Baseline();
+  const core::MirsOptions opt;
+
+  sched::LatencyOverrides trimmed;
+  trimmed.producer_latency = {0, 10};
+  sched::LatencyOverrides padded;
+  padded.producer_latency = {0, 10, 0, 0, 0};
+  EXPECT_TRUE(MakeCacheKey(loop.ddg, m, opt, trimmed) ==
+              MakeCacheKey(loop.ddg, m, opt, padded));
+
+  sched::LatencyOverrides all_zero;
+  all_zero.producer_latency = {0, 0, 0};
+  EXPECT_TRUE(MakeCacheKey(loop.ddg, m, opt) ==
+              MakeCacheKey(loop.ddg, m, opt, all_zero));
+
+  sched::LatencyOverrides different;
+  different.producer_latency = {0, 11};
+  EXPECT_FALSE(MakeCacheKey(loop.ddg, m, opt, different) ==
+               MakeCacheKey(loop.ddg, m, opt, trimmed));
+
+  const core::ScheduleResult a = core::MirsHC(loop.ddg, m, opt, trimmed);
+  const core::ScheduleResult b = core::MirsHC(loop.ddg, m, opt, padded);
+  EXPECT_EQ(io::DumpResult(a), io::DumpResult(b));
+}
+
 TEST_F(SchedCacheTest, ScanCountsEntries) {
   const MachineConfig m = MachineConfig::Baseline();
   const core::MirsOptions opt;

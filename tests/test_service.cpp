@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <memory>
 
 #include "io/hcl.h"
 #include "service/batch.h"
@@ -66,7 +67,7 @@ TEST(Manifest, RejectsMalformedInputWithLineNumbers) {
 TEST(BatchService, SchedulesRequestsWithoutACache) {
   service::BatchRequest req;
   req.id = "daxpy";
-  req.loop = workload::MakeDaxpy();
+  req.loop = std::make_shared<const workload::Loop>(workload::MakeDaxpy());
   req.machine = MachineConfig::Baseline();
   const service::BatchReport report = service::RunBatch({req}, {});
   ASSERT_EQ(report.items.size(), 1u);

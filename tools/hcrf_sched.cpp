@@ -2,6 +2,7 @@
 //
 //   hcrf_sched schedule <loop.hcl> [options]   schedule one graph file
 //   hcrf_sched run <manifest> [options]        run a batch manifest
+//   hcrf_sched sweep <spec.hcl> [options]      run a design-space sweep
 //   hcrf_sched dump <file>                     parse + canonical re-dump
 //   hcrf_sched validate <file.hcl>             strict load + graph check
 //   hcrf_sched export [options]                write a suite as .hcl corpus
@@ -15,14 +16,17 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "hwmodel/characterize.h"
 #include "io/hcl.h"
 #include "machine/machine_config.h"
+#include "perf/runner.h"
 #include "service/batch.h"
 #include "service/sched_cache.h"
+#include "service/sweep.h"
 #include "workload/suite_cache.h"
 
 namespace {
@@ -43,6 +47,14 @@ commands:
       --out=FILE           write the result document (default stdout)
   run <manifest>         run every request of a batch manifest
       --cache=DIR --threads=N --out-dir=DIR --quiet
+  sweep <spec.hcl>       run a design-space sweep over RF organizations
+      --cache=DIR          persistent schedule cache
+      --threads=N
+      --out-dir=DIR        write <name>.csv and <name>.md (default .)
+      --quiet              don't print the markdown report
+      --smoke              run cold then warm against a fresh cache; the
+                           warm run must be fully cache-served with
+                           bit-identical reports
   dump <file>            parse any .hcl document, re-dump canonically
   validate <file.hcl>    strict parse + structural check, print a summary
   export                 write a workload suite as a .hcl corpus
@@ -151,12 +163,13 @@ int CmdSchedule(const Args& args) {
                          "out"})) {
     return Usage();
   }
-  const workload::Loop loop = io::LoadLoopFile(args.positional[0]);
+  const auto loop =
+      std::make_shared<const workload::Loop>(io::LoadLoopFile(args.positional[0]));
   const MachineConfig m = MachineFromFlags(args);
   const core::MirsOptions opt = OptionsFromFlags(args);
 
   service::BatchRequest req;
-  req.id = loop.ddg.name().empty() ? args.positional[0] : loop.ddg.name();
+  req.id = loop->ddg.name().empty() ? args.positional[0] : loop->ddg.name();
   req.loop = loop;
   req.machine = m;
   req.options = opt;
@@ -220,6 +233,108 @@ int CmdRun(const Args& args) {
                          nullptr);
 }
 
+void PrintSweepSummary(const service::SweepReport& report,
+                       const std::string& cache_dir) {
+  std::printf(
+      "sweep %s: %zu organizations x %zu loops, %d scheduled, %d cache "
+      "hits, %d failed, %.3f s wall\n",
+      report.name.c_str(), report.orgs.size(), report.loops.size(),
+      report.scheduled, report.hits, report.failed, report.seconds);
+  for (const std::string& s : report.skipped) {
+    std::printf("  skipped %s\n", s.c_str());
+  }
+  if (!cache_dir.empty()) {
+    std::printf("cache: %ld hits, %ld misses, %ld rejects, %ld writes (%s)\n",
+                report.cache.hits, report.cache.misses, report.cache.rejects,
+                report.cache.writes, cache_dir.c_str());
+  }
+  const perf::MiiCacheStats mii = perf::GetMiiCacheStats();
+  std::printf("mii-cache: %ld hits, %ld misses, %ld entries, %ld evictions\n",
+              mii.hits, mii.misses, mii.entries, mii.evictions);
+}
+
+int CmdSweep(const Args& args) {
+  if (args.positional.size() != 1 ||
+      !CheckFlags(args,
+                  {"cache", "threads", "out-dir", "quiet", "smoke"})) {
+    return Usage();
+  }
+  const std::string& spec_path = args.positional[0];
+  const service::SweepSpec spec = service::LoadSweepSpecFile(spec_path);
+  const std::string base_dir = fs::path(spec_path).parent_path().string();
+
+  service::SweepOptions sopt;
+  if (const std::string* c = args.Flag("cache")) sopt.cache_dir = *c;
+  if (const std::string* t = args.Flag("threads")) {
+    sopt.threads = std::stoi(*t);
+  }
+
+  const bool smoke = args.Flag("smoke") != nullptr;
+  std::error_code ec;
+  if (smoke) {
+    // Same cold-cache contract as `hcrf_sched smoke`: never delete a
+    // user-supplied directory, refuse one with existing contents.
+    if (sopt.cache_dir.empty()) {
+      sopt.cache_dir =
+          (fs::temp_directory_path() /
+           ("hcrf-sweep-smoke-" + std::to_string(::getpid())))
+              .string();
+      fs::remove_all(sopt.cache_dir, ec);
+    } else if (fs::exists(sopt.cache_dir, ec) &&
+               !fs::is_empty(sopt.cache_dir, ec)) {
+      std::fprintf(stderr,
+                   "sweep --smoke: --cache=%s exists and is not empty; the "
+                   "cold run needs a fresh cache\n",
+                   sopt.cache_dir.c_str());
+      return 1;
+    }
+  }
+
+  const service::SweepReport report = service::RunSweep(spec, base_dir, sopt);
+  const std::string csv = service::SweepCsv(report);
+  const std::string md = service::SweepMarkdown(report);
+  PrintSweepSummary(report, sopt.cache_dir);
+
+  // Unschedulable (org, loop) cells are sweep *data* — the paper's grid
+  // includes organizations where loops legitimately fail — so they do not
+  // fail the command; only smoke-check violations below do.
+  bool ok = true;
+  if (smoke) {
+    const service::SweepReport warm =
+        service::RunSweep(spec, base_dir, sopt);
+    PrintSweepSummary(warm, sopt.cache_dir);
+    if (warm.scheduled != 0 ||
+        warm.hits != static_cast<int>(warm.cells.size())) {
+      std::fprintf(stderr,
+                   "sweep --smoke: warm run expected all cache hits, got %d "
+                   "hits / %d scheduled\n",
+                   warm.hits, warm.scheduled);
+      ok = false;
+    }
+    if (service::SweepCsv(warm) != csv || service::SweepMarkdown(warm) != md) {
+      std::fprintf(stderr,
+                   "sweep --smoke: warm reports differ from cold reports\n");
+      ok = false;
+    }
+    if (args.Flag("cache") == nullptr) fs::remove_all(sopt.cache_dir, ec);
+    std::printf("sweep smoke: %s\n", ok ? "PASS" : "FAIL");
+  }
+
+  const std::string* out_dir = args.Flag("out-dir");
+  const std::string dir = out_dir != nullptr ? *out_dir : ".";
+  fs::create_directories(dir, ec);
+  const std::string csv_path =
+      (fs::path(dir) / (report.name + ".csv")).string();
+  const std::string md_path = (fs::path(dir) / (report.name + ".md")).string();
+  io::WriteFileAtomic(csv_path, csv);
+  io::WriteFileAtomic(md_path, md);
+  std::printf("reports: %s %s\n", csv_path.c_str(), md_path.c_str());
+  if (args.Flag("quiet") == nullptr) {
+    std::fwrite(md.data(), 1, md.size(), stdout);
+  }
+  return ok ? 0 : 1;
+}
+
 int CmdDump(const Args& args) {
   if (args.positional.size() != 1 || !CheckFlags(args, {})) return Usage();
   const std::string& path = args.positional[0];
@@ -276,12 +391,8 @@ int CmdExport(const Args& args) {
   const std::string* rf_flag = args.Flag("rf");
   const std::string rf = rf_flag != nullptr ? *rf_flag : "4C16S64/2-1";
 
-  const workload::Suite* suite = nullptr;
-  if (suite_name == "kernels") {
-    suite = &workload::SharedKernelSuite();
-  } else if (suite_name == "synth") {
-    suite = &workload::SharedSyntheticSuite();
-  } else {
+  const workload::Suite* suite = workload::SharedSuiteByName(suite_name);
+  if (suite == nullptr) {
     std::fprintf(stderr, "hcrf_sched: unknown --suite=%s\n",
                  suite_name.c_str());
     return 1;
@@ -400,6 +511,7 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "schedule") return CmdSchedule(args);
     if (cmd == "run") return CmdRun(args);
+    if (cmd == "sweep") return CmdSweep(args);
     if (cmd == "dump") return CmdDump(args);
     if (cmd == "validate") return CmdValidate(args);
     if (cmd == "export") return CmdExport(args);
