@@ -1,0 +1,21 @@
+hcl 1 sweep
+name kernel-paper-grid
+suite kernels
+rf S128
+rf S64
+rf S32
+rf 1C64S32/3-2
+rf 1C32S64/4-2
+rf 2C64/1-1
+rf 2C32/1-1
+rf 2C64S32/2-1
+rf 2C32S32/3-1
+rf 4C64/1-1
+rf 4C32/1-1
+rf 4C32S16/1-1
+rf 4C16S16/2-1
+rf 8C32S16/1-1
+rf 8C16S16/1-1
+rf 4C16S64/2-1
+characterize 1
+end

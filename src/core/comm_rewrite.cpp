@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 
 #include "core/check.h"
+#include "core/debug.h"
 
 namespace hcrf::core {
 
@@ -61,6 +61,7 @@ bool CommRewriter::FixEdge(const Edge& e, BankId def_bank, BankId read_bank) {
         n.op = OpClass::kStoreR;
         s = placer_.CreateNode(std::move(n),
                                st_.priority[static_cast<size_t>(last)] - 0.1);
+        chain_nodes_.push_back(s);
         st_.g.AddFlow(last, s, 0);
         to_schedule.push_back({s, {def_bank, 0}});
       }
@@ -75,6 +76,7 @@ bool CommRewriter::FixEdge(const Edge& e, BankId def_bank, BankId read_bank) {
         n.op = OpClass::kLoadR;
         l = placer_.CreateNode(std::move(n),
                                st_.priority[static_cast<size_t>(e.src)] - 0.2);
+        chain_nodes_.push_back(l);
         st_.g.AddFlow(last, l, e.distance);
         to_schedule.push_back({l, {read_bank, 0}});
       }
@@ -94,6 +96,7 @@ bool CommRewriter::FixEdge(const Edge& e, BankId def_bank, BankId read_bank) {
     n.op = OpClass::kMove;
     mv = placer_.CreateNode(std::move(n),
                             st_.priority[static_cast<size_t>(e.src)] - 0.1);
+    chain_nodes_.push_back(mv);
     st_.g.AddFlow(e.src, mv, e.distance);
     to_schedule.push_back({mv, {read_bank, def_bank}});
   }
@@ -115,7 +118,7 @@ bool CommRewriter::RedirectEdge(
              e.src, e.dst, std::string(ToString(e.kind)).c_str(), e.distance,
              st_.g.name().c_str(), st_.ii());
   st_.g.AddEdge(last, e.dst, DepKind::kFlow, final_distance);
-  if (std::getenv("HCRF_DEBUG") != nullptr) {
+  if (DebugEnabled()) {
     if (st_.IsCommChainNode(e.src) || st_.IsCommChainNode(e.dst)) {
       std::fprintf(stderr,
                    "[hcrf BUG?] fix with comm endpoint: %d(%s)->%d(%s)\n",
@@ -150,7 +153,8 @@ bool CommRewriter::EnsureCommunication(NodeId u, int cluster) {
 
   // Operand side: producers already scheduled.
   if (op_u != OpClass::kMove) {  // moves read the producer bank directly
-    for (const Edge& e : std::vector<Edge>(st_.g.InEdges(u))) {
+    in_scratch_.assign(st_.g.InEdges(u).begin(), st_.g.InEdges(u).end());
+    for (const Edge& e : in_scratch_) {
       if (e.kind != DepKind::kFlow || !st_.sched->IsScheduled(e.src)) continue;
       const BankId def = sched::DefBank(st_.g.node(e.src).op,
                                         st_.sched->ClusterOf(e.src), rf);
@@ -163,7 +167,8 @@ bool CommRewriter::EnsureCommunication(NodeId u, int cluster) {
   // Consumer side: consumers already scheduled.
   if (!DefinesValue(op_u)) return true;
   const BankId def = sched::DefBank(op_u, cluster, rf);
-  for (const Edge& e : std::vector<Edge>(st_.g.OutEdges(u))) {
+  out_scratch_.assign(st_.g.OutEdges(u).begin(), st_.g.OutEdges(u).end());
+  for (const Edge& e : out_scratch_) {
     if (e.kind != DepKind::kFlow || !st_.sched->IsScheduled(e.dst)) continue;
     const OpClass op_c = st_.g.node(e.dst).op;
     BankId read;
@@ -189,7 +194,7 @@ void CommRewriter::UndoFixesTouching(NodeId v) {
     st_.g.RemoveEdge(f.final_edge.src, f.final_edge.dst, f.final_edge.kind,
                      f.final_edge.distance);
     if ((!st_.g.IsAlive(f.original.src) || !st_.g.IsAlive(f.original.dst)) &&
-        std::getenv("HCRF_DEBUG") != nullptr) {
+        DebugEnabled()) {
       std::fprintf(stderr,
                    "[hcrf BUG] undo fix with dead endpoint: orig %d(%d)->%d(%d)"
                    " final %d->%d\n",
@@ -205,18 +210,40 @@ void CommRewriter::UndoFixesTouching(NodeId v) {
 }
 
 void CommRewriter::GarbageCollectComm() {
+  // Only chain nodes are ever collected, so scanning chain_nodes_ (short,
+  // ascending id) visits the same candidates as a full slot scan; the
+  // fixpoint is order-independent (removing a node only un-feeds its
+  // producers, picked up by the next pass).
   bool changed = true;
+  bool any_dead = false;
   while (changed) {
     changed = false;
-    for (NodeId v = 0; v < st_.g.NumSlots(); ++v) {
-      if (!st_.g.IsAlive(v)) continue;
-      if (!st_.IsCommChainNode(v)) continue;
-      if (!st_.g.FlowConsumers(v).empty()) continue;
+    for (NodeId v : chain_nodes_) {
+      if (!st_.g.IsAlive(v)) {
+        any_dead = true;
+        continue;
+      }
+      // Spill copies never enter chain_nodes_, so IsCommChainNode holds
+      // for every alive entry. Allocation-free consumer probe
+      // (FlowConsumers would materialize a vector).
+      bool has_consumer = false;
+      for (const Edge& e : st_.g.OutEdges(v)) {
+        if (e.kind == DepKind::kFlow) {
+          has_consumer = true;
+          break;
+        }
+      }
+      if (has_consumer) continue;
       st_.Unplace(v);
       st_.MarkScheduled(v);  // drop from the unscheduled list before removal
       st_.g.RemoveNode(v);
       changed = true;
+      any_dead = true;
     }
+  }
+  if (any_dead) {
+    std::erase_if(chain_nodes_,
+                  [this](NodeId v) { return !st_.g.IsAlive(v); });
   }
 }
 

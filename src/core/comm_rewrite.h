@@ -51,7 +51,10 @@ class CommRewriter {
       : st_(st), placer_(placer), instr_(instr) {}
 
   /// Clears the fix records (fresh II attempt).
-  void Reset() { fixes_.clear(); }
+  void Reset() {
+    fixes_.clear();
+    chain_nodes_.clear();
+  }
 
   const std::vector<CommFix>& fixes() const { return fixes_; }
 
@@ -86,6 +89,17 @@ class CommRewriter {
   NodePlacer& placer_;
   Instrumentation& instr_;
   std::vector<CommFix> fixes_;
+  /// Every chain node this rewriter created, ascending id (tombstoned ids
+  /// are pruned lazily). Only chain nodes are ever garbage-collected, so
+  /// GarbageCollectComm scans this short list instead of every graph slot
+  /// once per ejection.
+  std::vector<NodeId> chain_nodes_;
+  /// Edge snapshots of EnsureCommunication (FixEdge mutates the adjacency
+  /// lists it iterates). Members, not locals: EnsureCommunication runs once
+  /// per placement and is non-reentrant, so reusing the buffers keeps the
+  /// hot loop allocation-free.
+  std::vector<Edge> in_scratch_;
+  std::vector<Edge> out_scratch_;
 };
 
 }  // namespace hcrf::core

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 
 #include "core/check.h"
+#include "core/debug.h"
 #include "ddg/mii.h"
 #include "sched/banks.h"
 #include "sched/mrt.h"
@@ -50,8 +50,7 @@ NodeId EngineDriver::CreateNode(Node n, double priority) {
   const NodeId id = st_.g.AddNode(std::move(n));
   st_.GrowTo(id);
   st_.priority[static_cast<size_t>(id)] = priority;
-  st_.unscheduled[static_cast<size_t>(id)] = 1;
-  ++st_.num_unscheduled;
+  st_.MarkUnscheduled(id);
   // The paper grants Budget_Ratio extra attempts per inserted node (the
   // total grant is capped, see BudgetAccount).
   instr_.BudgetGranted(budget_.Grant(opt_.budget_ratio));
@@ -78,26 +77,18 @@ bool EngineDriver::PlaceNode(NodeId u, int cluster, int src_cluster) {
   const bool late_biased =
       op_u == OpClass::kLoadR ||
       (st_.g.node(u).spill && op_u == OpClass::kLoad);
-  int found = kNoCycle;
+  // Window scans via the MRT's hoisted probe (kNoSlot and kNoCycle are the
+  // same sentinel).
+  static_assert(sched::ModuloReservationTable::kNoSlot == kNoCycle);
+  int found;
   if (w.has_succ && (!w.has_pred || late_biased)) {
-    const int hi = w.late;
     const int lo = w.has_pred ? std::max(w.early, w.late - ii + 1)
                               : w.late - ii + 1;
-    for (int t = hi; t >= lo; --t) {
-      if (st_.mrt->CanPlace(needs, t)) {
-        found = t;
-        break;
-      }
-    }
+    found = st_.mrt->FindFirstSlotDown(needs, w.late, lo);
   } else {
     const int hi =
         w.has_succ ? std::min(w.late, w.early + ii - 1) : w.early + ii - 1;
-    for (int t = w.early; t <= hi; ++t) {
-      if (st_.mrt->CanPlace(needs, t)) {
-        found = t;
-        break;
-      }
-    }
+    found = st_.mrt->FindFirstSlotUp(needs, w.early, hi);
   }
 
   if (found == kNoCycle) {
@@ -125,9 +116,8 @@ bool EngineDriver::PlaceNode(NodeId u, int cluster, int src_cluster) {
               : std::max(w.early, st_.prev_cycle[static_cast<size_t>(u)] + 1);
     }
     // Eject resource conflicts.
-    for (NodeId victim : st_.mrt->ConflictingNodes(needs, t)) {
-      Eject(victim);
-    }
+    st_.mrt->ConflictingNodes(needs, t, conflicts_scratch_);
+    for (NodeId victim : conflicts_scratch_) Eject(victim);
     // Ejecting a victim can undo the communication chain u itself belongs
     // to, garbage-collecting u. Placing the tombstone would permanently
     // hold its MRT slots and serialize a "placement of undefined node"
@@ -140,29 +130,29 @@ bool EngineDriver::PlaceNode(NodeId u, int cluster, int src_cluster) {
       return false;
     }
     st_.mrt->Place(u, needs, t);
-    st_.sched->Assign(u, {t, cluster, src_cluster, true});
+    st_.Assign(u, {t, cluster, src_cluster, true});
     st_.MarkScheduled(u);
     st_.prev_cycle[static_cast<size_t>(u)] = t;
     // Eject scheduled neighbours whose dependences the forced placement
     // violates.
-    std::vector<NodeId> violated;
+    violated_scratch_.clear();
     for (const Edge& e : st_.g.InEdges(u)) {
       if (!st_.sched->IsScheduled(e.src) || e.src == u) continue;
       if (st_.sched->CycleOf(e.src) + st_.LatOf(e) > t + e.distance * ii) {
-        violated.push_back(e.src);
+        violated_scratch_.push_back(e.src);
       }
     }
     for (const Edge& e : st_.g.OutEdges(u)) {
       if (!st_.sched->IsScheduled(e.dst) || e.dst == u) continue;
       if (t + st_.LatOf(e) > st_.sched->CycleOf(e.dst) + e.distance * ii) {
-        violated.push_back(e.dst);
+        violated_scratch_.push_back(e.dst);
       }
     }
-    for (NodeId v : violated) Eject(v);
+    for (NodeId v : violated_scratch_) Eject(v);
     instr_.NodeForced(u, ii);
   } else {
     st_.mrt->Place(u, needs, found);
-    st_.sched->Assign(u, {found, cluster, src_cluster, true});
+    st_.Assign(u, {found, cluster, src_cluster, true});
     st_.MarkScheduled(u);
     st_.prev_cycle[static_cast<size_t>(u)] = found;
     instr_.NodePlaced(u, ii);
@@ -196,7 +186,7 @@ void EngineDriver::EjectScheduledNode(NodeId v) {
   if (static_cast<size_t>(v) < st_.eject_count.size()) {
     if (++st_.eject_count[static_cast<size_t>(v)] > 60) st_.churning = true;
     if (st_.eject_count[static_cast<size_t>(v)] == 30 &&
-        std::getenv("HCRF_DEBUG") != nullptr) {
+        DebugEnabled()) {
       const Window w = st_.ComputeWindow(v);
       std::fprintf(stderr,
                    "   [30th eject] node %d (%s%s) cluster %d prev %d "
@@ -265,7 +255,7 @@ int EngineDriver::SelectCluster(NodeId u) {
 // ---------------------------------------------------------------------------
 
 bool EngineDriver::TryII(int ii) {
-  st_.Reset(original_, base_overrides_, ii);
+  st_.Reset(original_, base_overrides_, ii, opt_.incremental);
   comm_.Reset();
   spill_.Reset();
   selector_->Reset();
@@ -275,10 +265,7 @@ bool EngineDriver::TryII(int ii) {
     st_.priority[static_cast<size_t>(order_[r])] =
         static_cast<double>(order_.size() - r);
   }
-  for (NodeId v : order_) {
-    st_.unscheduled[static_cast<size_t>(v)] = 1;
-    ++st_.num_unscheduled;
-  }
+  for (NodeId v : order_) st_.MarkUnscheduled(v);
   budget_.Start(opt_.budget_ratio * st_.g.NumNodes(),
                 8.0 * opt_.budget_ratio * std::max(4, original_.NumNodes()));
 
@@ -286,7 +273,7 @@ bool EngineDriver::TryII(int ii) {
     while (st_.num_unscheduled > 0) {
       if (st_.churning) return false;  // livelocked ping-pong: bump the II
       if (budget_.exhausted()) {
-        if (std::getenv("HCRF_DEBUG") != nullptr) {
+        if (DebugEnabled()) {
           std::fprintf(stderr, "[hcrf] %s II=%d budget exhausted (%d left)\n",
                        original_.name().c_str(), ii, st_.num_unscheduled);
           for (NodeId v = 0; v < st_.g.NumSlots() && v < 4096; ++v) {
@@ -350,43 +337,53 @@ bool EngineDriver::TryII(int ii) {
   }
 
   // Final register allocation check: every bank within capacity.
-  const sched::PressureReport pr =
-      sched::ComputePressure(st_.g, *st_.sched, m_, st_.overrides);
   const RFConfig& rf = m_.rf;
-  if (rf.HasSharedBank() && !rf.UnboundedSharedRegs() &&
-      pr.shared_maxlive > sched::BankCapacity(kSharedBank, rf)) {
-    if (std::getenv("HCRF_DEBUG") != nullptr) {
-      std::fprintf(stderr, "[hcrf] %s II=%d shared over capacity: %d > %ld\n",
-                   original_.name().c_str(), ii, pr.shared_maxlive,
-                   sched::BankCapacity(kSharedBank, rf));
-      if (std::getenv("HCRF_DEBUG_LIFETIMES") != nullptr) {
-        for (const auto& v : pr.values) {
-          if (v.bank != kSharedBank || v.Length() <= 0) continue;
-          std::fprintf(stderr, "   def %d (%s%s) [%d,%d) len %d uses %d\n",
-                       v.def, ToString(st_.g.node(v.def).op).data(),
-                       st_.g.node(v.def).spill ? ",spill" : "", v.start,
-                       v.end, v.Length(), v.uses);
+  const bool shared_bounded = rf.HasSharedBank() && !rf.UnboundedSharedRegs();
+  const bool cluster_bounded = !rf.UnboundedClusterRegs() && rf.clusters > 0;
+  if (shared_bounded || cluster_bounded) {
+    if (st_.pressure.attached() && PressureCrossCheckEnabled()) {
+      st_.pressure.CrossValidate("EngineDriver::TryII final check");
+    }
+    const sched::PressureReport pr =
+        st_.pressure.attached()
+            ? st_.pressure.Report()
+            : sched::ComputePressure(st_.g, *st_.sched, m_, st_.overrides);
+    if (shared_bounded &&
+        pr.shared_maxlive > sched::BankCapacity(kSharedBank, rf)) {
+      if (DebugEnabled()) {
+        std::fprintf(stderr,
+                     "[hcrf] %s II=%d shared over capacity: %d > %ld\n",
+                     original_.name().c_str(), ii, pr.shared_maxlive,
+                     sched::BankCapacity(kSharedBank, rf));
+        if (DebugLifetimesEnabled()) {
+          for (const auto& v : pr.values) {
+            if (v.bank != kSharedBank || v.Length() <= 0) continue;
+            std::fprintf(stderr, "   def %d (%s%s) [%d,%d) len %d uses %d\n",
+                         v.def, ToString(st_.g.node(v.def).op).data(),
+                         st_.g.node(v.def).spill ? ",spill" : "", v.start,
+                         v.end, v.Length(), v.uses);
+          }
         }
       }
-    }
-    return false;
-  }
-  for (int c = 0; c < rf.clusters; ++c) {
-    if (!rf.UnboundedClusterRegs() &&
-        pr.cluster_maxlive[static_cast<size_t>(c)] >
-            sched::BankCapacity(c, rf)) {
-      if (std::getenv("HCRF_DEBUG") != nullptr) {
-        std::fprintf(stderr, "[hcrf] %s II=%d cluster %d over capacity: %d\n",
-                     original_.name().c_str(), ii, c,
-                     pr.cluster_maxlive[static_cast<size_t>(c)]);
-      }
       return false;
+    }
+    for (int c = 0; cluster_bounded && c < rf.clusters; ++c) {
+      if (pr.cluster_maxlive[static_cast<size_t>(c)] >
+          sched::BankCapacity(c, rf)) {
+        if (DebugEnabled()) {
+          std::fprintf(stderr,
+                       "[hcrf] %s II=%d cluster %d over capacity: %d\n",
+                       original_.name().c_str(), ii, c,
+                       pr.cluster_maxlive[static_cast<size_t>(c)]);
+        }
+        return false;
+      }
     }
   }
 
   const sched::ValidationResult vr =
       sched::Validate(st_.g, *st_.sched, m_, st_.overrides);
-  if (!vr.ok && std::getenv("HCRF_DEBUG") != nullptr) {
+  if (!vr.ok && DebugEnabled()) {
     std::fprintf(stderr, "[hcrf] %s II=%d validation failed: %s\n",
                  original_.name().c_str(), ii, vr.error.c_str());
   }
@@ -409,6 +406,9 @@ ScheduleResult EngineDriver::Run() {
     if (TryII(ii)) {
       res.ok = true;
       res.ii = ii;
+      // Scheduling is done: stop tracking before Normalize shifts cycles
+      // and the graph/schedule are moved into the result.
+      st_.pressure.Detach();
       st_.sched->Normalize();
       res.sc = st_.sched->StageCount();
       res.stats = instr_.stats();

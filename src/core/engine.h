@@ -98,6 +98,11 @@ class EngineDriver : public NodePlacer {
   std::vector<NodeId> order_;  ///< Ordering, computed once per run.
   BudgetAccount budget_;
   int since_spill_check_ = 0;
+
+  // Scratch buffers reused across (non-reentrant) forced placements so the
+  // hot loop never allocates.
+  std::vector<NodeId> conflicts_scratch_;
+  std::vector<NodeId> violated_scratch_;
 };
 
 }  // namespace hcrf::core

@@ -51,6 +51,12 @@ struct MirsOptions {
   /// force-and-eject backtracking, spill inserted only between whole
   /// scheduling passes; used as the Table 4 comparator.
   bool iterative = true;
+  /// Incremental hot path: per-bank MaxLive maintained under place / eject
+  /// / spill deltas (sched/pressure_tracker.h) and an indexed priority
+  /// pick. false selects the reference path (full ComputePressure at every
+  /// spill check, linear priority scan) — schedules are bit-identical
+  /// either way; `hcrf_sched bench` runs both and asserts it.
+  bool incremental = true;
   ClusterPolicy cluster_policy = ClusterPolicy::kBalanced;
 
   // ---- policy-layer hooks (null = defaults from the enums above) -------

@@ -35,20 +35,11 @@ int BalancedClusterSelector::Select(const SchedState& st, NodeId u) {
   const Window w = st.ComputeWindow(u);
 
   // Per-cluster usage of FUs (cheap balance proxy) and def counts
-  // (register-pressure proxy).
-  std::vector<int> fu_use(static_cast<size_t>(x), 0);
-  std::vector<int> defs(static_cast<size_t>(x), 0);
-  for (NodeId v = 0; v < st.g.NumSlots(); ++v) {
-    if (!st.g.IsAlive(v) || !st.sched->IsScheduled(v)) continue;
-    const int c = st.sched->ClusterOf(v);
-    if (c < 0 || c >= x) continue;
-    if (IsCompute(st.g.node(v).op)) ++fu_use[static_cast<size_t>(c)];
-    const Node& nv = st.g.node(v);
-    if (DefinesValue(nv.op) &&
-        sched::DefBank(nv.op, c, rf) == static_cast<BankId>(c)) {
-      ++defs[static_cast<size_t>(c)];
-    }
-  }
+  // (register-pressure proxy), maintained incrementally by the SchedState
+  // assign/unassign funnels (this selector runs before every placement and
+  // used to rescan every slot).
+  const std::vector<int>& fu_use = st.cluster_fu_use;
+  const std::vector<int>& defs = st.cluster_defs;
 
   double best_cost = std::numeric_limits<double>::max();
   int best = 0;
@@ -85,12 +76,8 @@ int BalancedClusterSelector::Select(const SchedState& st, NodeId u) {
                          ? w.late
                          : (w.has_succ ? std::min(w.late, w.early + ii - 1)
                                        : w.early + ii - 1);
-      for (int t = lo; t <= hi; ++t) {
-        if (st.mrt->CanPlace(needs, t)) {
-          free_slot = true;
-          break;
-        }
-      }
+      free_slot = st.mrt->FindFirstSlotUp(needs, lo, hi) !=
+                  sched::ModuloReservationTable::kNoSlot;
     }
     const double fu_cap = static_cast<double>(st.m.FusPerCluster()) * ii;
     const double reg_cap =
@@ -123,8 +110,9 @@ int FirstFitClusterSelector::Select(const SchedState& st, NodeId u) {
         w.has_succ && !w.has_pred ? w.late : w.early + st.ii() - 1;
     const int lo =
         w.has_succ && !w.has_pred ? w.late - st.ii() + 1 : w.early;
-    for (int t = lo; t <= hi; ++t) {
-      if (st.mrt->CanPlace(needs, t)) return c;
+    if (st.mrt->FindFirstSlotUp(needs, lo, hi) !=
+        sched::ModuloReservationTable::kNoSlot) {
+      return c;
     }
   }
   return 0;

@@ -12,12 +12,15 @@
 
 #include <limits>
 #include <memory>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "ddg/ddg.h"
 #include "machine/machine_config.h"
 #include "sched/lifetime.h"
 #include "sched/mrt.h"
+#include "sched/pressure_tracker.h"
 #include "sched/schedule.h"
 
 namespace hcrf::core {
@@ -42,8 +45,13 @@ struct SchedState {
   /// Rebuilds the state for a fresh attempt at the given II: working graph
   /// reset to the original, empty schedule/MRT, bookkeeping cleared. The
   /// caller (engine driver) fills in priorities and the unscheduled set
-  /// from its ordering policy.
-  void Reset(const DDG& original, const sched::LatencyOverrides& base, int ii);
+  /// from its ordering policy. `incremental` selects the incremental
+  /// pressure tracker + indexed priority pick; false is the reference path
+  /// (full ComputePressure per spill check, linear priority scan) that
+  /// `hcrf_sched bench` runs to prove both produce bit-identical
+  /// schedules.
+  void Reset(const DDG& original, const sched::LatencyOverrides& base, int ii,
+             bool use_incremental = true);
 
   int ii() const { return sched->ii(); }
 
@@ -59,6 +67,22 @@ struct SchedState {
 
   void MarkUnscheduled(NodeId v);
   void MarkScheduled(NodeId v);
+
+  /// Schedule-mutation funnels: every placement and removal goes through
+  /// these so the incremental pressure tracker and the per-cluster usage
+  /// counters can never miss a delta.
+  void Assign(NodeId u, sched::Placement p) {
+    sched->Assign(u, p);
+    BumpClusterUse(u, p.cluster, +1);
+    pressure.OnPlaced(u);
+  }
+  void Unassign(NodeId u) {
+    if (!sched->IsScheduled(u)) return;
+    const int cluster = sched->ClusterOf(u);
+    sched->Unassign(u);
+    BumpClusterUse(u, cluster, -1);
+    pressure.OnUnplaced(u);
+  }
 
   /// Removes `v` from the MRT and schedule, remembering its last cycle so a
   /// forced re-placement makes progress.
@@ -87,6 +111,53 @@ struct SchedState {
   std::vector<int> prev_cycle;  ///< Last placement cycle (kNoCycle = never).
   std::vector<long> eject_count;
   bool churning = false;  ///< Livelocked eject ping-pong detected.
+
+  /// Scheduled compute ops / cluster-bank defs per cluster, maintained by
+  /// the Assign/Unassign funnels. The balanced cluster selector's soft
+  /// balancing terms used to rescan every slot per selection; these are
+  /// the same sums kept incrementally.
+  std::vector<int> cluster_fu_use;
+  std::vector<int> cluster_defs;
+
+  /// Incremental per-bank MaxLive (attached to `g`/`sched` while
+  /// `incremental` is set; detached and inert on the reference path).
+  sched::PressureTracker pressure;
+  /// Incremental fast paths enabled (see Reset).
+  bool incremental = true;
+  /// Use the lazy pick-heap instead of the linear priority scan. Both pick
+  /// the same node always; the heap only pays off once the linear scan has
+  /// enough slots to walk, so small graphs keep the scan (set by Reset).
+  bool indexed_pick = false;
+
+ private:
+  void BumpClusterUse(NodeId u, int cluster, int delta) {
+    if (cluster < 0 || static_cast<size_t>(cluster) >= cluster_fu_use.size()) {
+      return;
+    }
+    const OpClass op = g.node(u).op;
+    if (IsCompute(op)) cluster_fu_use[static_cast<size_t>(cluster)] += delta;
+    if (DefinesValue(op) &&
+        sched::DefBank(op, cluster, m.rf) == static_cast<sched::BankId>(cluster)) {
+      cluster_defs[static_cast<size_t>(cluster)] += delta;
+    }
+  }
+
+  /// Lazy max-heap over (priority, node): top is the highest-priority,
+  /// lowest-id unscheduled node — exactly what the reference linear scan
+  /// picks. Entries are pushed by MarkUnscheduled and validated against
+  /// the live state on pop, so stale entries (scheduled or tombstoned
+  /// since) are simply discarded.
+  struct PickOrder {
+    bool operator()(const std::pair<double, NodeId>& a,
+                    const std::pair<double, NodeId>& b) const {
+      if (a.first != b.first) return a.first < b.first;
+      return a.second > b.second;
+    }
+  };
+  mutable std::priority_queue<std::pair<double, NodeId>,
+                              std::vector<std::pair<double, NodeId>>,
+                              PickOrder>
+      pick_heap_;
 };
 
 }  // namespace hcrf::core

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/check.h"
+#include "core/debug.h"
 
 namespace hcrf::core {
 
@@ -30,22 +31,18 @@ void SpillEngine::SinkReloads() {
     const auto needs =
         sched::ResourceNeeds(n.op, old.cluster, old.src_cluster, st_.m);
     st_.mrt->Remove(v);
-    st_.sched->Unassign(v);
+    st_.Unassign(v);
     const Window w = st_.ComputeWindow(v);
     int t = old.cycle;
     if (w.has_succ) {
       const int lo = w.has_pred ? std::max(w.early, w.late - ii + 1)
                                 : w.late - ii + 1;
-      for (int cand = w.late; cand >= lo; --cand) {
-        if (st_.mrt->CanPlace(needs, cand)) {
-          t = cand;
-          break;
-        }
-      }
+      const int cand = st_.mrt->FindFirstSlotDown(needs, w.late, lo);
+      if (cand != sched::ModuloReservationTable::kNoSlot) t = cand;
     }
     if (!st_.mrt->CanPlace(needs, t)) t = old.cycle;
     st_.mrt->Place(v, needs, t);
-    st_.sched->Assign(v, {t, old.cluster, old.src_cluster, true});
+    st_.Assign(v, {t, old.cluster, old.src_cluster, true});
   }
 }
 
@@ -55,8 +52,38 @@ void SpillEngine::CheckAndInsert() {
   const bool shared_bounded = rf.HasSharedBank() && !rf.UnboundedSharedRegs();
   if (!cluster_bounded && !shared_bounded) return;
 
+  if (st_.pressure.attached()) {
+    // O(1)-amortized fast path: consult the incrementally maintained
+    // MaxLive. Only when some bank is over capacity do we pay for the full
+    // report (the spill policy ranks ValueLifetimes, which the tracker
+    // does not materialize) — and the decisions below are then identical
+    // to the reference path's, since the tracker agrees with
+    // ComputePressure bank for bank (cross-validated here in debug
+    // builds and under HCRF_CHECK_PRESSURE).
+    if (PressureCrossCheckEnabled()) {
+      st_.pressure.CrossValidate("SpillEngine::CheckAndInsert");
+    }
+    bool over = false;
+    if (cluster_bounded) {
+      for (int c = 0; c < rf.clusters && !over; ++c) {
+        over = st_.pressure.MaxLive(c) > sched::BankCapacity(c, rf);
+      }
+    }
+    if (!over && shared_bounded) {
+      over = st_.pressure.MaxLive(kSharedBank) >
+             sched::BankCapacity(kSharedBank, rf);
+    }
+    if (!over) return;
+  }
+
+  // Over capacity (or reference path): the victim policies rank the full
+  // ValueLifetime list. The tracker materializes a report identical to
+  // ComputePressure's at O(values); the reference path recomputes it from
+  // the graph.
   const sched::PressureReport pr =
-      sched::ComputePressure(st_.g, *st_.sched, st_.m, st_.overrides);
+      st_.pressure.attached()
+          ? st_.pressure.Report()
+          : sched::ComputePressure(st_.g, *st_.sched, st_.m, st_.overrides);
 
   if (cluster_bounded) {
     for (int c = 0; c < rf.clusters; ++c) {
@@ -246,6 +273,9 @@ bool SpillEngine::SpillInvariantFromBank(BankId bank) {
           std::move(nl), st_.priority[static_cast<size_t>(w)] + 0.1);
       auto& uses = st_.g.node(w).invariant_uses;
       uses.erase(std::find(uses.begin(), uses.end(), inv));
+      // invariant_uses was edited in place on a scheduled node; re-derive
+      // its pins or the tracker would keep counting the removed read.
+      st_.pressure.ResyncInvariantReads(w);
       st_.g.AddFlow(l, w, 0);
     }
     if (!rf.IsHierarchical()) ++next_spill_array_;

@@ -38,6 +38,7 @@ void DDG::AddEdge(NodeId src, NodeId dst, DepKind kind, int distance) {
   out_[static_cast<size_t>(src)].push_back(e);
   in_[static_cast<size_t>(dst)].push_back(e);
   ++num_edges_;
+  if (kind == DepKind::kFlow) NotifyFlowEdgeAdded(e);
 }
 
 void DDG::RemoveNode(NodeId id, bool force) {
@@ -60,9 +61,17 @@ void DDG::RemoveNode(NodeId id, bool force) {
     --num_edges_;
   }
   out_[static_cast<size_t>(id)].clear();
-  in_[static_cast<size_t>(id)].clear();
   n.alive = false;
   --num_alive_;
+  // Producers losing a flow consumer are notified after their own
+  // adjacency (everything a listener reads) is consistent again; the dead
+  // node's in-list doubles as the pending-notification buffer so removal
+  // allocates nothing on the ejection/GC path.
+  for (const Edge& e : in_[static_cast<size_t>(id)]) {
+    if (e.kind == DepKind::kFlow && e.src != id) NotifyFlowEdgeRemoved(e);
+  }
+  in_[static_cast<size_t>(id)].clear();
+  if (listener_.ptr != nullptr) listener_.ptr->OnNodeRemoved(id);
 }
 
 bool DDG::RemoveEdge(NodeId src, NodeId dst, DepKind kind, int distance) {
@@ -79,6 +88,9 @@ bool DDG::RemoveEdge(NodeId src, NodeId dst, DepKind kind, int distance) {
   assert(in_it != ins.end());
   ins.erase(in_it);
   --num_edges_;
+  if (kind == DepKind::kFlow) {
+    NotifyFlowEdgeRemoved(Edge{src, dst, kind, distance});
+  }
   return true;
 }
 

@@ -71,6 +71,25 @@ struct MIIInfo {
   int MII() const { return res_mii > rec_mii ? res_mii : rec_mii; }
 };
 
+/// Observer of graph mutations that affect value lifetimes. The scheduler's
+/// incremental pressure tracker installs one on its working graph so edge
+/// rewires (communication chains, spill reroutes) and node removals reach
+/// it without every mutation site knowing about pressure. Edge callbacks
+/// carry the exact edge so the listener can apply an O(1) delta when only
+/// one consumer read changed. Callbacks run synchronously after the
+/// mutation completes and must not mutate the graph.
+class DdgListener {
+ public:
+  virtual ~DdgListener() = default;
+  /// A flow edge was added: `e.src`'s value gained the consumer `e.dst`.
+  virtual void OnFlowEdgeAdded(const Edge& e) = 0;
+  /// A flow edge was removed (also fired for each flow in-edge detached by
+  /// RemoveNode, with the pre-removal edge).
+  virtual void OnFlowEdgeRemoved(const Edge& e) = 0;
+  /// `v` was tombstoned (its flow producers are notified separately).
+  virtual void OnNodeRemoved(NodeId v) = 0;
+};
+
 class DDG {
  public:
   DDG() = default;
@@ -148,7 +167,33 @@ class DDG {
   /// Simple structural sanity check (edge endpoints alive, distances >= 0).
   bool Check(std::string* why = nullptr) const;
 
+  /// Installs (or clears, with nullptr) the mutation listener. The slot is
+  /// deliberately excluded from copy and move: `g = original` at the start
+  /// of an II attempt and moving the final graph into the ScheduleResult
+  /// must never transplant a tracker wired to different state.
+  void SetListener(DdgListener* listener) { listener_.ptr = listener; }
+  DdgListener* listener() const { return listener_.ptr; }
+
  private:
+  /// Pointer wrapper whose copy/move constructors produce an empty slot
+  /// and whose assignments keep the destination's slot, so DDG's implicit
+  /// special members never propagate a listener between graphs.
+  struct ListenerSlot {
+    DdgListener* ptr = nullptr;
+    ListenerSlot() = default;
+    ListenerSlot(const ListenerSlot&) noexcept {}
+    ListenerSlot(ListenerSlot&&) noexcept {}
+    ListenerSlot& operator=(const ListenerSlot&) noexcept { return *this; }
+    ListenerSlot& operator=(ListenerSlot&&) noexcept { return *this; }
+  };
+
+  void NotifyFlowEdgeAdded(const Edge& e) {
+    if (listener_.ptr != nullptr) listener_.ptr->OnFlowEdgeAdded(e);
+  }
+  void NotifyFlowEdgeRemoved(const Edge& e) {
+    if (listener_.ptr != nullptr) listener_.ptr->OnFlowEdgeRemoved(e);
+  }
+
   std::string name_;
   std::vector<Node> nodes_;
   std::vector<std::vector<Edge>> in_;
@@ -156,6 +201,7 @@ class DDG {
   std::int32_t num_invariants_ = 0;
   int num_alive_ = 0;
   int num_edges_ = 0;
+  ListenerSlot listener_;
 };
 
 }  // namespace hcrf

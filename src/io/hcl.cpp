@@ -61,16 +61,33 @@ Scanner Tokenize(std::string_view text, std::string_view file) {
   return sc;
 }
 
-long ScanLong(const Scanner& sc, int line, std::string_view tok,
-              std::string_view what) {
+std::optional<long> TryParseLong(std::string_view tok) {
   long v = 0;
   auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
-  if (ec != std::errc() || ptr != tok.data() + tok.size()) {
+  if (ec != std::errc() || ptr != tok.data() + tok.size() || tok.empty()) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<double> TryParseDouble(std::string_view tok) {
+  double v = 0;
+  auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc() || ptr != tok.data() + tok.size() || tok.empty()) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+long ScanLong(const Scanner& sc, int line, std::string_view tok,
+              std::string_view what) {
+  const std::optional<long> v = TryParseLong(tok);
+  if (!v) {
     Fail(sc.file, line,
          "expected integer for " + std::string(what) + ", got '" +
              std::string(tok) + "'");
   }
-  return v;
+  return *v;
 }
 
 int ScanInt(const Scanner& sc, int line, std::string_view tok,
@@ -84,14 +101,13 @@ int ScanInt(const Scanner& sc, int line, std::string_view tok,
 
 double ScanDouble(const Scanner& sc, int line, std::string_view tok,
                   std::string_view what) {
-  double v = 0;
-  auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
-  if (ec != std::errc() || ptr != tok.data() + tok.size()) {
+  const std::optional<double> v = TryParseDouble(tok);
+  if (!v) {
     Fail(sc.file, line,
          "expected number for " + std::string(what) + ", got '" +
              std::string(tok) + "'");
   }
-  return v;
+  return *v;
 }
 
 void WantToks(const Scanner& sc, const TokLine& tl, size_t n) {

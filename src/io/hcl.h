@@ -104,6 +104,16 @@ core::ScheduleResult ParseResult(std::string_view text,
 std::string FormatDouble(double v);
 
 // ---------------------------------------------------------------------------
+// Strict whole-token numeric parsing. Unlike std::stol / std::stod, the
+// entire token must be consumed: "4abc" and "1.5x" are rejected instead of
+// silently truncated. Shared by the .hcl scanners and the CLI's validated
+// flag parsing. Returns std::nullopt on any parse failure.
+// ---------------------------------------------------------------------------
+
+std::optional<long> TryParseLong(std::string_view tok);
+std::optional<double> TryParseDouble(std::string_view tok);
+
+// ---------------------------------------------------------------------------
 // File helpers (thin wrappers; Parse* filenames feed error messages).
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,233 @@
+#include "perf/bench.h"
+
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "core/mirs.h"
+#include "hwmodel/characterize.h"
+#include "io/hcl.h"
+#include "machine/machine_config.h"
+#include "machine/rf_config.h"
+#include "workload/suite_cache.h"
+
+namespace hcrf::perf {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+MachineConfig BenchMachine(const std::string& rf_name) {
+  MachineConfig m = MachineConfig::WithRF(RFConfig::Parse(rf_name));
+  if (!m.rf.UnboundedClusterRegs() && !m.rf.UnboundedSharedRegs()) {
+    m = hw::ApplyCharacterization(m, hw::RFModelMode::kPaperTable);
+  }
+  return m;
+}
+
+/// One timed mode over one (suite slice, machine) case. Returns wall
+/// seconds; accumulates stats and keeps the last repetition's results for
+/// the identity check.
+double RunMode(const workload::Suite& suite, const MachineConfig& m,
+               const std::vector<MIIInfo>& mii, bool incremental, int reps,
+               long* placements, long* ejections,
+               std::vector<core::ScheduleResult>* results) {
+  core::MirsOptions opt;
+  opt.incremental = incremental;
+  double total = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const bool last = rep == reps - 1;
+    if (last && results != nullptr) {
+      results->clear();
+      results->reserve(suite.size());
+    }
+    for (size_t i = 0; i < suite.size(); ++i) {
+      opt.precomputed_mii = mii[i];
+      const Clock::time_point t0 = Clock::now();
+      core::ScheduleResult res = core::MirsHC(suite[i].ddg, m, opt);
+      total += Seconds(t0, Clock::now());
+      if (placements != nullptr) *placements += res.stats.attempts;
+      if (ejections != nullptr) *ejections += res.stats.ejections;
+      if (last && results != nullptr) results->push_back(std::move(res));
+    }
+  }
+  return total;
+}
+
+BenchCase RunCase(const std::string& suite_name,
+                  const workload::Suite& suite, const std::string& rf_name,
+                  int reps) {
+  BenchCase c;
+  c.suite = suite_name;
+  c.rf = rf_name;
+  c.loops = static_cast<int>(suite.size());
+  c.reps = reps;
+
+  const MachineConfig m = BenchMachine(rf_name);
+  std::vector<MIIInfo> mii;
+  mii.reserve(suite.size());
+  for (size_t i = 0; i < suite.size(); ++i) {
+    mii.push_back(CachedMii(suite[i].ddg, m));
+  }
+
+  std::vector<core::ScheduleResult> ref_results;
+  std::vector<core::ScheduleResult> inc_results;
+  c.reference_seconds = RunMode(suite, m, mii, /*incremental=*/false, reps,
+                                nullptr, nullptr, &ref_results);
+  c.incremental_seconds = RunMode(suite, m, mii, /*incremental=*/true, reps,
+                                  &c.placements, &c.ejections, &inc_results);
+
+  for (size_t i = 0; i < suite.size(); ++i) {
+    const core::ScheduleResult& a = ref_results[i];
+    const core::ScheduleResult& b = inc_results[i];
+    if (a.ok != b.ok) {
+      c.identical = false;
+      continue;
+    }
+    if (!a.ok) {
+      ++c.failed;
+      continue;
+    }
+    if (io::DumpResult(a) != io::DumpResult(b)) c.identical = false;
+  }
+  return c;
+}
+
+void Append(std::string& out, const BenchCase& c) {
+  out += "    {\"suite\": \"" + c.suite + "\", \"rf\": \"" + c.rf + "\",\n";
+  out += "     \"loops\": " + std::to_string(c.loops) +
+         ", \"reps\": " + std::to_string(c.reps) +
+         ", \"failed\": " + std::to_string(c.failed) + ",\n";
+  out += "     \"identical\": " + std::string(c.identical ? "true" : "false") +
+         ",\n";
+  out += "     \"reference_seconds\": " + io::FormatDouble(c.reference_seconds) +
+         ",\n";
+  out += "     \"incremental_seconds\": " +
+         io::FormatDouble(c.incremental_seconds) + ",\n";
+  out += "     \"speedup\": " + io::FormatDouble(c.Speedup()) + ",\n";
+  out += "     \"placements\": " + std::to_string(c.placements) +
+         ", \"ejections\": " + std::to_string(c.ejections) + ",\n";
+  out += "     \"placements_per_sec\": " +
+         io::FormatDouble(c.incremental_seconds > 0
+                              ? static_cast<double>(c.placements) /
+                                    c.incremental_seconds
+                              : 0.0) +
+         ",\n";
+  out += "     \"ejections_per_sec\": " +
+         io::FormatDouble(c.incremental_seconds > 0
+                              ? static_cast<double>(c.ejections) /
+                                    c.incremental_seconds
+                              : 0.0) +
+         "}";
+}
+
+}  // namespace
+
+BenchReport RunBench(const BenchOptions& opt) {
+  BenchReport report;
+
+  const workload::Suite& kernels = workload::SharedKernelSuite();
+  const workload::Suite& synth_full = workload::SharedSyntheticSuite();
+
+  // Explicit options always win; smoke only shrinks the unset knobs.
+  std::vector<std::string> orgs = opt.rf_names;
+  if (orgs.empty()) {
+    orgs = opt.smoke
+               ? std::vector<std::string>{"4C16S64/2-1"}
+               : std::vector<std::string>{"4C16S64/2-1", "4C32/1-1", "S64"};
+  }
+  const int kernel_reps =
+      opt.kernel_reps > 0 ? opt.kernel_reps : (opt.smoke ? 5 : 60);
+  const int synth_reps = opt.synth_reps > 0 ? opt.synth_reps : 1;
+  int synth_loops = opt.synth_loops;
+  if (synth_loops <= 0 && opt.smoke) synth_loops = 64;
+  workload::Suite synth_slice;
+  const workload::Suite* synth = &synth_full;
+  if (synth_loops > 0) {
+    synth_slice =
+        workload::SuiteSlice(synth_full, static_cast<size_t>(synth_loops));
+    synth = &synth_slice;
+  }
+
+  for (const std::string& rf : orgs) {
+    report.cases.push_back(RunCase("kernels", kernels, rf, kernel_reps));
+    report.cases.push_back(RunCase("synth", *synth, rf, synth_reps));
+  }
+
+  for (const BenchCase& c : report.cases) {
+    report.reference_seconds += c.reference_seconds;
+    report.incremental_seconds += c.incremental_seconds;
+    report.placements += c.placements;
+    report.ejections += c.ejections;
+    if (!c.identical) report.identical = false;
+  }
+  report.mii_cache = GetMiiCacheStats();
+  return report;
+}
+
+std::string BenchJson(const BenchReport& report) {
+  std::string out = "{\n";
+  out += "  \"format\": \"hcrf-bench-1\",\n";
+  out += "  \"generated_by\": \"hcrf_sched bench\",\n";
+  out += "  \"threads\": 1,\n";
+  out += "  \"identical\": " +
+         std::string(report.identical ? "true" : "false") + ",\n";
+  out += "  \"cases\": [\n";
+  for (size_t i = 0; i < report.cases.size(); ++i) {
+    Append(out, report.cases[i]);
+    out += i + 1 < report.cases.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+  if (report.pre_pr.present) {
+    std::string note = report.pre_pr.note;
+    for (char& ch : note) {
+      if (ch == '"' || ch == '\\') ch = '\'';
+    }
+    out += "  \"pre_pr\": {\n";
+    out += "    \"baseline_seconds\": " +
+           io::FormatDouble(report.pre_pr.baseline_seconds) + ",\n";
+    out += "    \"current_seconds\": " +
+           io::FormatDouble(report.pre_pr.current_seconds) + ",\n";
+    out += "    \"speedup\": " + io::FormatDouble(report.pre_pr.Speedup()) +
+           ",\n";
+    out += "    \"note\": \"" + note + "\"\n";
+    out += "  },\n";
+  }
+  out += "  \"totals\": {\n";
+  out += "    \"reference_seconds\": " +
+         io::FormatDouble(report.reference_seconds) + ",\n";
+  out += "    \"incremental_seconds\": " +
+         io::FormatDouble(report.incremental_seconds) + ",\n";
+  out += "    \"speedup\": " + io::FormatDouble(report.Speedup()) + ",\n";
+  out += "    \"placements\": " + std::to_string(report.placements) + ",\n";
+  out += "    \"ejections\": " + std::to_string(report.ejections) + ",\n";
+  out += "    \"placements_per_sec\": " +
+         io::FormatDouble(report.incremental_seconds > 0
+                              ? static_cast<double>(report.placements) /
+                                    report.incremental_seconds
+                              : 0.0) +
+         ",\n";
+  out += "    \"ejections_per_sec\": " +
+         io::FormatDouble(report.incremental_seconds > 0
+                              ? static_cast<double>(report.ejections) /
+                                    report.incremental_seconds
+                              : 0.0) +
+         "\n  },\n";
+  const long lookups = report.mii_cache.hits + report.mii_cache.misses;
+  out += "  \"mii_cache\": {\"hits\": " + std::to_string(report.mii_cache.hits) +
+         ", \"misses\": " + std::to_string(report.mii_cache.misses) +
+         ", \"hit_rate\": " +
+         io::FormatDouble(lookups > 0 ? static_cast<double>(
+                                            report.mii_cache.hits) /
+                                            static_cast<double>(lookups)
+                                      : 0.0) +
+         "}\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace hcrf::perf

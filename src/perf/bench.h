@@ -1,0 +1,108 @@
+// Engine A/B bench: times the scheduling hot path in incremental mode
+// (pressure tracker + indexed priority pick, MirsOptions::incremental) and
+// reference mode (full ComputePressure per spill check, linear priority
+// scan), asserts both produce bit-identical schedules on every loop, and
+// reports the speedup plus throughput counters.
+//
+// This is the measured perf trajectory behind the checked-in BENCH_*.json
+// files: `hcrf_sched bench` writes one per PR, and CI runs `bench --smoke`
+// so a schedule-identity regression (the incremental path drifting from
+// the reference semantics) fails the build.
+//
+// Methodology notes:
+//  * Single-threaded, per-(suite, organization) cases, fixed repetition
+//    counts; wall time covers MirsHC only (suite construction, MII bounds
+//    and serialization are outside the timed region).
+//  * Each loop's MII is precomputed once and handed to both modes via
+//    MirsOptions::precomputed_mii, so the comparison isolates the engine.
+//  * The identity check compares canonical result dumps (io::DumpResult)
+//    of the two modes, i.e. II, every placement, the transformed graph and
+//    the stats block all have to match bit for bit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perf/runner.h"
+#include "workload/workload.h"
+
+namespace hcrf::perf {
+
+struct BenchOptions {
+  /// RF organizations to bench on (paper notation). Empty = the default
+  /// set: hierarchical clustered (the paper's proposal), pure clustered,
+  /// and monolithic with tight registers — one per engine family; smoke
+  /// mode defaults to the first of those only. Explicit values always
+  /// win, smoke or not.
+  std::vector<std::string> rf_names;
+  /// Repetitions of the kernel suite per timed mode (the suite is tiny,
+  /// so one pass is below timer noise). 0 = default (60; 5 in smoke).
+  int kernel_reps = 0;
+  /// Synthetic-suite loops per case. 0 = default (the whole shared suite;
+  /// a 64-loop slice in smoke).
+  int synth_loops = 0;
+  /// Repetitions of the synthetic suite per timed mode (0 = 1).
+  int synth_reps = 0;
+  /// Smoke mode: shrink the unset knobs to CI cost — the identity
+  /// assertion is unchanged.
+  bool smoke = false;
+};
+
+struct BenchCase {
+  std::string suite;  ///< "kernels" or "synth".
+  std::string rf;     ///< Organization (paper notation).
+  int loops = 0;
+  int reps = 0;
+  int failed = 0;          ///< Loops no mode can schedule (counted once).
+  bool identical = true;   ///< Incremental dumps == reference dumps.
+  double reference_seconds = 0;
+  double incremental_seconds = 0;
+  long placements = 0;  ///< Engine attempts over the incremental reps.
+  long ejections = 0;   ///< Force-and-eject victims over the same reps.
+
+  double Speedup() const {
+    return incremental_seconds > 0 ? reference_seconds / incremental_seconds
+                                   : 0.0;
+  }
+};
+
+/// One-off comparison against an *older binary* (the in-binary reference
+/// mode only isolates the incremental engine; the rest of the PR's hot-path
+/// work — allocation-free MRT, hoisted window scans, comm-GC candidate
+/// lists, cached env flags — speeds both modes). Both numbers must come
+/// from the same command run the same way; the note records the method.
+struct BaselineComparison {
+  bool present = false;
+  double baseline_seconds = 0;  ///< Older binary, e.g. the pre-PR engine.
+  double current_seconds = 0;   ///< This binary, same workload and method.
+  std::string note;
+
+  double Speedup() const {
+    return current_seconds > 0 ? baseline_seconds / current_seconds : 0.0;
+  }
+};
+
+struct BenchReport {
+  std::vector<BenchCase> cases;
+  double reference_seconds = 0;
+  double incremental_seconds = 0;
+  long placements = 0;
+  long ejections = 0;
+  bool identical = true;  ///< All cases bit-identical across modes.
+  MiiCacheStats mii_cache;
+  BaselineComparison pre_pr;
+
+  double Speedup() const {
+    return incremental_seconds > 0 ? reference_seconds / incremental_seconds
+                                   : 0.0;
+  }
+};
+
+/// Runs the A/B bench. Deterministic apart from wall times.
+BenchReport RunBench(const BenchOptions& opt = {});
+
+/// Serializes the report as deterministic, human-diffable JSON (the
+/// BENCH_*.json format; see README.md).
+std::string BenchJson(const BenchReport& report);
+
+}  // namespace hcrf::perf

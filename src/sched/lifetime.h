@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "core/check.h"
 #include "ddg/ddg.h"
 #include "machine/machine_config.h"
 #include "sched/banks.h"
@@ -42,8 +43,14 @@ struct PressureReport {
   std::vector<ValueLifetime> values;
 
   int MaxLiveOf(BankId bank) const {
-    return bank == kSharedBank ? shared_maxlive
-                               : cluster_maxlive[static_cast<size_t>(bank)];
+    if (bank == kSharedBank) return shared_maxlive;
+    // Monolithic organizations have no cluster banks (cluster_maxlive is
+    // empty); an unchecked index here was out-of-bounds UB.
+    HCRF_CHECK(bank >= 0 &&
+                   static_cast<size_t>(bank) < cluster_maxlive.size(),
+               "MaxLiveOf(%d): organization has %zu cluster bank(s)", bank,
+               cluster_maxlive.size());
+    return cluster_maxlive[static_cast<size_t>(bank)];
   }
 };
 

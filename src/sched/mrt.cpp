@@ -19,23 +19,23 @@ std::string_view ToString(ResKind kind) {
   return "?";
 }
 
-std::vector<ResUse> ResourceNeeds(OpClass op, int cluster, int src_cluster,
-                                  const MachineConfig& m) {
-  std::vector<ResUse> needs;
+ResUseList ResourceNeeds(OpClass op, int cluster, int src_cluster,
+                         const MachineConfig& m) {
+  ResUseList needs;
   if (IsCompute(op)) {
     const int dur = IsUnpipelined(op) ? m.lat.Of(op) : 1;
-    needs.push_back({ResKind::kFU, cluster, dur});
+    needs.Add(ResKind::kFU, cluster, dur);
   } else if (IsMemory(op)) {
     const int c = m.rf.IsPureClustered() ? cluster : 0;
-    needs.push_back({ResKind::kMemPort, c, 1});
+    needs.Add(ResKind::kMemPort, c, 1);
   } else if (op == OpClass::kLoadR) {
-    needs.push_back({ResKind::kLoadRPort, cluster, 1});
+    needs.Add(ResKind::kLoadRPort, cluster, 1);
   } else if (op == OpClass::kStoreR) {
-    needs.push_back({ResKind::kStoreRPort, cluster, 1});
+    needs.Add(ResKind::kStoreRPort, cluster, 1);
   } else if (op == OpClass::kMove) {
-    needs.push_back({ResKind::kBusOutPort, src_cluster, 1});
-    needs.push_back({ResKind::kBusInPort, cluster, 1});
-    needs.push_back({ResKind::kBus, 0, 1});
+    needs.Add(ResKind::kBusOutPort, src_cluster, 1);
+    needs.Add(ResKind::kBusInPort, cluster, 1);
+    needs.Add(ResKind::kBus, 0, 1);
   }
   return needs;
 }
@@ -72,13 +72,33 @@ ModuloReservationTable::ModuloReservationTable(const MachineConfig& m, int ii)
   capacity_[static_cast<int>(ResKind::kBus)].assign(
       1, rf.IsPureClustered() ? clamp_ports(rf.buses) : 0);
 
-  occ_.resize(kNumResKinds);
+  // One flat row-major array over all (kind, cluster, row) slots.
+  num_units_.assign(kNumResKinds, 0);
+  size_t total = 0;
   for (int k = 0; k < kNumResKinds; ++k) {
-    occ_[static_cast<size_t>(k)].resize(capacity_[static_cast<size_t>(k)].size());
-    for (auto& per_cluster : occ_[static_cast<size_t>(k)]) {
-      per_cluster.assign(static_cast<size_t>(ii_), Slot{});
-    }
+    base_[static_cast<size_t>(k)] = total;
+    num_units_[static_cast<size_t>(k)] =
+        static_cast<int>(capacity_[static_cast<size_t>(k)].size());
+    total += capacity_[static_cast<size_t>(k)].size() *
+             static_cast<size_t>(ii_);
   }
+  count_.assign(total, 0);
+  occupants_.assign(total, {});
+}
+
+void ModuloReservationTable::Rebind(int ii) {
+  if (ii <= 0) throw std::invalid_argument("MRT: II must be positive");
+  ii_ = ii;
+  size_t total = 0;
+  for (int k = 0; k < kNumResKinds; ++k) {
+    base_[static_cast<size_t>(k)] = total;
+    total += capacity_[static_cast<size_t>(k)].size() *
+             static_cast<size_t>(ii_);
+  }
+  count_.assign(total, 0);
+  if (occupants_.size() < total) occupants_.resize(total);
+  for (auto& occ : occupants_) occ.clear();  // keeps each list's capacity
+  for (PlacedRec& rec : placed_) rec.placed = false;
 }
 
 int ModuloReservationTable::Capacity(ResKind kind, int cluster) const {
@@ -88,21 +108,22 @@ int ModuloReservationTable::Capacity(ResKind kind, int cluster) const {
 }
 
 int ModuloReservationTable::Usage(ResKind kind, int cluster, int row) const {
-  const auto& v = occ_[static_cast<size_t>(kind)];
-  if (static_cast<size_t>(cluster) >= v.size()) return 0;
-  return static_cast<int>(
-      v[static_cast<size_t>(cluster)][static_cast<size_t>(Row(row))]
-          .occupants.size());
+  if (cluster < 0 || cluster >= num_units_[static_cast<size_t>(kind)]) {
+    return 0;
+  }
+  return count_[Base(kind, cluster) + static_cast<size_t>(Row(row))];
 }
 
-bool ModuloReservationTable::CanPlace(const std::vector<ResUse>& needs,
+bool ModuloReservationTable::CanPlace(std::span<const ResUse> needs,
                                       int cycle) const {
   for (const ResUse& use : needs) {
     const int cap = Capacity(use.kind, use.cluster);
     if (cap <= 0) return false;
+    const size_t base = Base(use.kind, use.cluster);
     for (int d = 0; d < use.duration; ++d) {
-      const int row = Row(cycle + d);
-      if (Usage(use.kind, use.cluster, row) >= cap) return false;
+      if (count_[base + static_cast<size_t>(Row(cycle + d))] >= cap) {
+        return false;
+      }
     }
     // Unpipelined ops longer than the kernel conflict with themselves.
     if (use.duration > ii_) return false;
@@ -110,61 +131,114 @@ bool ModuloReservationTable::CanPlace(const std::vector<ResUse>& needs,
   return true;
 }
 
-void ModuloReservationTable::Place(NodeId node,
-                                   const std::vector<ResUse>& needs,
-                                   int cycle) {
-  assert(!placed_.contains(node));
-  assert(CanPlace(needs, cycle));
+/// Per-use constants hoisted out of the per-cycle probe.
+struct ModuloReservationTable::HoistedNeeds {
+  int caps[kMaxResUses];
+  size_t bases[kMaxResUses];
+  int durs[kMaxResUses];
+  size_t n = 0;
+};
+
+// Hoists the per-use capacity/base lookups; false when any use is
+// structurally impossible (no capacity, duration beyond the kernel), which
+// fails every cycle of a scan.
+bool ModuloReservationTable::Hoist(std::span<const ResUse> needs,
+                                   HoistedNeeds& h) const {
   for (const ResUse& use : needs) {
-    auto& per_cluster =
-        occ_[static_cast<size_t>(use.kind)][static_cast<size_t>(use.cluster)];
-    for (int d = 0; d < use.duration; ++d) {
-      per_cluster[static_cast<size_t>(Row(cycle + d))].occupants.push_back(
-          node);
+    const int cap = Capacity(use.kind, use.cluster);
+    if (cap <= 0 || use.duration > ii_) return false;
+    h.caps[h.n] = cap;
+    h.bases[h.n] = Base(use.kind, use.cluster);
+    h.durs[h.n] = use.duration;
+    ++h.n;
+  }
+  return true;
+}
+
+bool ModuloReservationTable::Fits(const HoistedNeeds& h, int t) const {
+  for (size_t i = 0; i < h.n; ++i) {
+    for (int d = 0; d < h.durs[i]; ++d) {
+      if (count_[h.bases[i] + static_cast<size_t>(Row(t + d))] >= h.caps[i]) {
+        return false;
+      }
     }
   }
-  placed_.emplace(node, std::make_pair(cycle, needs));
+  return true;
+}
+
+int ModuloReservationTable::FindFirstSlotUp(std::span<const ResUse> needs,
+                                            int lo, int hi) const {
+  HoistedNeeds h;
+  if (lo > hi || !Hoist(needs, h)) return kNoSlot;
+  for (int t = lo; t <= hi; ++t) {
+    if (Fits(h, t)) return t;
+  }
+  return kNoSlot;
+}
+
+int ModuloReservationTable::FindFirstSlotDown(std::span<const ResUse> needs,
+                                              int hi, int lo) const {
+  HoistedNeeds h;
+  if (hi < lo || !Hoist(needs, h)) return kNoSlot;
+  for (int t = hi; t >= lo; --t) {
+    if (Fits(h, t)) return t;
+  }
+  return kNoSlot;
+}
+
+void ModuloReservationTable::Place(NodeId node, const ResUseList& needs,
+                                   int cycle) {
+  assert(!IsPlaced(node));
+  assert(CanPlace(needs, cycle));
+  for (const ResUse& use : needs) {
+    const size_t base = Base(use.kind, use.cluster);
+    for (int d = 0; d < use.duration; ++d) {
+      const size_t slot = base + static_cast<size_t>(Row(cycle + d));
+      ++count_[slot];
+      occupants_[slot].push_back(node);
+    }
+  }
+  if (static_cast<size_t>(node) >= placed_.size()) {
+    placed_.resize(static_cast<size_t>(node) + 1);
+  }
+  placed_[static_cast<size_t>(node)] = PlacedRec{needs, cycle, true};
 }
 
 void ModuloReservationTable::Remove(NodeId node) {
-  auto it = placed_.find(node);
-  if (it == placed_.end()) return;
-  const auto& [cycle, needs] = it->second;
-  for (const ResUse& use : needs) {
-    auto& per_cluster =
-        occ_[static_cast<size_t>(use.kind)][static_cast<size_t>(use.cluster)];
+  if (!IsPlaced(node)) return;
+  PlacedRec& rec = placed_[static_cast<size_t>(node)];
+  for (const ResUse& use : rec.needs) {
+    const size_t base = Base(use.kind, use.cluster);
     for (int d = 0; d < use.duration; ++d) {
-      auto& occupants =
-          per_cluster[static_cast<size_t>(Row(cycle + d))].occupants;
-      auto pos = std::find(occupants.begin(), occupants.end(), node);
-      assert(pos != occupants.end());
-      occupants.erase(pos);
+      const size_t slot = base + static_cast<size_t>(Row(rec.cycle + d));
+      --count_[slot];
+      auto& occ = occupants_[slot];
+      auto pos = std::find(occ.begin(), occ.end(), node);
+      assert(pos != occ.end());
+      occ.erase(pos);
     }
   }
-  placed_.erase(it);
+  rec.placed = false;
 }
 
-std::vector<NodeId> ModuloReservationTable::ConflictingNodes(
-    const std::vector<ResUse>& needs, int cycle) const {
-  std::vector<NodeId> result;
+void ModuloReservationTable::ConflictingNodes(std::span<const ResUse> needs,
+                                              int cycle,
+                                              std::vector<NodeId>& result) const {
+  result.clear();
   for (const ResUse& use : needs) {
     const int cap = Capacity(use.kind, use.cluster);
     if (cap <= 0) continue;  // structurally impossible; caller handles
+    const size_t base = Base(use.kind, use.cluster);
     for (int d = 0; d < use.duration; ++d) {
-      const int row = Row(cycle + d);
-      const auto& occupants =
-          occ_[static_cast<size_t>(use.kind)][static_cast<size_t>(use.cluster)]
-              [static_cast<size_t>(row)]
-                  .occupants;
-      if (static_cast<int>(occupants.size()) < cap) continue;
-      for (NodeId n : occupants) {
+      const size_t slot = base + static_cast<size_t>(Row(cycle + d));
+      if (count_[slot] < cap) continue;
+      for (NodeId n : occupants_[slot]) {
         if (std::find(result.begin(), result.end(), n) == result.end()) {
           result.push_back(n);
         }
       }
     }
   }
-  return result;
 }
 
 }  // namespace hcrf::sched

@@ -13,10 +13,20 @@
 //   kBusIn/Out   per cluster     bus receive (lp) / drive (sp) ports of
 //                                pure clustered organizations
 //   kBus         global          inter-cluster buses (nb)
+//
+// The table sits on the scheduler's hottest path (every placement probe of
+// the iterative engine scans candidate cycles through CanPlace), so the
+// representation is allocation-free: resource needs are fixed-capacity
+// inline arrays (ResUseList), occupancy counts live in one flat row-major
+// int array indexed by a precomputed (kind, cluster) base, and per-node
+// placement records are a flat vector instead of a hash map. Occupant
+// identities (needed only by force-and-eject and Remove) are kept in a
+// parallel flat array of small vectors that the probe path never touches.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <limits>
+#include <span>
 #include <vector>
 
 #include "ddg/ddg.h"
@@ -45,54 +55,108 @@ struct ResUse {
   int duration;
 };
 
+/// No operation needs more than 3 resources (Move: bus-out + bus-in + bus).
+inline constexpr int kMaxResUses = 3;
+
+/// Fixed-capacity list of one placement's resource requirements; lives on
+/// the stack (or inline in the MRT's placement records), never the heap.
+struct ResUseList {
+  ResUse uses[kMaxResUses] = {};
+  int count = 0;
+
+  void Add(ResKind kind, int cluster, int duration) {
+    uses[count++] = ResUse{kind, cluster, duration};
+  }
+  const ResUse* begin() const { return uses; }
+  const ResUse* end() const { return uses + count; }
+  std::span<const ResUse> span() const { return {uses, static_cast<size_t>(count)}; }
+  operator std::span<const ResUse>() const { return span(); }
+};
+
 /// Resource requirements of one operation placement.
 /// `src_cluster` is only consulted for Move (the bus-drive side).
-std::vector<ResUse> ResourceNeeds(OpClass op, int cluster, int src_cluster,
-                                  const MachineConfig& m);
+ResUseList ResourceNeeds(OpClass op, int cluster, int src_cluster,
+                         const MachineConfig& m);
 
 class ModuloReservationTable {
  public:
   ModuloReservationTable(const MachineConfig& m, int ii);
 
+  /// Empties the table for a fresh attempt at a new II on the same
+  /// machine, reusing every buffer (the per-II-attempt reset of the
+  /// engine's escalation loop allocates nothing).
+  void Rebind(int ii);
+
   int ii() const { return ii_; }
   const MachineConfig& machine() const { return machine_; }
 
   /// True if all of `needs` have a free unit at `cycle` (mod II).
-  bool CanPlace(const std::vector<ResUse>& needs, int cycle) const;
+  bool CanPlace(std::span<const ResUse> needs, int cycle) const;
+
+  /// Returned by FindFirstSlot when no cycle in the range fits.
+  static constexpr int kNoSlot = std::numeric_limits<int>::min();
+
+  /// Window scans of the placement loop with the per-use capacity/base
+  /// lookups hoisted out of the per-cycle probe. Exactly equivalent to
+  /// calling CanPlace on lo..hi ascending (Up) / hi..lo descending (Down);
+  /// an inverted range (lo > hi) finds nothing.
+  int FindFirstSlotUp(std::span<const ResUse> needs, int lo, int hi) const;
+  int FindFirstSlotDown(std::span<const ResUse> needs, int hi, int lo) const;
 
   /// Records the placement. Precondition: CanPlace (checked in debug).
-  void Place(NodeId node, const std::vector<ResUse>& needs, int cycle);
+  void Place(NodeId node, const ResUseList& needs, int cycle);
 
   /// Removes a previously placed node (no-op if absent).
   void Remove(NodeId node);
 
-  bool IsPlaced(NodeId node) const { return placed_.contains(node); }
+  bool IsPlaced(NodeId node) const {
+    return static_cast<size_t>(node) < placed_.size() &&
+           placed_[static_cast<size_t>(node)].placed;
+  }
 
-  /// Nodes whose reservations block placing `needs` at `cycle`. Used by
-  /// Force_and_Eject: ejecting these (plus dependence violators) makes the
-  /// forced placement legal. Deduplicated, insertion order.
-  std::vector<NodeId> ConflictingNodes(const std::vector<ResUse>& needs,
-                                       int cycle) const;
+  /// Appends the nodes whose reservations block placing `needs` at `cycle`
+  /// to `result` (deduplicated, insertion order; `result` is cleared
+  /// first). Used by Force_and_Eject: ejecting these (plus dependence
+  /// violators) makes the forced placement legal. Takes a caller-owned
+  /// buffer so the engine can reuse one vector across forced placements.
+  void ConflictingNodes(std::span<const ResUse> needs, int cycle,
+                        std::vector<NodeId>& result) const;
 
   /// Occupancy of a resource at a kernel row (for debugging/validation).
   int Usage(ResKind kind, int cluster, int row) const;
   int Capacity(ResKind kind, int cluster) const;
 
  private:
-  struct Slot {
-    std::vector<NodeId> occupants;
+  struct PlacedRec {
+    ResUseList needs;
+    int cycle = 0;
+    bool placed = false;
   };
-  // occ_[kind][cluster][row]
-  std::vector<std::vector<std::vector<Slot>>> occ_;
-  std::vector<std::vector<int>> capacity_;  // [kind][cluster]
-  std::unordered_map<NodeId, std::pair<int, std::vector<ResUse>>> placed_;
-  MachineConfig machine_;
-  int ii_;
+  struct HoistedNeeds;  // per-use scan constants (defined in mrt.cpp)
 
+  bool Hoist(std::span<const ResUse> needs, HoistedNeeds& h) const;
+  bool Fits(const HoistedNeeds& h, int t) const;
+
+  /// Flat index of (kind, cluster) row 0; rows are contiguous per unit.
+  size_t Base(ResKind kind, int cluster) const {
+    return base_[static_cast<size_t>(kind)] +
+           static_cast<size_t>(cluster) * static_cast<size_t>(ii_);
+  }
   int Row(int cycle) const {
     const int r = cycle % ii_;
     return r < 0 ? r + ii_ : r;
   }
+
+  std::vector<int> count_;  ///< occupancy count, [Base(kind,cluster) + row]
+  /// Occupant node ids per slot, same indexing as count_. Touched only by
+  /// Place/Remove/ConflictingNodes, never by the CanPlace probe path.
+  std::vector<std::vector<NodeId>> occupants_;
+  std::vector<std::vector<int>> capacity_;  // [kind][cluster]
+  size_t base_[kNumResKinds] = {};  ///< flat offset of each kind's rows
+  std::vector<int> num_units_;      ///< clusters modelled per kind
+  std::vector<PlacedRec> placed_;   ///< by NodeId
+  MachineConfig machine_;
+  int ii_;
 };
 
 }  // namespace hcrf::sched

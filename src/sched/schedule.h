@@ -24,6 +24,14 @@ class PartialSchedule {
  public:
   explicit PartialSchedule(int ii) : ii_(ii) {}
 
+  /// Empties the schedule for a fresh attempt at a new II, keeping the
+  /// slot buffer's capacity.
+  void Reset(int ii) {
+    slots_.clear();
+    ii_ = ii;
+    num_scheduled_ = 0;
+  }
+
   int ii() const { return ii_; }
 
   void Assign(NodeId node, Placement p) {

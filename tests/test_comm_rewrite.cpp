@@ -55,10 +55,10 @@ class TestPlacer : public NodePlacer {
   }
 
  private:
-  bool Put(NodeId u, const std::vector<sched::ResUse>& needs, int t,
+  bool Put(NodeId u, const sched::ResUseList& needs, int t,
            int cluster, int src_cluster) {
     st_.mrt->Place(u, needs, t);
-    st_.sched->Assign(u, {t, cluster, src_cluster, true});
+    st_.Assign(u, {t, cluster, src_cluster, true});
     st_.MarkScheduled(u);
     st_.prev_cycle[static_cast<size_t>(u)] = t;
     return true;

@@ -221,5 +221,30 @@ TEST(HclErrors, CommentsAndBlankLinesAreIgnored) {
   EXPECT_EQ(loop.ddg.NumNodes(), 1);
 }
 
+// Strict whole-token numeric parsing behind the CLI's validated flags:
+// std::stoi-style silent truncation ("4abc" -> 4) must be rejected.
+TEST(StrictNumbers, TryParseLong) {
+  EXPECT_EQ(io::TryParseLong("42"), 42);
+  EXPECT_EQ(io::TryParseLong("-7"), -7);
+  EXPECT_EQ(io::TryParseLong("0"), 0);
+  EXPECT_FALSE(io::TryParseLong("4abc").has_value());
+  EXPECT_FALSE(io::TryParseLong("abc").has_value());
+  EXPECT_FALSE(io::TryParseLong("4 ").has_value());
+  EXPECT_FALSE(io::TryParseLong(" 4").has_value());
+  EXPECT_FALSE(io::TryParseLong("").has_value());
+  EXPECT_FALSE(io::TryParseLong("4.5").has_value());
+  EXPECT_FALSE(io::TryParseLong("99999999999999999999").has_value());
+}
+
+TEST(StrictNumbers, TryParseDouble) {
+  EXPECT_EQ(io::TryParseDouble("1.5"), 1.5);
+  EXPECT_EQ(io::TryParseDouble("-2"), -2.0);
+  EXPECT_EQ(io::TryParseDouble("1e3"), 1000.0);
+  EXPECT_FALSE(io::TryParseDouble("1.5x").has_value());
+  EXPECT_FALSE(io::TryParseDouble("x").has_value());
+  EXPECT_FALSE(io::TryParseDouble("").has_value());
+  EXPECT_FALSE(io::TryParseDouble("1.5 ").has_value());
+}
+
 }  // namespace
 }  // namespace hcrf

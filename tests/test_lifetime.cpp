@@ -9,6 +9,31 @@ namespace {
 
 MachineConfig Mono() { return MachineConfig::WithRF(RFConfig::Parse("S128")); }
 
+// Regression: MaxLiveOf used to index cluster_maxlive unchecked — UB for
+// monolithic organizations, whose report has no cluster banks at all. The
+// guard must fail loudly instead.
+TEST(Lifetime, MaxLiveOfChecksBankBounds) {
+  DDG g;
+  const NodeId ld = g.AddNode(OpClass::kLoad);
+  const NodeId add = g.AddNode(OpClass::kFAdd);
+  g.AddFlow(ld, add, 0);
+  PartialSchedule s(2);
+  s.Assign(ld, {0, 0, 0, true});
+  s.Assign(add, {2, 0, 0, true});
+
+  const PressureReport pr = ComputePressure(g, s, Mono());
+  EXPECT_TRUE(pr.cluster_maxlive.empty());
+  EXPECT_EQ(pr.MaxLiveOf(kSharedBank), pr.shared_maxlive);
+  EXPECT_DEATH(pr.MaxLiveOf(0), "MaxLiveOf");
+  EXPECT_DEATH(pr.MaxLiveOf(-7), "MaxLiveOf");
+
+  const PressureReport clustered = ComputePressure(
+      g, s, MachineConfig::WithRF(RFConfig::Parse("4C16S64/2-1")));
+  ASSERT_EQ(clustered.cluster_maxlive.size(), 4u);
+  EXPECT_EQ(clustered.MaxLiveOf(3), clustered.cluster_maxlive[3]);
+  EXPECT_DEATH(clustered.MaxLiveOf(4), "MaxLiveOf");
+}
+
 TEST(Lifetime, SimpleChain) {
   DDG g;
   const NodeId ld = g.AddNode(OpClass::kLoad);

@@ -50,7 +50,8 @@ TEST(MRT, PlaceAndConflict) {
   EXPECT_TRUE(mrt.CanPlace(fu, 1));
   // Modulo wrap: cycle 2 is row 0 again.
   EXPECT_FALSE(mrt.CanPlace(fu, 2));
-  const auto conflicts = mrt.ConflictingNodes(fu, 0);
+  std::vector<NodeId> conflicts;
+  mrt.ConflictingNodes(fu, 0, conflicts);
   EXPECT_EQ(conflicts.size(), 2u);
   mrt.Remove(1);
   EXPECT_TRUE(mrt.CanPlace(fu, 0));
@@ -63,8 +64,8 @@ TEST(MRT, UnpipelinedOccupiesFullLatency) {
   m.num_fus = 1;
   ModuloReservationTable mrt(m, 4);
   const auto div = ResourceNeeds(OpClass::kFDiv, 0, 0, m);
-  ASSERT_EQ(div.size(), 1u);
-  EXPECT_EQ(div[0].duration, 17);
+  ASSERT_EQ(div.count, 1);
+  EXPECT_EQ(div.uses[0].duration, 17);
   // 17-cycle occupancy cannot fit a 4-cycle kernel on one FU.
   EXPECT_FALSE(mrt.CanPlace(div, 0));
 
@@ -102,7 +103,8 @@ TEST(MRT, MoveBusSaturation) {
   // Both buses taken now.
   const auto mv13 = ResourceNeeds(OpClass::kMove, 3, 1, m);  // 1 -> 3
   EXPECT_FALSE(mrt.CanPlace(mv13, 0));
-  const auto conflicts = mrt.ConflictingNodes(mv13, 0);
+  std::vector<NodeId> conflicts;
+  mrt.ConflictingNodes(mv13, 0, conflicts);
   EXPECT_EQ(conflicts.size(), 2u);
 }
 

@@ -8,21 +8,26 @@
 //   hcrf_sched export [options]                write a suite as .hcl corpus
 //   hcrf_sched cache-stats <dir>               census of a schedule cache
 //   hcrf_sched smoke <manifest>                cold+warm cache self-check
+//   hcrf_sched bench [options]                 engine A/B perf baseline
 //
 // Run `hcrf_sched help` for per-command options. Exit status: 0 on
 // success, 1 on bad usage / failed requests / failed self-check.
 #include <unistd.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <memory>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "hwmodel/characterize.h"
 #include "io/hcl.h"
 #include "machine/machine_config.h"
+#include "perf/bench.h"
 #include "perf/runner.h"
 #include "service/batch.h"
 #include "service/sched_cache.h"
@@ -66,6 +71,20 @@ commands:
   cache-stats <dir>      entry count and bytes of a schedule cache
   smoke <manifest>       run twice (cold, warm cache); verify the warm run
                          hits the cache and its output is bit-identical
+  bench                  time the scheduling hot path: incremental engine
+                         vs the non-incremental reference, asserting both
+                         produce bit-identical schedules (exit 1 if not)
+      --out=FILE           write the BENCH_*.json report (default
+                           BENCH_PR4.json; '-' = stdout only)
+      --rf=A,B,...         organizations to bench (paper notation)
+      --reps=N             kernel-suite repetitions per timed mode
+      --synth-n=N          synthetic loops per case (default: whole suite)
+      --smoke              small slice + one organization: the identity
+                           assertion at CI cost
+      --baseline-seconds=X --current-seconds=Y --baseline-note=STR
+                           record a comparison against a separately timed
+                           older binary (e.g. the pre-PR engine) in the
+                           report's pre_pr block
 )");
   return 1;
 }
@@ -101,6 +120,37 @@ struct Args {
   }
 };
 
+/// Validated numeric flag parsing: the whole value must parse (bare
+/// std::stoi/std::stod silently truncate trailing garbage like
+/// `--max-ii=4abc` and throw context-free exceptions on `--threads=x`);
+/// failures name the offending flag.
+long ParseLongFlag(const char* flag, const std::string& value) {
+  const std::optional<long> v = io::TryParseLong(value);
+  if (!v) {
+    throw std::runtime_error(std::string("--") + flag +
+                             ": expected an integer, got '" + value + "'");
+  }
+  return *v;
+}
+
+int ParseIntFlag(const char* flag, const std::string& value) {
+  const long v = ParseLongFlag(flag, value);
+  if (v < INT32_MIN || v > INT32_MAX) {
+    throw std::runtime_error(std::string("--") + flag + ": value '" + value +
+                             "' is out of range");
+  }
+  return static_cast<int>(v);
+}
+
+double ParseDoubleFlag(const char* flag, const std::string& value) {
+  const std::optional<double> v = io::TryParseDouble(value);
+  if (!v) {
+    throw std::runtime_error(std::string("--") + flag +
+                             ": expected a number, got '" + value + "'");
+  }
+  return *v;
+}
+
 /// Rejects flags outside `known` (typo safety for a service entry point).
 bool CheckFlags(const Args& a, std::initializer_list<const char*> known) {
   for (const auto& [k, v] : a.flags) {
@@ -132,8 +182,12 @@ MachineConfig MachineFromFlags(const Args& args) {
 
 core::MirsOptions OptionsFromFlags(const Args& args) {
   core::MirsOptions opt;
-  if (const std::string* v = args.Flag("budget")) opt.budget_ratio = std::stod(*v);
-  if (const std::string* v = args.Flag("max-ii")) opt.max_ii = std::stoi(*v);
+  if (const std::string* v = args.Flag("budget")) {
+    opt.budget_ratio = ParseDoubleFlag("budget", *v);
+  }
+  if (const std::string* v = args.Flag("max-ii")) {
+    opt.max_ii = ParseIntFlag("max-ii", *v);
+  }
   if (args.Flag("non-iterative") != nullptr) opt.iterative = false;
   if (const std::string* v = args.Flag("policy")) {
     const std::optional<core::ClusterPolicy> p = io::ClusterPolicyFromName(*v);
@@ -227,7 +281,9 @@ int CmdRun(const Args& args) {
   }
   service::BatchOptions bopt;
   if (const std::string* c = args.Flag("cache")) bopt.cache_dir = *c;
-  if (const std::string* t = args.Flag("threads")) bopt.threads = std::stoi(*t);
+  if (const std::string* t = args.Flag("threads")) {
+    bopt.threads = ParseIntFlag("threads", *t);
+  }
   return RunManifestOnce(args.positional[0], bopt,
                          args.Flag("quiet") != nullptr, args.Flag("out-dir"),
                          nullptr);
@@ -266,7 +322,7 @@ int CmdSweep(const Args& args) {
   service::SweepOptions sopt;
   if (const std::string* c = args.Flag("cache")) sopt.cache_dir = *c;
   if (const std::string* t = args.Flag("threads")) {
-    sopt.threads = std::stoi(*t);
+    sopt.threads = ParseIntFlag("threads", *t);
   }
 
   const bool smoke = args.Flag("smoke") != nullptr;
@@ -399,7 +455,12 @@ int CmdExport(const Args& args) {
   }
   size_t n = suite->size();
   if (const std::string* nv = args.Flag("n")) {
-    n = std::min(n, static_cast<size_t>(std::stoul(*nv)));
+    const long parsed = ParseLongFlag("n", *nv);
+    if (parsed < 0) {
+      throw std::runtime_error("--n: expected a non-negative count, got '" +
+                               *nv + "'");
+    }
+    n = std::min(n, static_cast<size_t>(parsed));
   }
 
   std::string manifest = "hcl 1 manifest\n";
@@ -502,6 +563,108 @@ int CmdSmoke(const Args& args) {
   return ok ? 0 : 1;
 }
 
+// Engine A/B perf baseline: times the incremental hot path against the
+// non-incremental reference and asserts schedules stay bit-identical.
+// Writes the BENCH_*.json trajectory artifact; CI runs `bench --smoke`.
+int CmdBench(const Args& args) {
+  if (!args.positional.empty() ||
+      !CheckFlags(args, {"out", "rf", "reps", "synth-n", "smoke",
+                         "baseline-seconds", "current-seconds",
+                         "baseline-note"})) {
+    return Usage();
+  }
+  perf::BenchOptions bopt;
+  bopt.smoke = args.Flag("smoke") != nullptr;
+  if (const std::string* rf = args.Flag("rf")) {
+    bopt.rf_names.clear();
+    size_t start = 0;
+    while (start <= rf->size()) {
+      const size_t comma = rf->find(',', start);
+      const std::string name = rf->substr(
+          start, comma == std::string::npos ? std::string::npos
+                                            : comma - start);
+      if (!name.empty()) bopt.rf_names.push_back(name);
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    if (bopt.rf_names.empty()) {
+      throw std::runtime_error("--rf: expected a comma-separated list of "
+                               "organizations");
+    }
+  }
+  if (const std::string* v = args.Flag("reps")) {
+    bopt.kernel_reps = ParseIntFlag("reps", *v);
+    if (bopt.kernel_reps < 1) {
+      throw std::runtime_error("--reps: expected a positive count, got '" +
+                               *v + "'");
+    }
+  }
+  if (const std::string* v = args.Flag("synth-n")) {
+    bopt.synth_loops = ParseIntFlag("synth-n", *v);
+    if (bopt.synth_loops < 1) {
+      throw std::runtime_error("--synth-n: expected a positive count, got '" +
+                               *v + "'");
+    }
+  }
+
+  perf::BenchReport report = perf::RunBench(bopt);
+  // Optional comparison against a separately timed older binary (see the
+  // BENCH_*.json notes in README.md): both numbers must come from the same
+  // command, run the same way.
+  if (const std::string* v = args.Flag("baseline-seconds")) {
+    report.pre_pr.present = true;
+    report.pre_pr.baseline_seconds = ParseDoubleFlag("baseline-seconds", *v);
+    const std::string* cur = args.Flag("current-seconds");
+    if (cur == nullptr) {
+      throw std::runtime_error(
+          "--baseline-seconds requires --current-seconds (same workload, "
+          "this binary)");
+    }
+    report.pre_pr.current_seconds = ParseDoubleFlag("current-seconds", *cur);
+    if (const std::string* note = args.Flag("baseline-note")) {
+      report.pre_pr.note = *note;
+    }
+  }
+  for (const perf::BenchCase& c : report.cases) {
+    std::printf(
+        "%-8s x %-12s %4d loops x%-3d  ref %8.3f s  incr %8.3f s  "
+        "speedup %5.2fx  %s\n",
+        c.suite.c_str(), c.rf.c_str(), c.loops, c.reps, c.reference_seconds,
+        c.incremental_seconds, c.Speedup(),
+        c.identical ? "identical" : "MISMATCH");
+  }
+  std::printf(
+      "total: ref %.3f s, incr %.3f s, speedup %.2fx, %.0f placements/s, "
+      "%.0f ejections/s, schedules %s\n",
+      report.reference_seconds, report.incremental_seconds, report.Speedup(),
+      report.incremental_seconds > 0
+          ? static_cast<double>(report.placements) / report.incremental_seconds
+          : 0.0,
+      report.incremental_seconds > 0
+          ? static_cast<double>(report.ejections) / report.incremental_seconds
+          : 0.0,
+      report.identical ? "bit-identical" : "DIVERGED");
+  if (report.pre_pr.present) {
+    std::printf("pre-PR baseline: %.3f s -> %.3f s, speedup %.2fx (%s)\n",
+                report.pre_pr.baseline_seconds, report.pre_pr.current_seconds,
+                report.pre_pr.Speedup(), report.pre_pr.note.c_str());
+  }
+
+  const std::string* out = args.Flag("out");
+  const std::string path = out != nullptr ? *out : "BENCH_PR4.json";
+  if (path != "-") {
+    io::WriteFileAtomic(path, perf::BenchJson(report));
+    std::printf("report: %s\n", path.c_str());
+  }
+  if (!report.identical) {
+    std::fprintf(stderr,
+                 "bench: incremental engine diverged from the reference "
+                 "schedules\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -517,6 +680,7 @@ int main(int argc, char** argv) {
     if (cmd == "export") return CmdExport(args);
     if (cmd == "cache-stats") return CmdCacheStats(args);
     if (cmd == "smoke") return CmdSmoke(args);
+    if (cmd == "bench") return CmdBench(args);
     if (cmd == "help" || cmd == "--help" || cmd == "-h") {
       Usage();
       return 0;
