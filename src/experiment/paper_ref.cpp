@@ -1,0 +1,207 @@
+#include "experiment/paper_ref.h"
+
+#include <cmath>
+
+namespace hcrf::experiment {
+
+bool PaperRef::Pass(double measured) const {
+  return std::fabs(measured - paper) <= tol_abs + tol_rel * std::fabs(paper);
+}
+
+// Table 5, in kPaperConfigs order (the paper's own row order).
+const Table5PaperRow kTable5Paper[15] = {
+    {0.0, 1.145, 14.91, 31, 1.181, 2, 4},
+    {0.0, 1.021, 12.20, 27, 1.037, 3, 4},
+    {0.0, 0.685, 7.50, 18, 0.713, 3, 4},
+    {0.943, 0.485, 11.37, 25, 0.965, 3, 4},
+    {0.666, 0.493, 8.12, 17, 0.677, 3, 4},
+    {0.686, 0.0, 7.98, 18, 0.713, 3, 4},
+    {0.532, 0.0, 4.88, 13, 0.533, 4, 6},
+    {0.626, 0.493, 7.12, 16, 0.641, 3, 5},
+    {0.515, 0.510, 5.83, 13, 0.533, 4, 6},
+    {0.531, 0.0, 5.21, 13, 0.533, 4, 6},
+    {0.475, 0.0, 4.29, 12, 0.497, 4, 6},
+    {0.442, 0.456, 4.38, 11, 0.461, 4, 7},
+    {0.393, 0.483, 4.49, 10, 0.425, 4, 7},
+    {0.400, 0.532, 5.84, 10, 0.425, 4, 7},
+    {0.360, 0.532, 4.82, 9, 0.389, 5, 8},
+};
+
+// Table 6, in kPaperConfigs order.
+const Table6PaperRow kTable6Paper[15] = {
+    {11.06, 17.54, 1.085, 0.921}, {11.61, 25.77, 1.000, 1.000},
+    {17.72, 33.27, 1.049, 0.953}, {12.05, 17.54, 0.966, 1.035},
+    {14.05, 17.54, 0.790, 1.266}, {11.60, 18.30, 0.687, 1.456},
+    {16.01, 28.89, 0.709, 1.410}, {12.87, 17.54, 0.685, 1.460},
+    {14.75, 17.54, 0.653, 1.531}, {13.74, 17.54, 0.608, 1.645},
+    {13.77, 21.45, 0.568, 1.761}, {14.76, 17.54, 0.565, 1.770},
+    {16.91, 17.54, 0.597, 1.675}, {14.60, 17.54, 0.515, 1.942},
+    {15.84, 17.54, 0.511, 1.957},
+};
+
+namespace {
+
+// Shorthand: workload-dependent entry (enforced on the full workload only).
+PaperRef W(const char* exp, std::string row, const char* metric, double paper,
+           double tol_abs, double tol_rel = 0.0) {
+  return PaperRef{exp, std::move(row), metric, paper, tol_abs, tol_rel, true};
+}
+
+// Hardware-model entry (workload-independent; enforced in every mode).
+PaperRef H(const char* exp, std::string row, const char* metric, double paper,
+           double tol_abs, double tol_rel = 0.0) {
+  return PaperRef{exp, std::move(row), metric, paper, tol_abs, tol_rel, false};
+}
+
+std::vector<PaperRef> BuildRefs() {
+  std::vector<PaperRef> refs;
+
+  // ---- Figure 1: IPC vs machine resources (read off the figure) --------
+  {
+    const char* shapes[] = {"4+2", "6+3", "8+4", "10+5", "12+6"};
+    const double ipc[] = {3.9, 5.1, 6.2, 7.2, 8.1};
+    for (int i = 0; i < 5; ++i) {
+      refs.push_back(W("fig1", shapes[i], "ipc", ipc[i], 0.0, 0.75));
+    }
+  }
+
+  // ---- Figure 4: port-demand CDF anchors at 4 clusters -----------------
+  refs.push_back(W("fig4", "4C", "lp_le1", 87.2, 8.0));
+  refs.push_back(W("fig4", "4C", "lp_le2", 99.3, 3.0));
+  refs.push_back(W("fig4", "4C", "sp_le1", 97.3, 4.0));
+
+  // ---- Figure 6: real-memory speedups (qualitative anchors) ------------
+  refs.push_back(W("fig6", "1C32S64", "speedup", 1.46, 0.25));
+  refs.push_back(W("fig6", "4C32", "speedup", 1.39, 0.25));
+
+  // ---- Table 1: bound-class mix of the 128-register organizations ------
+  {
+    const char* rows[] = {"S128", "4C32", "1C64S64"};
+    const double pct[3][4] = {{20.0, 50.9, 29.1, 0.0},
+                              {17.6, 50.3, 29.2, 2.9},
+                              {19.2, 50.1, 29.9, 0.8}};
+    const char* metrics[] = {"pct_fu", "pct_mem", "pct_rec", "pct_comm"};
+    for (int r = 0; r < 3; ++r) {
+      for (int c = 0; c < 4; ++c) {
+        refs.push_back(W("table1", rows[r], metrics[c], pct[r][c], 10.0));
+      }
+    }
+    refs.push_back(W("table1", "4C32/S128", "cycles_rel", 1.249, 0.30));
+    refs.push_back(W("table1", "1C64S64/S128", "cycles_rel", 1.061, 0.15));
+  }
+
+  // ---- Table 2: analytic RF model at lp=sp=1 ---------------------------
+  refs.push_back(H("table2", "S128", "access_s_ns", 1.145, 0.0, 0.25));
+  refs.push_back(H("table2", "S128", "area", 14.91, 0.0, 0.45));
+  refs.push_back(H("table2", "4C32", "access_c_ns", 0.475, 0.0, 0.25));
+  refs.push_back(H("table2", "4C32", "area", 4.29, 0.0, 0.45));
+  refs.push_back(H("table2", "1C64S64", "access_c_ns", 0.979, 0.0, 0.25));
+  refs.push_back(H("table2", "1C64S64", "access_s_ns", 0.610, 0.0, 0.25));
+  refs.push_back(H("table2", "1C64S64", "area", 13.26, 0.0, 0.45));
+
+  // ---- Table 3: static evaluation with unlimited registers -------------
+  {
+    struct Row {
+      const char* org;
+      double pct, sii;
+    };
+    const Row rows[] = {
+        {"Sinf", 99.5, 5261},
+        {"1CinfSinf/inf-inf", 99.5, 5555},
+        {"2Cinf/inf-inf", 98.7, 5274},
+        {"2CinfSinf/inf-inf", 98.6, 5565},
+        {"4Cinf/inf-inf", 96.2, 5324},
+        {"4CinfSinf/inf-inf", 96.5, 5604},
+        {"8CinfSinf/inf-inf", 91.7, 5748},
+        {"1CinfSinf/4-2", 99.4, 5560},
+        {"2Cinf/1-1", 97.8, 5283},
+        {"2CinfSinf/3-1", 95.4, 5623},
+        {"4Cinf/1-1", 92.4, 5393},
+        {"4CinfSinf/2-1", 96.3, 5616},
+        {"8CinfSinf/1-1", 90.7, 5764},
+    };
+    for (const Row& r : rows) {
+      refs.push_back(W("table3", r.org, "pct_mii", r.pct, 0.0, 0.65));
+      refs.push_back(W("table3", r.org, "sigma_ii", r.sii, 0.0, 1.7));
+    }
+  }
+
+  // ---- Table 4: MIRS_HC vs the non-iterative [36] comparator -----------
+  refs.push_back(W("table4", "noniter_better", "loops", 15, 25.0));
+  refs.push_back(W("table4", "noniter_better", "sii_noniter", 300, 350.0));
+  refs.push_back(W("table4", "noniter_better", "sii_mirs", 319, 370.0));
+  refs.push_back(W("table4", "equal", "loops", 1105, 150.0));
+  refs.push_back(W("table4", "equal", "sii", 4302, 0.0, 1.8));
+  refs.push_back(W("table4", "mirs_better", "loops", 138, 90.0));
+  refs.push_back(W("table4", "mirs_better", "sii_noniter", 1736, 0.0, 0.45));
+  refs.push_back(W("table4", "mirs_better", "sii_mirs", 1475, 0.0, 0.5));
+  refs.push_back(W("table4", "total", "loops", 1258, 120.0));
+  refs.push_back(W("table4", "total", "sii_noniter", 6338, 0.0, 1.2));
+  refs.push_back(W("table4", "total", "sii_mirs", 6096, 0.0, 1.2));
+  refs.push_back(W("table4", "summary", "sii_reduction", 242, 300.0));
+
+  // ---- Table 5: hardware evaluation, both model modes ------------------
+  // The kPaperTable mode feeds the published bank values through the
+  // FO4/latency rules and must reproduce the paper's derived columns
+  // near-exactly; the analytic mode is the end-to-end model fit.
+  for (int i = 0; i < 15; ++i) {
+    const Table5PaperRow& p = kTable5Paper[i];
+    const std::string paper_row = std::string(kPaperConfigs[i].label) + "/paper";
+    const std::string ana_row = std::string(kPaperConfigs[i].label) + "/analytic";
+    if (p.access_c > 0.0) {
+      refs.push_back(H("table5", paper_row, "access_c_ns", p.access_c, 0.002));
+      refs.push_back(H("table5", ana_row, "access_c_ns", p.access_c, 0.0, 0.25));
+    }
+    if (p.access_s > 0.0) {
+      refs.push_back(H("table5", paper_row, "access_s_ns", p.access_s, 0.002));
+      refs.push_back(H("table5", ana_row, "access_s_ns", p.access_s, 0.0, 0.25));
+    }
+    refs.push_back(H("table5", paper_row, "area", p.area, 0.02));
+    refs.push_back(H("table5", ana_row, "area", p.area, 0.0, 0.25));
+    refs.push_back(H("table5", paper_row, "depth_fo4", p.depth, 0.25));
+    refs.push_back(H("table5", ana_row, "depth_fo4", p.depth, 0.0, 0.2));
+    refs.push_back(H("table5", paper_row, "clock_ns", p.clock, 0.002));
+    refs.push_back(H("table5", ana_row, "clock_ns", p.clock, 0.0, 0.15));
+    refs.push_back(H("table5", paper_row, "lat_mem", p.lat_mem, 0.25));
+    refs.push_back(H("table5", ana_row, "lat_mem", p.lat_mem, 0.0, 0.35));
+    refs.push_back(H("table5", paper_row, "lat_fu", p.lat_fu, 0.25));
+    refs.push_back(H("table5", ana_row, "lat_fu", p.lat_fu, 0.0, 0.35));
+  }
+
+  // ---- Table 6: ideal-memory evaluation relative to S64 ----------------
+  {
+    const double base_exec = kTable6Paper[1].exec;
+    const double base_traffic = kTable6Paper[1].traffic;
+    for (int i = 0; i < 15; ++i) {
+      const Table6PaperRow& p = kTable6Paper[i];
+      const char* row = kPaperConfigs[i].label;
+      refs.push_back(W("table6", row, "exec_rel", p.exec / base_exec, 0.6));
+      refs.push_back(
+          W("table6", row, "traffic_rel", p.traffic / base_traffic, 0.45));
+      refs.push_back(W("table6", row, "time_rel", p.time_rel, 0.45));
+      refs.push_back(W("table6", row, "speedup", p.speedup, 0.65));
+    }
+  }
+
+  // The ablations (budget ratio, cluster selection, bus count, prefetch
+  // policy) explore knobs the paper does not publish values for; they have
+  // rows but no reference anchors.
+  return refs;
+}
+
+}  // namespace
+
+const std::vector<PaperRef>& PaperRefs() {
+  static const std::vector<PaperRef>* refs = new std::vector<PaperRef>(BuildRefs());
+  return *refs;
+}
+
+std::vector<const PaperRef*> RefsFor(std::string_view experiment) {
+  std::vector<const PaperRef*> out;
+  for (const PaperRef& r : PaperRefs()) {
+    if (r.experiment == experiment) out.push_back(&r);
+  }
+  return out;
+}
+
+}  // namespace hcrf::experiment

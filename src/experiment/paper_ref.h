@@ -1,0 +1,100 @@
+// Published reference values of conf_ipps_ZalameaLAV03 as structured data.
+//
+// Every number the paper-reproduction experiments compare against — the
+// Table 4 loop counts, Table 5 hardware rows, the Figure 4 CDF anchors —
+// used to live as literals inside printf format strings of 13 standalone
+// bench binaries. Here they are one table shared by the experiment
+// reporters and the tests: each entry names the experiment, the report row
+// and metric it anchors, the paper's value, and a tolerance band.
+//
+// Tolerance semantics: the bands are *reproduction fidelity* bands, not
+// the paper's error bars. The workbench is a synthetic stand-in for the
+// 1258 Perfect Club loops (see DESIGN.md "Substitutions"), so workload-
+// derived absolutes (Sigma-II, IPC) land far from the published numbers
+// while hardware-model columns reproduce exactly; each band is calibrated
+// to the fidelity the reproduction actually achieves, with headroom, so a
+// failing verdict means the reproduction *regressed*, not that the paper
+// disagrees with the stand-in workbench. `workload_dependent` entries are
+// only enforced on the full workload (a --smoke slice shifts them by
+// construction and reports them as n/a).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hcrf::experiment {
+
+/// One published reference value, anchored to a (row, metric) cell of the
+/// named experiment's report.
+struct PaperRef {
+  std::string experiment;  ///< Registry name ("table4", "fig6", ...).
+  std::string row;         ///< Report row label ("4C16S16", "equal", ...).
+  std::string metric;      ///< Report metric name ("sigma_ii", "clock_ns").
+  double paper = 0.0;      ///< The published value.
+  double tol_abs = 0.0;    ///< Absolute tolerance.
+  double tol_rel = 0.0;    ///< Relative tolerance (fraction of |paper|).
+  /// True when the measured value depends on the workload (and therefore
+  /// on the --smoke slice); false for hardware-model values, which are
+  /// enforced in every mode.
+  bool workload_dependent = true;
+
+  /// Pass iff |measured - paper| <= tol_abs + tol_rel * |paper|.
+  bool Pass(double measured) const;
+};
+
+/// The full reference table, built once per process.
+const std::vector<PaperRef>& PaperRefs();
+
+/// The subset anchoring one experiment, in table order.
+std::vector<const PaperRef*> RefsFor(std::string_view experiment);
+
+/// The paper's 15 register-file configurations (Tables 5 and 6) with the
+/// published lp-sp port design rule baked into the parseable name.
+struct PaperConfig {
+  const char* name;   ///< Parseable ("1C64S32/3-2").
+  const char* label;  ///< As printed in the paper ("1C64S32").
+};
+inline constexpr PaperConfig kPaperConfigs[15] = {
+    {"S128", "S128"},
+    {"S64", "S64"},
+    {"S32", "S32"},
+    {"1C64S32/3-2", "1C64S32"},
+    {"1C32S64/4-2", "1C32S64"},
+    {"2C64/1-1", "2C64"},
+    {"2C32/1-1", "2C32"},
+    {"2C64S32/2-1", "2C64S32"},
+    {"2C32S32/3-1", "2C32S32"},
+    {"4C64/1-1", "4C64"},
+    {"4C32/1-1", "4C32"},
+    {"4C32S16/1-1", "4C32S16"},
+    {"4C16S16/2-1", "4C16S16"},
+    {"8C32S16/1-1", "8C32S16"},
+    {"8C16S16/1-1", "8C16S16"},
+};
+
+/// One row of the paper's Table 5 (hardware evaluation), aligned with
+/// kPaperConfigs. Zero access times mean "no such bank level".
+struct Table5PaperRow {
+  double access_c;  ///< Cluster-bank access time, ns.
+  double access_s;  ///< Shared-bank access time, ns.
+  double area;      ///< Total area, 1e6 lambda^2.
+  int depth;        ///< Logic depth, FO4.
+  double clock;     ///< Cycle time, ns.
+  int lat_mem;      ///< Load-hit latency, cycles.
+  int lat_fu;       ///< FP-add latency, cycles.
+};
+extern const Table5PaperRow kTable5Paper[15];
+
+/// One row of the paper's Table 6 (ideal-memory evaluation), aligned with
+/// kPaperConfigs. exec/traffic are absolute (x1e9); the experiment reports
+/// them relative to the S64 baseline row.
+struct Table6PaperRow {
+  double exec;      ///< Execution cycles, x1e9.
+  double traffic;   ///< Memory traffic, x1e9.
+  double time_rel;  ///< Execution time relative to S64.
+  double speedup;   ///< S64 time / this time.
+};
+extern const Table6PaperRow kTable6Paper[15];
+
+}  // namespace hcrf::experiment

@@ -26,6 +26,8 @@ struct LoopMetrics {
   int trf = 0;             ///< Memory ops per iteration in the final graph.
   long ops_executed = 0;   ///< Original (useful) ops * N, for IPC.
   int comm_ops = 0;
+  int loadr_ops = 0;   ///< LoadR nodes (shared->cluster copies).
+  int storer_ops = 0;  ///< StoreR nodes (cluster->shared copies).
   int spill_memory_ops = 0;
   /// Wall time actually spent on this loop (MII lookup + scheduling).
   /// With the sweep cache warm (RunOptions::reuse_mii_cache) only the

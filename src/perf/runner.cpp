@@ -173,9 +173,19 @@ LoopMetrics RunOne(const workload::Loop& loop, const MachineConfig& m,
   }
   const core::ScheduleResult sr = core::MirsHC(loop.ddg, m, mirs, overrides);
   const auto t1 = std::chrono::steady_clock::now();
+  lm = MetricsFromResult(loop, m, sr, opt.simulate_memory);
   lm.sched_seconds =
       std::chrono::duration<double>(t1 - t0).count();
+  return lm;
+}
 
+}  // namespace
+
+LoopMetrics MetricsFromResult(const workload::Loop& loop,
+                              const MachineConfig& m,
+                              const core::ScheduleResult& sr,
+                              bool simulate_memory) {
+  LoopMetrics lm;
   lm.ok = sr.ok;
   if (!sr.ok) return lm;
 
@@ -185,6 +195,8 @@ LoopMetrics RunOne(const workload::Loop& loop, const MachineConfig& m,
   lm.bound = sr.bound;
   lm.trf = sr.mem_ops_per_iter;
   lm.comm_ops = sr.stats.comm_ops;
+  lm.loadr_ops = sr.stats.loadr_ops;
+  lm.storer_ops = sr.stats.storer_ops;
   lm.spill_memory_ops = sr.stats.spill_loads + sr.stats.spill_stores;
   lm.ejections = sr.stats.ejections;
   lm.spills_inserted = sr.stats.spills_inserted;
@@ -198,14 +210,12 @@ LoopMetrics RunOne(const workload::Loop& loop, const MachineConfig& m,
   lm.mem_traffic = n_total * lm.trf;
   lm.ops_executed = static_cast<long>(loop.ddg.NumNodes()) * n_total;
 
-  if (opt.simulate_memory) {
+  if (simulate_memory) {
     const memsim::ReplayResult rr = memsim::ReplayLoop(loop, sr, m);
     lm.stall_cycles = rr.stall_cycles;
   }
   return lm;
 }
-
-}  // namespace
 
 std::vector<LoopMetrics> RunSuiteDetailed(const workload::Suite& suite,
                                           const MachineConfig& m,

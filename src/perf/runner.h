@@ -44,6 +44,19 @@ std::vector<LoopMetrics> RunSuiteDetailed(const workload::Suite& suite,
                                           const MachineConfig& m,
                                           const RunOptions& opt = {});
 
+/// Derives a loop's metrics from an already-computed schedule: the
+/// Section 2.3 formulas (useful cycles, memory traffic, ops executed) plus
+/// the memory-simulation stall cycles when `simulate_memory` is set. This
+/// is the post-scheduling half of the suite runner, shared with the
+/// experiment layer, which obtains its ScheduleResults through the
+/// cache-backed batch service instead of fresh MirsHC calls (a cache-served
+/// result yields metrics bit-identical to a fresh one). `sched_seconds` is
+/// left zero — wall time is the caller's to attribute.
+LoopMetrics MetricsFromResult(const workload::Loop& loop,
+                              const MachineConfig& m,
+                              const core::ScheduleResult& result,
+                              bool simulate_memory = false);
+
 SuiteMetrics RunSuite(const workload::Suite& suite, const MachineConfig& m,
                       const RunOptions& opt = {});
 

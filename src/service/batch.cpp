@@ -110,7 +110,8 @@ BatchReport RunBatch(const std::vector<BatchRequest>& requests,
     item.id = req.id;
     const auto t0 = std::chrono::steady_clock::now();
     const CacheKey key =
-        cache ? MakeCacheKey(req.loop->ddg, req.machine, req.options)
+        cache ? MakeCacheKey(req.loop->ddg, req.machine, req.options,
+                             req.overrides)
               : CacheKey{};
     if (cache) {
       if (std::optional<core::ScheduleResult> hit = cache->Get(key)) {
@@ -126,9 +127,11 @@ BatchReport RunBatch(const std::vector<BatchRequest>& requests,
         // resource counts — not the RF organization — so the process-wide
         // sweep cache shares it across the configurations of a
         // design-space sweep (and across repeated batches in-process).
-        mirs.precomputed_mii = perf::CachedMii(req.loop->ddg, req.machine);
+        mirs.precomputed_mii =
+            perf::CachedMii(req.loop->ddg, req.machine, req.overrides);
       }
-      item.result = core::MirsHC(req.loop->ddg, req.machine, mirs);
+      item.result =
+          core::MirsHC(req.loop->ddg, req.machine, mirs, req.overrides);
       item.ok = item.result.ok;
       if (cache) cache->Put(key, item.result);
     }

@@ -27,6 +27,7 @@
 #include "core/mirs.h"
 #include "hwmodel/characterize.h"
 #include "machine/machine_config.h"
+#include "sched/lifetime.h"
 #include "service/sched_cache.h"
 #include "workload/workload.h"
 
@@ -63,6 +64,11 @@ struct BatchRequest {
   std::shared_ptr<const workload::Loop> loop;
   MachineConfig machine;
   core::MirsOptions options;
+  /// Per-load producer-latency overrides (binding prefetching, see
+  /// memsim::ClassifyBindingPrefetch) on the ids of `loop`. Part of the
+  /// cache key: a prefetch run must never share an entry with a
+  /// base-latency run of the same loop.
+  sched::LatencyOverrides overrides;
 };
 
 struct BatchOptions {

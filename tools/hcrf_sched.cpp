@@ -9,6 +9,7 @@
 //   hcrf_sched cache-stats <dir>               census of a schedule cache
 //   hcrf_sched smoke <manifest>                cold+warm cache self-check
 //   hcrf_sched bench [options]                 engine A/B perf baseline
+//   hcrf_sched repro [options]                 paper-reproduction experiments
 //
 // Run `hcrf_sched help` for per-command options. Exit status: 0 on
 // success, 1 on bad usage / failed requests / failed self-check.
@@ -24,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "experiment/experiment.h"
+#include "experiment/run.h"
 #include "hwmodel/characterize.h"
 #include "io/hcl.h"
 #include "machine/machine_config.h"
@@ -85,6 +88,19 @@ commands:
                            record a comparison against a separately timed
                            older binary (e.g. the pre-PR engine) in the
                            report's pre_pr block
+  repro                  run the registered paper-reproduction experiments
+                         (figures 1/4/6, tables 1-6, the ablations) through
+                         the cache-backed batch service and render the
+                         delta-vs-paper report with pass/fail verdicts
+      --list               list the registered experiments and exit
+      --only=A,B           run a subset (names from --list)
+      --out=DIR            write repro.csv and repro.md (default .)
+      --cache=DIR          persistent schedule cache
+      --threads=N --quiet
+      --smoke              bounded slice of each experiment, cold run then
+                           warm run against a fresh cache; the warm run
+                           must be fully cache-served with bit-identical
+                           reports
 )");
   return 1;
 }
@@ -665,6 +681,171 @@ int CmdBench(const Args& args) {
   return 0;
 }
 
+void PrintReproSummary(const experiment::ReproReport& report,
+                       const std::string& cache_dir) {
+  int cells = 0, failed_cells = 0;
+  for (const experiment::ExperimentResult& e : report.experiments) {
+    cells += e.cells;
+    failed_cells += e.cells_failed;
+  }
+  std::printf(
+      "repro: %zu experiments, %d cells in %d deduplicated requests, "
+      "%d scheduled, %d cache hits, %d failed cells, %.3f s wall\n",
+      report.experiments.size(), cells, report.requests, report.scheduled,
+      report.hits, failed_cells, report.seconds);
+  if (!cache_dir.empty()) {
+    std::printf("cache: %ld hits, %ld misses, %ld rejects, %ld writes (%s)\n",
+                report.cache.hits, report.cache.misses, report.cache.rejects,
+                report.cache.writes, cache_dir.c_str());
+  }
+  int na = 0;
+  for (const experiment::ExperimentResult& e : report.experiments) {
+    for (const experiment::RefCheck& c : e.refs) {
+      if (!c.enforced) ++na;
+    }
+  }
+  std::printf("refs: %d checked, %d pass, %d out of tolerance, %d n/a\n",
+              report.RefChecks(), report.RefPasses(), report.ref_failures,
+              na);
+  for (const experiment::ExperimentResult& e : report.experiments) {
+    for (const experiment::RefCheck& c : e.refs) {
+      if (c.enforced && !c.passed) {
+        std::fprintf(stderr, "repro: %s %s/%s: measured %g vs paper %g (%s)\n",
+                     e.name.c_str(), c.ref->row.c_str(),
+                     c.ref->metric.c_str(), c.measured, c.ref->paper,
+                     c.verdict.c_str());
+      }
+    }
+  }
+}
+
+// Runs the registered paper-reproduction experiments through the batch
+// service. `--smoke` is the subsystem's acceptance check: bounded slices,
+// cold run then warm run against a fresh cache; the warm run must be
+// served entirely from the cache with byte-identical CSV/markdown.
+int CmdRepro(const Args& args) {
+  if (!args.positional.empty() ||
+      !CheckFlags(args, {"list", "only", "out", "cache", "threads", "quiet",
+                         "smoke"})) {
+    return Usage();
+  }
+  if (args.Flag("list") != nullptr) {
+    std::printf("%-20s %-9s %-28s %s\n", "name", "cells", "workload",
+                "title");
+    for (const experiment::Experiment& e : experiment::Registry()) {
+      const std::string workload =
+          e.workload.suite.empty()
+              ? "hardware model only"
+              : e.workload.suite +
+                    (e.workload.slice > 0
+                         ? "[" + std::to_string(e.workload.slice) + "]"
+                         : "") +
+                    " x " + std::to_string(e.machines.size()) + "m x " +
+                    std::to_string(e.engines.size()) + "e";
+      std::printf("%-20s %-9zu %-28s %s\n", e.name.c_str(),
+                  e.CellsPerLoop(), workload.c_str(), e.title.c_str());
+    }
+    return 0;
+  }
+
+  std::vector<const experiment::Experiment*> selection;
+  if (const std::string* only = args.Flag("only")) {
+    size_t start = 0;
+    while (start <= only->size()) {
+      const size_t comma = only->find(',', start);
+      const std::string name = only->substr(
+          start,
+          comma == std::string::npos ? std::string::npos : comma - start);
+      if (!name.empty()) {
+        const experiment::Experiment* e = experiment::FindExperiment(name);
+        if (e == nullptr) {
+          std::fprintf(stderr,
+                       "hcrf_sched: unknown experiment '%s' (see repro "
+                       "--list)\n",
+                       name.c_str());
+          return 1;
+        }
+        selection.push_back(e);
+      }
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    if (selection.empty()) {
+      std::fprintf(stderr, "hcrf_sched: --only selected no experiments\n");
+      return 1;
+    }
+  }
+
+  experiment::ReproOptions ropt;
+  ropt.smoke = args.Flag("smoke") != nullptr;
+  if (const std::string* c = args.Flag("cache")) ropt.cache_dir = *c;
+  if (const std::string* t = args.Flag("threads")) {
+    ropt.threads = ParseIntFlag("threads", *t);
+  }
+
+  std::error_code ec;
+  if (ropt.smoke) {
+    // Same cold-cache contract as the other smoke commands: never delete a
+    // user-supplied directory, refuse one with existing contents.
+    if (ropt.cache_dir.empty()) {
+      ropt.cache_dir =
+          (fs::temp_directory_path() /
+           ("hcrf-repro-smoke-" + std::to_string(::getpid())))
+              .string();
+      fs::remove_all(ropt.cache_dir, ec);
+    } else if (fs::exists(ropt.cache_dir, ec) &&
+               !fs::is_empty(ropt.cache_dir, ec)) {
+      std::fprintf(stderr,
+                   "repro --smoke: --cache=%s exists and is not empty; the "
+                   "cold run needs a fresh cache\n",
+                   ropt.cache_dir.c_str());
+      return 1;
+    }
+  }
+
+  const experiment::ReproReport report =
+      experiment::RunExperiments(selection, ropt);
+  const std::string csv = experiment::ReproCsv(report);
+  const std::string md = experiment::ReproMarkdown(report);
+  PrintReproSummary(report, ropt.cache_dir);
+
+  bool ok = report.ref_failures == 0;
+  if (ropt.smoke) {
+    const experiment::ReproReport warm =
+        experiment::RunExperiments(selection, ropt);
+    PrintReproSummary(warm, ropt.cache_dir);
+    if (warm.scheduled != 0 || warm.hits != warm.requests) {
+      std::fprintf(stderr,
+                   "repro --smoke: warm run expected all cache hits, got %d "
+                   "hits / %d scheduled of %d requests\n",
+                   warm.hits, warm.scheduled, warm.requests);
+      ok = false;
+    }
+    if (experiment::ReproCsv(warm) != csv ||
+        experiment::ReproMarkdown(warm) != md) {
+      std::fprintf(stderr,
+                   "repro --smoke: warm reports differ from cold reports\n");
+      ok = false;
+    }
+    if (warm.ref_failures != 0) ok = false;
+    if (args.Flag("cache") == nullptr) fs::remove_all(ropt.cache_dir, ec);
+    std::printf("repro smoke: %s\n", ok ? "PASS" : "FAIL");
+  }
+
+  const std::string* out_dir = args.Flag("out");
+  const std::string dir = out_dir != nullptr ? *out_dir : ".";
+  fs::create_directories(dir, ec);
+  const std::string csv_path = (fs::path(dir) / "repro.csv").string();
+  const std::string md_path = (fs::path(dir) / "repro.md").string();
+  io::WriteFileAtomic(csv_path, csv);
+  io::WriteFileAtomic(md_path, md);
+  std::printf("reports: %s %s\n", csv_path.c_str(), md_path.c_str());
+  if (args.Flag("quiet") == nullptr) {
+    std::fwrite(md.data(), 1, md.size(), stdout);
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -681,6 +862,7 @@ int main(int argc, char** argv) {
     if (cmd == "cache-stats") return CmdCacheStats(args);
     if (cmd == "smoke") return CmdSmoke(args);
     if (cmd == "bench") return CmdBench(args);
+    if (cmd == "repro") return CmdRepro(args);
     if (cmd == "help" || cmd == "--help" || cmd == "-h") {
       Usage();
       return 0;
