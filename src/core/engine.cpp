@@ -1,11 +1,13 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "core/check.h"
 #include "core/debug.h"
 #include "ddg/mii.h"
+#include "perf/thread_pool.h"
 #include "sched/banks.h"
 #include "sched/mrt.h"
 #include "sched/validate.h"
@@ -15,37 +17,62 @@ namespace hcrf::core {
 using sched::BankId;
 using sched::kSharedBank;
 
-EngineDriver::EngineDriver(const DDG& loop, const MachineConfig& m,
-                           const MirsOptions& opt,
-                           const sched::LatencyOverrides& base_overrides)
-    : original_(loop),
+namespace {
+
+/// Field-wise merge of per-attempt stat deltas. Escalation-order merging of
+/// exact per-attempt sums reproduces the serial driver's running totals
+/// bit-for-bit: the long counters trivially, and the doubles because every
+/// increment (1.0 spends, budget_ratio-multiple grants) is exactly
+/// representable at workload magnitudes, making the sums associative.
+void Accumulate(ScheduleStats& into, const ScheduleStats& d) {
+  into.attempts += d.attempts;
+  into.ejections += d.ejections;
+  into.force_places += d.force_places;
+  into.restarts += d.restarts;
+  into.comm_ops += d.comm_ops;
+  into.spill_stores += d.spill_stores;
+  into.spill_loads += d.spill_loads;
+  into.storer_ops += d.storer_ops;
+  into.loadr_ops += d.loadr_ops;
+  into.move_ops += d.move_ops;
+  into.spills_inserted += d.spills_inserted;
+  into.chains_built += d.chains_built;
+  into.chains_undone += d.chains_undone;
+  into.budget_spent += d.budget_spent;
+  into.budget_granted += d.budget_granted;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AttemptContext
+// ---------------------------------------------------------------------------
+
+AttemptContext::AttemptContext(const DDG& original, const MachineConfig& m,
+                               const MirsOptions& opt,
+                               const sched::LatencyOverrides& base_overrides,
+                               const std::vector<NodeId>& order)
+    : original_(original),
       m_(m),
       opt_(opt),
       base_overrides_(base_overrides),
-      st_(m_),
+      order_(order),
+      st_(m),
       instr_(opt.event_sink),
       comm_(st_, *this, instr_),
       spill_policy_(opt.spill_policy
                         ? opt.spill_policy
                         : std::make_shared<const LongestPerUseSpillPolicy>()),
       spill_(st_, *this, *spill_policy_, instr_),
-      ordering_(opt.ordering ? opt.ordering
-                             : std::make_shared<const HrmsOrderPolicy>()),
       selector_(opt.cluster_selector ? opt.cluster_selector()
                                      : MakeClusterSelector(opt.cluster_policy)) {
-  // Canonicalize the overrides: trailing zero entries are behaviorally
-  // inert (LatencyOverrides::For falls back) but would leak into the
-  // serialized result, and the schedule cache keys padding-equivalent
-  // requests together, so their dumps must be bit-identical.
-  std::vector<int>& pl = base_overrides_.producer_latency;
-  while (!pl.empty() && pl.back() <= 0) pl.pop_back();
 }
 
 // ---------------------------------------------------------------------------
 // NodePlacer services
 // ---------------------------------------------------------------------------
 
-NodeId EngineDriver::CreateNode(Node n, double priority) {
+NodeId AttemptContext::CreateNode(Node n, double priority) {
   n.inserted = true;
   const NodeId id = st_.g.AddNode(std::move(n));
   st_.GrowTo(id);
@@ -57,7 +84,7 @@ NodeId EngineDriver::CreateNode(Node n, double priority) {
   return id;
 }
 
-bool EngineDriver::PlaceNode(NodeId u, int cluster, int src_cluster) {
+bool AttemptContext::PlaceNode(NodeId u, int cluster, int src_cluster) {
   if (budget_.exhausted()) return false;
   const int ii = st_.ii();
   const auto needs =
@@ -167,7 +194,7 @@ bool EngineDriver::PlaceNode(NodeId u, int cluster, int src_cluster) {
 // Ejection
 // ---------------------------------------------------------------------------
 
-void EngineDriver::Eject(NodeId victim) {
+void AttemptContext::Eject(NodeId victim) {
   if (!st_.g.IsAlive(victim)) return;
   if (st_.IsCommChainNode(victim)) {
     // Ejecting a communication node means redoing the consumer's
@@ -178,7 +205,7 @@ void EngineDriver::Eject(NodeId victim) {
   EjectScheduledNode(victim);
 }
 
-void EngineDriver::EjectScheduledNode(NodeId v) {
+void AttemptContext::EjectScheduledNode(NodeId v) {
   if (!st_.sched->IsScheduled(v)) return;
   st_.Unplace(v);
   st_.MarkUnscheduled(v);
@@ -206,7 +233,7 @@ void EngineDriver::EjectScheduledNode(NodeId v) {
 // Cluster selection (structural constraints, then policy)
 // ---------------------------------------------------------------------------
 
-int EngineDriver::SelectCluster(NodeId u) {
+int AttemptContext::SelectCluster(NodeId u) {
   const RFConfig& rf = m_.rf;
   if (!rf.HasClusters()) return 0;
   const Node& n = st_.g.node(u);
@@ -251,10 +278,11 @@ int EngineDriver::SelectCluster(NodeId u) {
 }
 
 // ---------------------------------------------------------------------------
-// Main loops
+// One II attempt
 // ---------------------------------------------------------------------------
 
-bool EngineDriver::TryII(int ii) {
+AttemptStatus AttemptContext::TryII(int ii, const SpeculationToken* cancel) {
+  if (cancel != nullptr && cancel->Cancels(ii)) return AttemptStatus::kCancelled;
   st_.Reset(original_, base_overrides_, ii, opt_.incremental);
   comm_.Reset();
   spill_.Reset();
@@ -271,7 +299,15 @@ bool EngineDriver::TryII(int ii) {
 
   while (true) {
     while (st_.num_unscheduled > 0) {
-      if (st_.churning) return false;  // livelocked ping-pong: bump the II
+      // Cancellation point: once a strictly lower II has validated this
+      // attempt is moot, wherever it stands — including mid-ejection-cascade
+      // (the next TryII resets the context wholesale).
+      if (cancel != nullptr && cancel->Cancels(ii)) {
+        return AttemptStatus::kCancelled;
+      }
+      if (st_.churning) {
+        return AttemptStatus::kFailed;  // livelocked ping-pong: bump the II
+      }
       if (budget_.exhausted()) {
         if (DebugEnabled()) {
           std::fprintf(stderr, "[hcrf] %s II=%d budget exhausted (%d left)\n",
@@ -286,7 +322,7 @@ bool EngineDriver::TryII(int ii) {
             }
           }
         }
-        return false;
+        return AttemptStatus::kFailed;
       }
       const NodeId u = st_.PickHighestPriority();
       HCRF_CHECK(u != kNoNode,
@@ -304,7 +340,9 @@ bool EngineDriver::TryII(int ii) {
           src_cluster = st_.sched->ClusterOf(producers.front().src);
         }
       }
-      if (!comm_.EnsureCommunication(u, cluster)) return false;
+      if (!comm_.EnsureCommunication(u, cluster)) {
+        return AttemptStatus::kFailed;
+      }
       // Building u's communication can force-place chain nodes, whose
       // ejection cascade may dissolve the very chain u belongs to and
       // garbage-collect u. A tombstoned node must not be placed: the
@@ -312,7 +350,7 @@ bool EngineDriver::TryII(int ii) {
       // "placement of undefined node" that the strict result parser (and
       // so the schedule cache) rejects.
       if (!st_.g.IsAlive(u)) continue;
-      if (!PlaceNode(u, cluster, src_cluster)) return false;
+      if (!PlaceNode(u, cluster, src_cluster)) return AttemptStatus::kFailed;
       // Register-pressure checks are O(values); checking every few
       // placements (and always when the list drains) keeps the paper's
       // incremental-spill behaviour at a fraction of the cost.
@@ -330,7 +368,7 @@ bool EngineDriver::TryII(int ii) {
     spill_.SinkReloads();
     spill_.CheckAndInsert();
     if (st_.num_unscheduled > 0) {
-      if (budget_.exhausted()) return false;
+      if (budget_.exhausted()) return AttemptStatus::kFailed;
       continue;
     }
     break;
@@ -342,7 +380,7 @@ bool EngineDriver::TryII(int ii) {
   const bool cluster_bounded = !rf.UnboundedClusterRegs() && rf.clusters > 0;
   if (shared_bounded || cluster_bounded) {
     if (st_.pressure.attached() && PressureCrossCheckEnabled()) {
-      st_.pressure.CrossValidate("EngineDriver::TryII final check");
+      st_.pressure.CrossValidate("AttemptContext::TryII final check");
     }
     const sched::PressureReport pr =
         st_.pressure.attached()
@@ -365,7 +403,7 @@ bool EngineDriver::TryII(int ii) {
           }
         }
       }
-      return false;
+      return AttemptStatus::kFailed;
     }
     for (int c = 0; cluster_bounded && c < rf.clusters; ++c) {
       if (pr.cluster_maxlive[static_cast<size_t>(c)] >
@@ -376,7 +414,7 @@ bool EngineDriver::TryII(int ii) {
                        original_.name().c_str(), ii, c,
                        pr.cluster_maxlive[static_cast<size_t>(c)]);
         }
-        return false;
+        return AttemptStatus::kFailed;
       }
     }
   }
@@ -387,70 +425,260 @@ bool EngineDriver::TryII(int ii) {
     std::fprintf(stderr, "[hcrf] %s II=%d validation failed: %s\n",
                  original_.name().c_str(), ii, vr.error.c_str());
   }
-  return vr.ok;
+  return vr.ok ? AttemptStatus::kScheduled : AttemptStatus::kFailed;
 }
 
-ScheduleResult EngineDriver::Run() {
+ScheduleResult AttemptContext::Finalize(const MIIInfo& mii, int ii) {
   ScheduleResult res;
-  const MIIInfo mii =
-      opt_.precomputed_mii ? *opt_.precomputed_mii : ComputeMII(original_, m_);
+  res.ok = true;
+  res.ii = ii;
   res.res_mii = mii.res_mii;
   res.rec_mii = mii.rec_mii;
   res.mii = mii.MII();
+  // Scheduling is done: stop tracking before Normalize shifts cycles
+  // and the graph/schedule are moved into the result.
+  st_.pressure.Detach();
+  st_.sched->Normalize();
+  res.sc = st_.sched->StageCount();
+  res.stats = instr_.stats();
+  res.stats.restarts = ii - res.mii;
+  // Count communication and memory ops in the final graph.
+  res.stats.comm_ops = 0;
+  res.stats.loadr_ops = 0;
+  res.stats.storer_ops = 0;
+  res.stats.move_ops = 0;
+  res.stats.spill_loads = 0;
+  res.stats.spill_stores = 0;
+  res.mem_ops_per_iter = 0;
+  for (NodeId v = 0; v < st_.g.NumSlots(); ++v) {
+    if (!st_.g.IsAlive(v)) continue;
+    const Node& n = st_.g.node(v);
+    if (IsCommunication(n.op)) {
+      ++res.stats.comm_ops;
+      if (n.op == OpClass::kLoadR) ++res.stats.loadr_ops;
+      if (n.op == OpClass::kStoreR) ++res.stats.storer_ops;
+      if (n.op == OpClass::kMove) ++res.stats.move_ops;
+    }
+    if (IsMemory(n.op)) {
+      ++res.mem_ops_per_iter;
+      if (n.spill) {
+        if (n.op == OpClass::kLoad) ++res.stats.spill_loads;
+        if (n.op == OpClass::kStore) ++res.stats.spill_stores;
+      }
+    }
+  }
+  const int rec_final = RecMII(st_.g, m_.lat);
+  res.bound = ClassifyBound(st_.g, m_, ii, rec_final);
+  res.graph = std::move(st_.g);
+  res.schedule = std::move(*st_.sched);
+  res.overrides = std::move(st_.overrides);
+  return res;
+}
 
+// ---------------------------------------------------------------------------
+// EngineDriver: serial escalation and speculative II racing
+// ---------------------------------------------------------------------------
+
+EngineDriver::EngineDriver(const DDG& loop, const MachineConfig& m,
+                           const MirsOptions& opt,
+                           const sched::LatencyOverrides& base_overrides)
+    : original_(loop),
+      m_(m),
+      opt_(opt),
+      base_overrides_(base_overrides),
+      ordering_(opt.ordering ? opt.ordering
+                             : std::make_shared<const HrmsOrderPolicy>()) {
+  // Canonicalize the overrides: trailing zero entries are behaviorally
+  // inert (LatencyOverrides::For falls back) but would leak into the
+  // serialized result, and the schedule cache keys padding-equivalent
+  // requests together, so their dumps must be bit-identical.
+  std::vector<int>& pl = base_overrides_.producer_latency;
+  while (!pl.empty() && pl.back() <= 0) pl.pop_back();
+}
+
+ScheduleResult EngineDriver::Run() {
+  const MIIInfo mii =
+      opt_.precomputed_mii ? *opt_.precomputed_mii : ComputeMII(original_, m_);
   order_ = ordering_->Order(original_, m_);
+  // Event-sink callbacks must stay single-threaded and attempt-ordered, so
+  // any observed run takes the serial path.
+  const bool speculative =
+      opt_.speculate_k >= 2 && opt_.event_sink == nullptr;
+  return speculative ? RunSpeculative(mii) : RunSerial(mii);
+}
 
-  int consecutive_failures = 0;
-  for (int ii = res.mii; ii <= opt_.max_ii;
-       ii += consecutive_failures > 24 ? std::max(1, ii / 8) : 1) {
-    if (TryII(ii)) {
-      res.ok = true;
-      res.ii = ii;
-      // Scheduling is done: stop tracking before Normalize shifts cycles
-      // and the graph/schedule are moved into the result.
-      st_.pressure.Detach();
-      st_.sched->Normalize();
-      res.sc = st_.sched->StageCount();
-      res.stats = instr_.stats();
-      res.stats.restarts = ii - res.mii;
-      // Count communication and memory ops in the final graph.
-      res.stats.comm_ops = 0;
-      res.stats.loadr_ops = 0;
-      res.stats.storer_ops = 0;
-      res.stats.move_ops = 0;
-      res.stats.spill_loads = 0;
-      res.stats.spill_stores = 0;
-      res.mem_ops_per_iter = 0;
-      for (NodeId v = 0; v < st_.g.NumSlots(); ++v) {
-        if (!st_.g.IsAlive(v)) continue;
-        const Node& n = st_.g.node(v);
-        if (IsCommunication(n.op)) {
-          ++res.stats.comm_ops;
-          if (n.op == OpClass::kLoadR) ++res.stats.loadr_ops;
-          if (n.op == OpClass::kStoreR) ++res.stats.storer_ops;
-          if (n.op == OpClass::kMove) ++res.stats.move_ops;
-        }
-        if (IsMemory(n.op)) {
-          ++res.mem_ops_per_iter;
-          if (n.spill) {
-            if (n.op == OpClass::kLoad) ++res.stats.spill_loads;
-            if (n.op == OpClass::kStore) ++res.stats.spill_stores;
-          }
+ScheduleResult EngineDriver::FailResult(const MIIInfo& mii,
+                                        const ScheduleStats& stats) const {
+  ScheduleResult res;
+  res.ok = false;
+  res.res_mii = mii.res_mii;
+  res.rec_mii = mii.rec_mii;
+  res.mii = mii.MII();
+  res.stats = stats;
+  return res;
+}
+
+ScheduleResult EngineDriver::RunSerial(const MIIInfo& mii) {
+  AttemptContext ctx(original_, m_, opt_, base_overrides_, order_);
+  int failures = 0;
+  for (int ii = mii.MII(); ii <= opt_.max_ii;) {
+    if (ctx.TryII(ii) == AttemptStatus::kScheduled) {
+      return ctx.Finalize(mii, ii);
+    }
+    ++failures;
+    const int next = NextCandidateII(ii, failures);
+    ctx.instr().IIRestart(next);
+    ii = next;
+  }
+  return FailResult(mii, ctx.instr().stats());
+}
+
+ScheduleResult EngineDriver::RunSpeculative(const MIIInfo& mii) {
+  perf::SpeculationPool& pool = perf::SpeculationPool::Shared();
+  // On a worker-less pool every attempt runs on this thread anyway, so all
+  // slots share ONE context — the serial driver's cache behaviour (one hot
+  // working graph + MRT) instead of cycling k cold ones.
+  const bool inline_serial = pool.num_workers() == 0;
+  std::vector<std::unique_ptr<AttemptContext>> ctxs;  // reused across waves
+  SpeculationTelemetry spec;
+  // Stats of the failed waves so far, merged in escalation order (the
+  // serial driver's running totals at the same point of the walk).
+  ScheduleStats carry;
+
+  // Per-wave buffers, reused so the escalation loop of a deep walk does
+  // not allocate per wave.
+  std::vector<int> wave;
+  std::vector<AttemptStatus> status;
+  std::vector<ScheduleStats> attempt_stats;
+  std::vector<double> seconds;
+
+  int failures = 0;
+  int next_ii = mii.MII();
+  bool first_wave = true;
+  while (next_ii <= opt_.max_ii) {
+    // Assemble the wave: the next `width` candidates of the serial
+    // escalation sequence. The first wave tries MII alone unless eager
+    // racing is requested — most loops schedule at MII and racing them
+    // would only burn pool slots.
+    const int width = (first_wave && !opt_.speculate_eager)
+                          ? 1
+                          : std::max(2, opt_.speculate_k);
+    first_wave = false;
+    wave.clear();
+    int ii = next_ii;
+    int f = failures;
+    while (static_cast<int>(wave.size()) < width && ii <= opt_.max_ii) {
+      wave.push_back(ii);
+      ++f;
+      ii = NextCandidateII(wave.back(), f);
+    }
+    const size_t n = wave.size();
+    const size_t slots = inline_serial ? 1 : n;
+    if (ctxs.size() < slots) ctxs.resize(slots);  // slots fill lazily below
+
+    status.assign(n, AttemptStatus::kFailed);
+    attempt_stats.assign(n, ScheduleStats{});
+    seconds.assign(n, 0.0);
+    SpeculationToken token;
+    const auto run_one = [&](size_t i, const SpeculationToken* cancel) {
+      // Cancelled before starting (a lower II already validated while this
+      // slot sat in the queue): skip even the context construction — on an
+      // undersubscribed pool the above-winner slots cost nothing.
+      if (cancel != nullptr && cancel->Cancels(wave[i])) {
+        status[i] = AttemptStatus::kCancelled;
+        return;
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      std::unique_ptr<AttemptContext>& slot = ctxs[inline_serial ? 0 : i];
+      if (slot == nullptr) {
+        // Each slot index is touched by exactly one task of the wave, so
+        // the lazy fill is race-free.
+        slot = std::make_unique<AttemptContext>(original_, m_, opt_,
+                                                base_overrides_, order_);
+      }
+      slot->instr().ResetStats();  // capture this attempt's deltas only
+      status[i] = slot->TryII(wave[i], cancel);
+      attempt_stats[i] = slot->instr().stats();
+      if (status[i] == AttemptStatus::kScheduled) token.Commit(wave[i]);
+      seconds[i] = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    };
+    if (n == 1) {
+      run_one(0, nullptr);
+    } else if (pool.num_workers() == 0) {
+      // Worker-less pool (single-core host): racing degrades to the serial
+      // walk — run the candidates ascending on this thread; once one
+      // validates, the slots above it cancel at entry, so the queue
+      // round-trip would buy nothing.
+      spec.raced += static_cast<int>(n) - 1;
+      for (size_t i = 0; i < n; ++i) run_one(i, &token);
+    } else {
+      spec.raced += static_cast<int>(n) - 1;
+      perf::TaskGroup group(pool);
+      for (size_t i = 1; i < n; ++i) {
+        group.Submit([&run_one, &token, i] { run_one(i, &token); });
+      }
+      // The lowest candidate — the one most likely to be the answer — runs
+      // on the calling thread; RunAndWait then steals any still-queued
+      // sibling, so a saturated pool degrades to serial.
+      run_one(0, &token);
+      group.RunAndWait();
+    }
+    for (double s : seconds) spec.attempt_seconds += s;
+
+    size_t win = n;
+    for (size_t i = 0; i < n; ++i) {
+      if (status[i] == AttemptStatus::kScheduled) {
+        win = i;
+        break;
+      }
+    }
+    if (win < n) {
+      if (n > 1 && win > 0) ++spec.raced_wins;
+      // Commit: merge the failed candidates below the winner, then the
+      // winner itself, onto the carried totals — exactly the serial walk's
+      // accumulation order — and let the winner's context finalize.
+      ScheduleStats merged = carry;
+      for (size_t i = 0; i < win; ++i) {
+        HCRF_CHECK(status[i] == AttemptStatus::kFailed,
+                   "attempt below the winning II was cancelled (ii=%d, "
+                   "winner=%d): cancellation requires a success strictly "
+                   "below, which the winner refutes",
+                   wave[i], wave[win]);
+        Accumulate(merged, attempt_stats[i]);
+      }
+      Accumulate(merged, attempt_stats[win]);
+      for (size_t i = win + 1; i < n; ++i) {
+        if (status[i] == AttemptStatus::kCancelled) {
+          ++spec.cancelled;
+        } else {
+          ++spec.discarded;
         }
       }
-      const int rec_final = RecMII(st_.g, m_.lat);
-      res.bound = ClassifyBound(st_.g, m_, ii, rec_final);
-      res.graph = std::move(st_.g);
-      res.schedule = std::move(*st_.sched);
-      res.overrides = std::move(st_.overrides);
+      // The context that ran the winning attempt (shared slot 0 when the
+      // pool is worker-less: slots above the winner cancelled at entry, so
+      // its last TryII is the winner's).
+      AttemptContext& wctx = *ctxs[inline_serial ? 0 : win];
+      wctx.instr().stats() = merged;
+      ScheduleResult res = wctx.Finalize(mii, wave[win]);
+      res.spec = spec;
       return res;
     }
-    ++consecutive_failures;
-    instr_.IIRestart(ii +
-                     (consecutive_failures > 24 ? std::max(1, ii / 8) : 1));
+
+    // Whole wave failed: carry every attempt's stats forward and continue
+    // the escalation where the serial walk would.
+    for (size_t i = 0; i < n; ++i) {
+      HCRF_CHECK(status[i] == AttemptStatus::kFailed,
+                 "attempt at II=%d cancelled without any success in the wave",
+                 wave[i]);
+      Accumulate(carry, attempt_stats[i]);
+    }
+    failures = f;
+    next_ii = ii;
   }
-  res.ok = false;
-  res.stats = instr_.stats();
+  ScheduleResult res = FailResult(mii, carry);
+  res.spec = spec;
   return res;
 }
 

@@ -3,12 +3,22 @@
 // backtracking. The heuristics live in the policy layer (policies.h),
 // cross-bank edge rewriting in the communication rewriter (comm_rewrite.h),
 // register-pressure handling in the spill engine (spill.h), and counters /
-// events in the instrumentation layer (instrument.h). The driver is the
-// only layer that mutates the reservation table through placement, so it
-// implements NodePlacer for the others.
+// events in the instrumentation layer (instrument.h).
+//
+// Since PR 6 the per-attempt machinery is packaged as an AttemptContext: a
+// fully self-contained bundle of everything one II attempt mutates (working
+// graph, schedule/MRT, priority list, comm rewriter, spill engine, cluster
+// selector, budget, instrumentation, scratch buffers). The serial driver
+// reuses one context across the escalation walk exactly as before; the
+// speculative driver races several contexts — one per candidate II — on the
+// process-wide perf::SpeculationPool and commits the lowest II that
+// validates, with bit-identical schedules AND stats (every candidate below
+// the winner still runs and its counters merge in escalation order).
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -55,21 +65,64 @@ struct BudgetAccount {
   void Spend(double amount) { remaining -= amount; }
 };
 
-class EngineDriver : public NodePlacer {
+/// Cancellation token shared by the attempts of one speculative race: the
+/// lowest II that has validated so far. An attempt at a higher II is moot
+/// once a lower one succeeds, so it aborts at its next scheduling step —
+/// including in the middle of an ejection cascade (the context is simply
+/// Reset by its next TryII). Attempts at IIs *below* every success are
+/// never cancelled: their failure is part of the serial-equivalent stats.
+class SpeculationToken {
  public:
-  EngineDriver(const DDG& loop, const MachineConfig& m, const MirsOptions& opt,
-               const sched::LatencyOverrides& base_overrides);
+  /// True when a strictly lower II has already validated.
+  bool Cancels(int ii) const {
+    return best_ii_.load(std::memory_order_relaxed) < ii;
+  }
+  /// Records a validated II (keeps the minimum).
+  void Commit(int ii) {
+    int cur = best_ii_.load(std::memory_order_relaxed);
+    while (ii < cur &&
+           !best_ii_.compare_exchange_weak(cur, ii,
+                                           std::memory_order_relaxed)) {
+    }
+  }
 
-  /// Runs the II-escalation loop from MII to opt.max_ii.
-  ScheduleResult Run();
+ private:
+  std::atomic<int> best_ii_{std::numeric_limits<int>::max()};
+};
+
+/// Outcome of one II attempt.
+enum class AttemptStatus : std::uint8_t { kScheduled, kFailed, kCancelled };
+
+/// Everything one II attempt owns and mutates. A context is reusable
+/// (TryII resets it) and fully self-contained — no state is shared between
+/// two contexts beyond the immutable inputs (original graph, machine,
+/// options, canonicalized overrides, node order), which is what makes
+/// racing contexts on concurrent threads sound. The context is the only
+/// layer that mutates the reservation table through placement, so it
+/// implements NodePlacer for the comm rewriter and spill engine it owns.
+class AttemptContext : public NodePlacer {
+ public:
+  AttemptContext(const DDG& original, const MachineConfig& m,
+                 const MirsOptions& opt,
+                 const sched::LatencyOverrides& base_overrides,
+                 const std::vector<NodeId>& order);
+
+  /// Runs one scheduling attempt at `ii` from a fresh state. `cancel`
+  /// (optional) aborts the attempt as soon as a strictly lower II commits.
+  AttemptStatus TryII(int ii, const SpeculationToken* cancel = nullptr);
+
+  /// Builds the final ScheduleResult from a successful TryII (normalizes
+  /// the schedule, recounts ops, classifies the bound; moves the graph and
+  /// schedule out, so the context must be Reset by TryII before reuse).
+  ScheduleResult Finalize(const MIIInfo& mii, int ii);
+
+  Instrumentation& instr() { return instr_; }
 
   // NodePlacer (services for the comm rewriter and spill engine).
   NodeId CreateNode(Node n, double priority) override;
   bool PlaceNode(NodeId u, int cluster, int src_cluster) override;
 
  private:
-  bool TryII(int ii);
-
   void Eject(NodeId victim);
   void EjectScheduledNode(NodeId v);
 
@@ -78,11 +131,12 @@ class EngineDriver : public NodePlacer {
   /// unconstrained nodes.
   int SelectCluster(NodeId u);
 
-  // ---- immutable inputs ------------------------------------------------
+  // ---- immutable inputs (shared across racing contexts) ----------------
   const DDG& original_;
-  MachineConfig m_;
-  MirsOptions opt_;
-  sched::LatencyOverrides base_overrides_;
+  const MachineConfig& m_;
+  const MirsOptions& opt_;
+  const sched::LatencyOverrides& base_overrides_;
+  const std::vector<NodeId>& order_;  ///< Ordering, computed once per run.
 
   // ---- layers ----------------------------------------------------------
   SchedState st_;
@@ -90,12 +144,10 @@ class EngineDriver : public NodePlacer {
   CommRewriter comm_;
   std::shared_ptr<const SpillVictimPolicy> spill_policy_;
   SpillEngine spill_;
-  std::shared_ptr<const NodeOrderPolicy> ordering_;
   std::unique_ptr<ClusterSelector> selector_;
   BalancedClusterSelector structural_fallback_;
 
-  // ---- per-run state ---------------------------------------------------
-  std::vector<NodeId> order_;  ///< Ordering, computed once per run.
+  // ---- per-attempt state -----------------------------------------------
   BudgetAccount budget_;
   int since_spill_check_ = 0;
 
@@ -103,6 +155,39 @@ class EngineDriver : public NodePlacer {
   // hot loop never allocates.
   std::vector<NodeId> conflicts_scratch_;
   std::vector<NodeId> violated_scratch_;
+};
+
+class EngineDriver {
+ public:
+  EngineDriver(const DDG& loop, const MachineConfig& m, const MirsOptions& opt,
+               const sched::LatencyOverrides& base_overrides);
+
+  /// Runs the II-escalation loop from MII to opt.max_ii — serially, or
+  /// racing candidate IIs when opt.speculate_k >= 2.
+  ScheduleResult Run();
+
+  /// Next candidate II of the escalation sequence once `failures` attempts
+  /// have failed (escalation accelerates after 24 consecutive failures).
+  /// Shared by the serial and speculative drivers so they can never
+  /// diverge on which IIs get attempted.
+  static int NextCandidateII(int ii, int failures) {
+    return ii + (failures > 24 ? std::max(1, ii / 8) : 1);
+  }
+
+ private:
+  ScheduleResult RunSerial(const MIIInfo& mii);
+  ScheduleResult RunSpeculative(const MIIInfo& mii);
+  ScheduleResult FailResult(const MIIInfo& mii,
+                            const ScheduleStats& stats) const;
+
+  // ---- immutable inputs ------------------------------------------------
+  const DDG& original_;
+  MachineConfig m_;
+  MirsOptions opt_;
+  sched::LatencyOverrides base_overrides_;
+
+  std::shared_ptr<const NodeOrderPolicy> ordering_;
+  std::vector<NodeId> order_;  ///< Ordering, computed once per run.
 };
 
 }  // namespace hcrf::core

@@ -76,6 +76,12 @@ class Instrumentation {
   ScheduleStats& stats() { return stats_; }
   const ScheduleStats& stats() const { return stats_; }
 
+  /// Zeroes the counters. The serial engine driver accumulates across II
+  /// attempts (a MirsHC run's stats cover every attempt); the speculative
+  /// driver instead captures per-attempt deltas from reused contexts and
+  /// re-merges them in escalation order, so it resets before each attempt.
+  void ResetStats() { stats_ = ScheduleStats{}; }
+
   void NodePlaced(NodeId n, int ii) {
     ++stats_.attempts;
     Emit(SchedEvent::kNodePlaced, n, ii);

@@ -1,6 +1,8 @@
 #include "perf/bench.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <memory>
 #include <utility>
 
@@ -9,6 +11,7 @@
 #include "io/hcl.h"
 #include "machine/machine_config.h"
 #include "machine/rf_config.h"
+#include "perf/thread_pool.h"
 #include "workload/suite_cache.h"
 
 namespace hcrf::perf {
@@ -29,38 +32,98 @@ MachineConfig BenchMachine(const std::string& rf_name) {
   return m;
 }
 
-/// One timed mode over one (suite slice, machine) case. Returns wall
-/// seconds; accumulates stats and keeps the last repetition's results for
-/// the identity check.
-double RunMode(const workload::Suite& suite, const MachineConfig& m,
-               const std::vector<MIIInfo>& mii, bool incremental, int reps,
-               long* placements, long* ejections,
-               std::vector<core::ScheduleResult>* results) {
-  core::MirsOptions opt;
-  opt.incremental = incremental;
-  double total = 0;
+LatencyQuantiles ComputeQuantiles(std::vector<double> v) {
+  LatencyQuantiles q;
+  if (v.empty()) return q;
+  std::sort(v.begin(), v.end());
+  const auto rank = [&v](double p) {
+    // Nearest-rank: the smallest value with at least p of the mass below
+    // or at it.
+    size_t r = static_cast<size_t>(
+        std::ceil(p * static_cast<double>(v.size())));
+    r = std::min(std::max<size_t>(r, 1), v.size());
+    return v[r - 1];
+  };
+  q.p50 = rank(0.50);
+  q.p95 = rank(0.95);
+  q.p99 = rank(0.99);
+  q.max = v.back();
+  return q;
+}
+
+/// Everything one timed mode produces over one (suite slice, machine) case.
+struct ModeOut {
+  double seconds = 0;
+  std::vector<double> per_loop;  ///< Mean seconds per loop across reps.
+  long placements = 0;
+  long ejections = 0;
+  int raced = 0;
+  int wins = 0;
+  int cancelled = 0;
+  int discarded = 0;
+  double attempt_seconds = 0;
+  std::vector<core::ScheduleResult> results;  ///< Last repetition's.
+};
+
+/// One timed mode over one case: accumulates wall time (total and
+/// per-loop), throughput stats, the last repetition's results for the
+/// identity check, and — on the last repetition only, so the counts cover
+/// one pass of the suite — the speculation telemetry.
+ModeOut RunMode(const workload::Suite& suite, const MachineConfig& m,
+                const std::vector<MIIInfo>& mii,
+                const core::MirsOptions& mirs, int reps) {
+  ModeOut out;
+  out.per_loop.assign(suite.size(), 0.0);
+  out.results.reserve(suite.size());
+  core::MirsOptions opt = mirs;
   for (int rep = 0; rep < reps; ++rep) {
     const bool last = rep == reps - 1;
-    if (last && results != nullptr) {
-      results->clear();
-      results->reserve(suite.size());
-    }
     for (size_t i = 0; i < suite.size(); ++i) {
       opt.precomputed_mii = mii[i];
       const Clock::time_point t0 = Clock::now();
       core::ScheduleResult res = core::MirsHC(suite[i].ddg, m, opt);
-      total += Seconds(t0, Clock::now());
-      if (placements != nullptr) *placements += res.stats.attempts;
-      if (ejections != nullptr) *ejections += res.stats.ejections;
-      if (last && results != nullptr) results->push_back(std::move(res));
+      const double dt = Seconds(t0, Clock::now());
+      out.seconds += dt;
+      out.per_loop[i] += dt;
+      out.placements += res.stats.attempts;
+      out.ejections += res.stats.ejections;
+      if (last) {
+        out.raced += res.spec.raced;
+        out.wins += res.spec.raced_wins;
+        out.cancelled += res.spec.cancelled;
+        out.discarded += res.spec.discarded;
+        out.attempt_seconds += res.spec.attempt_seconds;
+        out.results.push_back(std::move(res));
+      }
     }
   }
-  return total;
+  for (double& s : out.per_loop) s /= reps;
+  return out;
+}
+
+/// Dump-level identity of two modes' results; counts unschedulable loops
+/// once via `failed` (only from the first comparison, against `count_fails`).
+void CompareResults(const std::vector<core::ScheduleResult>& ref,
+                    const std::vector<core::ScheduleResult>& alt,
+                    bool count_fails, BenchCase& c) {
+  for (size_t i = 0; i < ref.size(); ++i) {
+    const core::ScheduleResult& a = ref[i];
+    const core::ScheduleResult& b = alt[i];
+    if (a.ok != b.ok) {
+      c.identical = false;
+      continue;
+    }
+    if (!a.ok) {
+      if (count_fails) ++c.failed;
+      continue;
+    }
+    if (io::DumpResult(a) != io::DumpResult(b)) c.identical = false;
+  }
 }
 
 BenchCase RunCase(const std::string& suite_name,
                   const workload::Suite& suite, const std::string& rf_name,
-                  int reps) {
+                  int reps, int speculate_k, bool speculate_eager) {
   BenchCase c;
   c.suite = suite_name;
   c.rf = rf_name;
@@ -74,27 +137,41 @@ BenchCase RunCase(const std::string& suite_name,
     mii.push_back(CachedMii(suite[i].ddg, m));
   }
 
-  std::vector<core::ScheduleResult> ref_results;
-  std::vector<core::ScheduleResult> inc_results;
-  c.reference_seconds = RunMode(suite, m, mii, /*incremental=*/false, reps,
-                                nullptr, nullptr, &ref_results);
-  c.incremental_seconds = RunMode(suite, m, mii, /*incremental=*/true, reps,
-                                  &c.placements, &c.ejections, &inc_results);
+  core::MirsOptions mirs;
+  mirs.incremental = false;
+  const ModeOut ref = RunMode(suite, m, mii, mirs, reps);
+  c.reference_seconds = ref.seconds;
 
-  for (size_t i = 0; i < suite.size(); ++i) {
-    const core::ScheduleResult& a = ref_results[i];
-    const core::ScheduleResult& b = inc_results[i];
-    if (a.ok != b.ok) {
-      c.identical = false;
-      continue;
-    }
-    if (!a.ok) {
-      ++c.failed;
-      continue;
-    }
-    if (io::DumpResult(a) != io::DumpResult(b)) c.identical = false;
+  mirs.incremental = true;
+  const ModeOut inc = RunMode(suite, m, mii, mirs, reps);
+  c.incremental_seconds = inc.seconds;
+  c.placements = inc.placements;
+  c.ejections = inc.ejections;
+  c.serial_latency = ComputeQuantiles(inc.per_loop);
+  CompareResults(ref.results, inc.results, /*count_fails=*/true, c);
+
+  if (speculate_k >= 2) {
+    mirs.speculate_k = speculate_k;
+    mirs.speculate_eager = speculate_eager;
+    const ModeOut spec = RunMode(suite, m, mii, mirs, reps);
+    c.speculative_seconds = spec.seconds;
+    c.speculative_latency = ComputeQuantiles(spec.per_loop);
+    c.spec_raced = spec.raced;
+    c.spec_wins = spec.wins;
+    c.spec_losses = spec.discarded;
+    c.spec_cancelled = spec.cancelled;
+    c.spec_attempt_seconds = spec.attempt_seconds;
+    CompareResults(inc.results, spec.results, /*count_fails=*/false, c);
   }
   return c;
+}
+
+void AppendQuantiles(std::string& out, const char* key,
+                     const LatencyQuantiles& q) {
+  out += std::string("\"") + key + "\": {\"p50\": " + io::FormatDouble(q.p50) +
+         ", \"p95\": " + io::FormatDouble(q.p95) +
+         ", \"p99\": " + io::FormatDouble(q.p99) +
+         ", \"max\": " + io::FormatDouble(q.max) + "}";
 }
 
 void Append(std::string& out, const BenchCase& c) {
@@ -108,7 +185,23 @@ void Append(std::string& out, const BenchCase& c) {
          ",\n";
   out += "     \"incremental_seconds\": " +
          io::FormatDouble(c.incremental_seconds) + ",\n";
+  out += "     \"speculative_seconds\": " +
+         io::FormatDouble(c.speculative_seconds) + ",\n";
   out += "     \"speedup\": " + io::FormatDouble(c.Speedup()) + ",\n";
+  out += "     \"latency\": {";
+  AppendQuantiles(out, "serial", c.serial_latency);
+  out += ",\n                 ";
+  AppendQuantiles(out, "speculative", c.speculative_latency);
+  out += ",\n                 \"p95_speedup\": " +
+         io::FormatDouble(c.SpecP95Speedup()) + "},\n";
+  out += "     \"speculation\": {\"raced\": " + std::to_string(c.spec_raced) +
+         ", \"wins\": " + std::to_string(c.spec_wins) +
+         ", \"losses\": " + std::to_string(c.spec_losses) +
+         ", \"cancelled\": " + std::to_string(c.spec_cancelled) + ",\n" +
+         "                     \"attempt_seconds\": " +
+         io::FormatDouble(c.spec_attempt_seconds) +
+         ", \"effective_parallelism\": " +
+         io::FormatDouble(c.EffectiveParallelism()) + "},\n";
   out += "     \"placements\": " + std::to_string(c.placements) +
          ", \"ejections\": " + std::to_string(c.ejections) + ",\n";
   out += "     \"placements_per_sec\": " +
@@ -154,26 +247,38 @@ BenchReport RunBench(const BenchOptions& opt) {
   }
 
   for (const std::string& rf : orgs) {
-    report.cases.push_back(RunCase("kernels", kernels, rf, kernel_reps));
-    report.cases.push_back(RunCase("synth", *synth, rf, synth_reps));
+    report.cases.push_back(RunCase("kernels", kernels, rf, kernel_reps,
+                                   opt.speculate_k, opt.speculate_eager));
+    report.cases.push_back(RunCase("synth", *synth, rf, synth_reps,
+                                   opt.speculate_k, opt.speculate_eager));
   }
 
   for (const BenchCase& c : report.cases) {
     report.reference_seconds += c.reference_seconds;
     report.incremental_seconds += c.incremental_seconds;
+    report.speculative_seconds += c.speculative_seconds;
     report.placements += c.placements;
     report.ejections += c.ejections;
     if (!c.identical) report.identical = false;
   }
+  report.speculate_k = opt.speculate_k;
+  report.speculate_eager = opt.speculate_eager;
+  report.speculation_pool_workers =
+      opt.speculate_k >= 2 ? SpeculationPool::Shared().num_workers() : 0;
   report.mii_cache = GetMiiCacheStats();
   return report;
 }
 
 std::string BenchJson(const BenchReport& report) {
   std::string out = "{\n";
-  out += "  \"format\": \"hcrf-bench-1\",\n";
+  out += "  \"format\": \"hcrf-bench-2\",\n";
   out += "  \"generated_by\": \"hcrf_sched bench\",\n";
   out += "  \"threads\": 1,\n";
+  out += "  \"speculate_k\": " + std::to_string(report.speculate_k) + ",\n";
+  out += "  \"speculate_eager\": " +
+         std::string(report.speculate_eager ? "true" : "false") + ",\n";
+  out += "  \"speculation_pool_workers\": " +
+         std::to_string(report.speculation_pool_workers) + ",\n";
   out += "  \"identical\": " +
          std::string(report.identical ? "true" : "false") + ",\n";
   out += "  \"cases\": [\n";
@@ -202,7 +307,11 @@ std::string BenchJson(const BenchReport& report) {
          io::FormatDouble(report.reference_seconds) + ",\n";
   out += "    \"incremental_seconds\": " +
          io::FormatDouble(report.incremental_seconds) + ",\n";
+  out += "    \"speculative_seconds\": " +
+         io::FormatDouble(report.speculative_seconds) + ",\n";
   out += "    \"speedup\": " + io::FormatDouble(report.Speedup()) + ",\n";
+  out += "    \"speculative_speedup\": " +
+         io::FormatDouble(report.SpecSpeedup()) + ",\n";
   out += "    \"placements\": " + std::to_string(report.placements) + ",\n";
   out += "    \"ejections\": " + std::to_string(report.ejections) + ",\n";
   out += "    \"placements_per_sec\": " +

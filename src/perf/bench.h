@@ -1,23 +1,29 @@
-// Engine A/B bench: times the scheduling hot path in incremental mode
-// (pressure tracker + indexed priority pick, MirsOptions::incremental) and
-// reference mode (full ComputePressure per spill check, linear priority
-// scan), asserts both produce bit-identical schedules on every loop, and
-// reports the speedup plus throughput counters.
+// Engine A/B/C bench: times the scheduling hot path in reference mode
+// (full ComputePressure per spill check, linear priority scan), incremental
+// mode (pressure tracker + indexed priority pick, MirsOptions::incremental)
+// and speculative mode (incremental + II racing on the SpeculationPool,
+// MirsOptions::speculate_k), asserts all modes produce bit-identical
+// schedules on every loop, and reports speedups, per-loop latency tails and
+// speculation telemetry.
 //
 // This is the measured perf trajectory behind the checked-in BENCH_*.json
 // files: `hcrf_sched bench` writes one per PR, and CI runs `bench --smoke`
-// so a schedule-identity regression (the incremental path drifting from
-// the reference semantics) fails the build.
+// so a schedule-identity regression (the incremental or speculative path
+// drifting from the reference semantics) fails the build.
 //
 // Methodology notes:
-//  * Single-threaded, per-(suite, organization) cases, fixed repetition
-//    counts; wall time covers MirsHC only (suite construction, MII bounds
-//    and serialization are outside the timed region).
-//  * Each loop's MII is precomputed once and handed to both modes via
+//  * Per-(suite, organization) cases, fixed repetition counts; wall time
+//    covers MirsHC only (suite construction, MII bounds and serialization
+//    are outside the timed region). The reference and incremental legs are
+//    single-threaded; the speculative leg uses the process SpeculationPool.
+//  * Each loop's MII is precomputed once and handed to every mode via
 //    MirsOptions::precomputed_mii, so the comparison isolates the engine.
+//  * Latency quantiles are nearest-rank over the per-loop mean wall time
+//    (seconds, averaged across the case's repetitions) — the per-loop tail
+//    is what II racing attacks, and what suite totals hide.
 //  * The identity check compares canonical result dumps (io::DumpResult)
-//    of the two modes, i.e. II, every placement, the transformed graph and
-//    the stats block all have to match bit for bit.
+//    of the modes pairwise, i.e. II, every placement, the transformed
+//    graph and the stats block all have to match bit for bit.
 #pragma once
 
 #include <string>
@@ -43,9 +49,22 @@ struct BenchOptions {
   int synth_loops = 0;
   /// Repetitions of the synthetic suite per timed mode (0 = 1).
   int synth_reps = 0;
+  /// Candidate IIs per speculative wave (MirsOptions::speculate_k) for the
+  /// speculative leg; values < 2 skip that leg entirely.
+  int speculate_k = 4;
+  /// Race the first wave too (MirsOptions::speculate_eager).
+  bool speculate_eager = false;
   /// Smoke mode: shrink the unset knobs to CI cost — the identity
-  /// assertion is unchanged.
+  /// assertions (incremental AND speculative vs reference) are unchanged.
   bool smoke = false;
+};
+
+/// Nearest-rank quantiles of per-loop scheduling latency (seconds).
+struct LatencyQuantiles {
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double max = 0;
 };
 
 struct BenchCase {
@@ -54,14 +73,40 @@ struct BenchCase {
   int loops = 0;
   int reps = 0;
   int failed = 0;          ///< Loops no mode can schedule (counted once).
-  bool identical = true;   ///< Incremental dumps == reference dumps.
+  bool identical = true;   ///< Incremental and speculative dumps == reference.
   double reference_seconds = 0;
   double incremental_seconds = 0;
+  double speculative_seconds = 0;  ///< 0 when the speculative leg is off.
   long placements = 0;  ///< Engine attempts over the incremental reps.
   long ejections = 0;   ///< Force-and-eject victims over the same reps.
 
+  /// Per-loop latency tails (mean seconds per loop across reps).
+  LatencyQuantiles serial_latency;       ///< Incremental serial mode.
+  LatencyQuantiles speculative_latency;  ///< Speculative mode.
+
+  // Speculation telemetry summed over one pass of the suite. The raced /
+  // wins counts are deterministic; the cancelled vs losses split depends
+  // on attempt timing.
+  int spec_raced = 0;      ///< Attempts raced beyond the serial walk.
+  int spec_wins = 0;       ///< Races won by a raced (non-primary) attempt.
+  int spec_losses = 0;     ///< Raced attempts that finished above the winner.
+  int spec_cancelled = 0;  ///< Raced attempts cancelled by a lower success.
+  double spec_attempt_seconds = 0;  ///< Serial-equivalent attempt time.
+
   double Speedup() const {
     return incremental_seconds > 0 ? reference_seconds / incremental_seconds
+                                   : 0.0;
+  }
+  /// Tail-latency gain of speculation: serial p95 over speculative p95.
+  double SpecP95Speedup() const {
+    return speculative_latency.p95 > 0
+               ? serial_latency.p95 / speculative_latency.p95
+               : 0.0;
+  }
+  /// Concurrent attempt-time per wall-second of the speculative leg
+  /// (1.0 = no overlap; > 1 = racing actually ran in parallel).
+  double EffectiveParallelism() const {
+    return speculative_seconds > 0 ? spec_attempt_seconds / speculative_seconds
                                    : 0.0;
   }
 };
@@ -86,9 +131,13 @@ struct BenchReport {
   std::vector<BenchCase> cases;
   double reference_seconds = 0;
   double incremental_seconds = 0;
+  double speculative_seconds = 0;
   long placements = 0;
   long ejections = 0;
   bool identical = true;  ///< All cases bit-identical across modes.
+  int speculate_k = 0;
+  bool speculate_eager = false;
+  int speculation_pool_workers = 0;
   MiiCacheStats mii_cache;
   BaselineComparison pre_pr;
 
@@ -96,13 +145,18 @@ struct BenchReport {
     return incremental_seconds > 0 ? reference_seconds / incremental_seconds
                                    : 0.0;
   }
+  double SpecSpeedup() const {
+    return speculative_seconds > 0 ? incremental_seconds / speculative_seconds
+                                   : 0.0;
+  }
 };
 
-/// Runs the A/B bench. Deterministic apart from wall times.
+/// Runs the A/B/C bench. Deterministic apart from wall times and the
+/// cancelled-vs-losses telemetry split.
 BenchReport RunBench(const BenchOptions& opt = {});
 
 /// Serializes the report as deterministic, human-diffable JSON (the
-/// BENCH_*.json format; see README.md).
+/// BENCH_*.json format, "hcrf-bench-2"; see README.md).
 std::string BenchJson(const BenchReport& report);
 
 }  // namespace hcrf::perf

@@ -82,4 +82,88 @@ void ThreadPool::ParallelFor(std::size_t n, int max_workers,
   job_.active = false;
 }
 
+// ---------------------------------------------------------------------------
+// SpeculationPool / TaskGroup
+// ---------------------------------------------------------------------------
+
+SpeculationPool& SpeculationPool::Shared() {
+  static SpeculationPool* pool =
+      new SpeculationPool();  // leaked: lives for the process
+  return *pool;
+}
+
+SpeculationPool::SpeculationPool(int threads) {
+  // Default: hardware_concurrency - 1 workers. The submitter participates
+  // through TaskGroup::RunAndWait's stealing, so hw-1 workers + the caller
+  // saturate the machine without oversubscribing it; on a single-core host
+  // that is 0 workers and racing degrades to in-order inline execution
+  // (above-winner candidates then cancel at entry, costing nothing).
+  const int n =
+      threads >= 0
+          ? threads
+          : static_cast<int>(std::max(1u, std::thread::hardware_concurrency())) -
+                1;
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+SpeculationPool::~SpeculationPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void SpeculationPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    work_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    Task t = std::move(queue_.front());
+    queue_.pop_front();
+    lk.unlock();
+    t.fn();
+    lk.lock();
+    // The group outlives its tasks (RunAndWait cannot return while
+    // pending_ > 0), so touching it under the pool mutex is safe.
+    if (--t.group->pending_ == 0) t.group->done_cv_.notify_all();
+  }
+}
+
+void TaskGroup::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(pool_.mu_);
+    pool_.queue_.push_back(SpeculationPool::Task{this, std::move(fn)});
+    ++pending_;
+  }
+  pool_.work_cv_.notify_one();
+}
+
+void TaskGroup::RunAndWait() {
+  std::unique_lock<std::mutex> lk(pool_.mu_);
+  while (pending_ > 0) {
+    // Steal one of our own still-queued tasks and run it inline. This is
+    // the no-deadlock guarantee: whatever the pool's saturation, every
+    // queued task of this group is runnable by the thread that waits on it.
+    auto it = pool_.queue_.begin();
+    for (; it != pool_.queue_.end(); ++it) {
+      if (it->group == this) break;
+    }
+    if (it != pool_.queue_.end()) {
+      std::function<void()> fn = std::move(it->fn);
+      pool_.queue_.erase(it);
+      lk.unlock();
+      fn();
+      lk.lock();
+      --pending_;  // our own completion; no one else waits on this group
+      continue;
+    }
+    done_cv_.wait(lk);
+  }
+}
+
 }  // namespace hcrf::perf

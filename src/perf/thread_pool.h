@@ -11,6 +11,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -63,6 +64,80 @@ class ThreadPool {
   Job job_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+};
+
+class TaskGroup;
+
+/// Bounded sub-pool for parallelism *inside* one scheduling request
+/// (speculative II racing). ThreadPool::ParallelFor runs one job at a time
+/// behind a session mutex, so submitting nested work from one of its
+/// workers would deadlock; this pool instead keeps a plain multi-group task
+/// queue that any thread — including a ThreadPool worker or one of its own
+/// workers — may feed through a TaskGroup. Saturation can never deadlock:
+/// a thread waiting on its group steals that group's still-queued tasks and
+/// runs them inline, so a fully busy (or even worker-less) pool degrades to
+/// serial execution on the submitter.
+class SpeculationPool {
+ public:
+  /// The process-wide pool (hardware_concurrency - 1 workers — the
+  /// submitting thread is the remaining lane — lazily started).
+  static SpeculationPool& Shared();
+
+  /// `threads` = worker-thread count. Unlike ThreadPool, the submitter is
+  /// not counted here (it participates through TaskGroup::RunAndWait's
+  /// stealing), so 0 is a valid, fully inline configuration; negative
+  /// values select the hardware_concurrency - 1 default.
+  explicit SpeculationPool(int threads = -1);
+  ~SpeculationPool();
+
+  SpeculationPool(const SpeculationPool&) = delete;
+  SpeculationPool& operator=(const SpeculationPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  friend class TaskGroup;
+  struct Task {
+    TaskGroup* group;
+    std::function<void()> fn;
+  };
+
+  void WorkerLoop();
+
+  std::mutex mu_;  ///< Guards the queue and every group's pending count.
+  std::condition_variable work_cv_;
+  std::deque<Task> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// One fan-out of concurrent tasks on a SpeculationPool: Submit each task,
+/// then RunAndWait — the calling thread runs its own still-queued tasks
+/// while waiting, which is what makes nested submission (a pool task that
+/// opens its own TaskGroup) safe at any saturation level. The group must
+/// outlive its tasks; the destructor drains. Tasks must not Submit to
+/// their own group.
+class TaskGroup {
+ public:
+  explicit TaskGroup(SpeculationPool& pool) : pool_(pool) {}
+  ~TaskGroup() { RunAndWait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues `fn`; an idle worker (or the waiting submitter) will run it.
+  void Submit(std::function<void()> fn);
+
+  /// Runs queued tasks of this group on the calling thread until none are
+  /// left, then blocks until the in-flight ones finish. Reentrant: the
+  /// group is reusable for another Submit round afterwards.
+  void RunAndWait();
+
+ private:
+  friend class SpeculationPool;
+  SpeculationPool& pool_;
+  int pending_ = 0;  ///< Submitted but unfinished; guarded by pool_.mu_.
+  std::condition_variable done_cv_;
 };
 
 }  // namespace hcrf::perf

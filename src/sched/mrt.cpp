@@ -1,6 +1,7 @@
 #include "sched/mrt.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 
@@ -166,24 +167,133 @@ bool ModuloReservationTable::Fits(const HoistedNeeds& h, int t) const {
   return true;
 }
 
+template <int N>
+int ModuloReservationTable::ScanRowsFwd(const HoistedNeeds& h, int r0,
+                                        int len) const {
+  const int* cnt[N];
+  int cap[N];
+  for (int i = 0; i < N; ++i) {
+    cnt[i] = count_.data() + h.bases[i];
+    cap[i] = h.caps[i];
+  }
+  int done = 0;
+  int r = r0;
+  while (done < len) {
+    // Rows are contiguous until the kernel wraps at II-1.
+    const int seg = std::min(len - done, ii_ - r);
+    int j = 0;
+    for (; j + 8 <= seg; j += 8) {
+      unsigned mask = 0;
+      for (int b = 0; b < 8; ++b) {
+        unsigned fit = 1;
+        for (int i = 0; i < N; ++i) {
+          fit &= static_cast<unsigned>(cnt[i][r + j + b] < cap[i]);
+        }
+        mask |= fit << b;
+      }
+      if (mask != 0) return done + j + std::countr_zero(mask);
+    }
+    for (; j < seg; ++j) {
+      bool fit = true;
+      for (int i = 0; i < N; ++i) fit = fit && cnt[i][r + j] < cap[i];
+      if (fit) return done + j;
+    }
+    done += seg;
+    r = 0;
+  }
+  return -1;
+}
+
+template <int N>
+int ModuloReservationTable::ScanRowsBwd(const HoistedNeeds& h, int r0,
+                                        int len) const {
+  const int* cnt[N];
+  int cap[N];
+  for (int i = 0; i < N; ++i) {
+    cnt[i] = count_.data() + h.bases[i];
+    cap[i] = h.caps[i];
+  }
+  int done = 0;
+  int r = r0;
+  while (done < len) {
+    // Rows are contiguous down to 0, then wrap to II-1.
+    const int seg = std::min(len - done, r + 1);
+    int j = 0;
+    for (; j + 8 <= seg; j += 8) {
+      unsigned mask = 0;
+      for (int b = 0; b < 8; ++b) {
+        unsigned fit = 1;
+        for (int i = 0; i < N; ++i) {
+          fit &= static_cast<unsigned>(cnt[i][r - j - b] < cap[i]);
+        }
+        mask |= fit << b;
+      }
+      // Bit b maps to the b-th step of the descending walk, so the lowest
+      // set bit is the first (highest-cycle) hit.
+      if (mask != 0) return done + j + std::countr_zero(mask);
+    }
+    for (; j < seg; ++j) {
+      bool fit = true;
+      for (int i = 0; i < N; ++i) fit = fit && cnt[i][r - j] < cap[i];
+      if (fit) return done + j;
+    }
+    done += seg;
+    r = ii_ - 1;
+  }
+  return -1;
+}
+
 int ModuloReservationTable::FindFirstSlotUp(std::span<const ResUse> needs,
                                             int lo, int hi) const {
   HoistedNeeds h;
   if (lo > hi || !Hoist(needs, h)) return kNoSlot;
-  for (int t = lo; t <= hi; ++t) {
-    if (Fits(h, t)) return t;
+  if (h.n == 0) return lo;
+  // Occupancy is read mod II, so a candidate at t fits iff t - II did: only
+  // the first II cycles of the range can differ, and the first fit (if any)
+  // lies among them.
+  const int len = static_cast<int>(
+      std::min<long long>(static_cast<long long>(hi) - lo + 1, ii_));
+  bool pipelined = true;
+  for (size_t i = 0; i < h.n; ++i) pipelined = pipelined && h.durs[i] == 1;
+  if (!pipelined) {
+    // Unpipelined FU needs probe a row range per candidate; keep the
+    // scalar hoisted probe (rare: only multi-cycle unpipelined ops).
+    for (int t = lo; t < lo + len; ++t) {
+      if (Fits(h, t)) return t;
+    }
+    return kNoSlot;
   }
-  return kNoSlot;
+  int k;
+  switch (h.n) {
+    case 1: k = ScanRowsFwd<1>(h, Row(lo), len); break;
+    case 2: k = ScanRowsFwd<2>(h, Row(lo), len); break;
+    default: k = ScanRowsFwd<3>(h, Row(lo), len); break;
+  }
+  return k < 0 ? kNoSlot : lo + k;
 }
 
 int ModuloReservationTable::FindFirstSlotDown(std::span<const ResUse> needs,
                                               int hi, int lo) const {
   HoistedNeeds h;
   if (hi < lo || !Hoist(needs, h)) return kNoSlot;
-  for (int t = hi; t >= lo; --t) {
-    if (Fits(h, t)) return t;
+  if (h.n == 0) return hi;
+  const int len = static_cast<int>(
+      std::min<long long>(static_cast<long long>(hi) - lo + 1, ii_));
+  bool pipelined = true;
+  for (size_t i = 0; i < h.n; ++i) pipelined = pipelined && h.durs[i] == 1;
+  if (!pipelined) {
+    for (int t = hi; t > hi - len; --t) {
+      if (Fits(h, t)) return t;
+    }
+    return kNoSlot;
   }
-  return kNoSlot;
+  int k;
+  switch (h.n) {
+    case 1: k = ScanRowsBwd<1>(h, Row(hi), len); break;
+    case 2: k = ScanRowsBwd<2>(h, Row(hi), len); break;
+    default: k = ScanRowsBwd<3>(h, Row(hi), len); break;
+  }
+  return k < 0 ? kNoSlot : hi - k;
 }
 
 void ModuloReservationTable::Place(NodeId node, const ResUseList& needs,

@@ -96,10 +96,14 @@ class ModuloReservationTable {
   /// Returned by FindFirstSlot when no cycle in the range fits.
   static constexpr int kNoSlot = std::numeric_limits<int>::min();
 
-  /// Window scans of the placement loop with the per-use capacity/base
-  /// lookups hoisted out of the per-cycle probe. Exactly equivalent to
-  /// calling CanPlace on lo..hi ascending (Up) / hi..lo descending (Down);
-  /// an inverted range (lo > hi) finds nothing.
+  /// Window scans of the placement loop. Exactly equivalent to calling
+  /// CanPlace on lo..hi ascending (Up) / hi..lo descending (Down); an
+  /// inverted range (lo > hi) finds nothing. Internally the scans exploit
+  /// that CanPlace is periodic in the cycle with period II (only the first
+  /// II candidates of any range can differ) and, for pipelined needs
+  /// (every duration 1), run as branchless 8-wide blocked row scans that
+  /// build a fit mask per block and extract the first hit with countr_zero
+  /// — the per-use capacity/base lookups hoisted out of the probe.
   int FindFirstSlotUp(std::span<const ResUse> needs, int lo, int hi) const;
   int FindFirstSlotDown(std::span<const ResUse> needs, int hi, int lo) const;
 
@@ -136,6 +140,16 @@ class ModuloReservationTable {
 
   bool Hoist(std::span<const ResUse> needs, HoistedNeeds& h) const;
   bool Fits(const HoistedNeeds& h, int t) const;
+
+  /// Blocked row scans behind FindFirstSlotUp/Down for all-duration-1
+  /// needs, specialized on the use count so the inner probe unrolls flat.
+  /// Walk `len` rows (len <= II) from row `r0` forward (wrapping past
+  /// II-1) / backward (wrapping below 0); return the step count of the
+  /// first row where every use has headroom, or -1.
+  template <int N>
+  int ScanRowsFwd(const HoistedNeeds& h, int r0, int len) const;
+  template <int N>
+  int ScanRowsBwd(const HoistedNeeds& h, int r0, int len) const;
 
   /// Flat index of (kind, cluster) row 0; rows are contiguous per unit.
   size_t Base(ResKind kind, int cluster) const {

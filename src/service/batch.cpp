@@ -122,6 +122,15 @@ BatchReport RunBatch(const std::vector<BatchRequest>& requests,
     }
     if (!item.cache_hit) {
       core::MirsOptions mirs = req.options;
+      // Execution strategy, not request semantics (see BatchOptions): the
+      // speculative engine commits bit-identical results, and the nested
+      // racing rides the SpeculationPool, so a 1-thread batch still races.
+      // Batch-level knob wins when set; otherwise the request's own value
+      // (e.g. from `hcrf_sched schedule --speculate`) stands.
+      if (opt.speculate_k > 0) {
+        mirs.speculate_k = opt.speculate_k;
+        mirs.speculate_eager = opt.speculate_eager;
+      }
       if (!mirs.precomputed_mii) {
         // The MII depends on the graph, the latency table and the global
         // resource counts — not the RF organization — so the process-wide

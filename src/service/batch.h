@@ -79,6 +79,13 @@ struct BatchOptions {
   int threads = 0;
   /// Hardware model used when a manifest entry asks for characterization.
   hw::RFModelMode rf_model = hw::RFModelMode::kPaperTable;
+  /// Speculative II racing inside each request (MirsOptions::speculate_k;
+  /// >= 2 races that many candidate IIs on the process SpeculationPool).
+  /// An execution-strategy knob like `threads`, not part of the request:
+  /// schedules are bit-identical either way, so it stays outside the
+  /// cache key and cache entries are shared across modes.
+  int speculate_k = 0;
+  bool speculate_eager = false;
 };
 
 struct BatchItem {

@@ -1,6 +1,9 @@
 // Unit tests for the modulo reservation table.
 #include <gtest/gtest.h>
 
+#include <random>
+#include <vector>
+
 #include "sched/mrt.h"
 
 namespace hcrf::sched {
@@ -120,6 +123,131 @@ TEST(MRT, NegativeCyclesWrapCorrectly) {
 
 TEST(MRT, RejectsBadII) {
   EXPECT_THROW(ModuloReservationTable(Mono(), 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// FindFirstSlotUp/Down vs the CanPlace-by-CanPlace definition
+// ---------------------------------------------------------------------------
+
+// The pre-optimization definition of the window scans. The blocked
+// row-scan rewrite must be indistinguishable from this on every input.
+int RefUp(const ModuloReservationTable& mrt, std::span<const ResUse> needs,
+          int lo, int hi) {
+  for (int t = lo; t <= hi; ++t) {
+    if (mrt.CanPlace(needs, t)) return t;
+  }
+  return ModuloReservationTable::kNoSlot;
+}
+
+int RefDown(const ModuloReservationTable& mrt, std::span<const ResUse> needs,
+            int hi, int lo) {
+  for (int t = hi; t >= lo; --t) {
+    if (mrt.CanPlace(needs, t)) return t;
+  }
+  return ModuloReservationTable::kNoSlot;
+}
+
+// Random resource needs legal on `m` (Moves only exist on clustered buses,
+// LoadR/StoreR only on hierarchical organizations, FDiv exercises the
+// unpipelined scalar fallback).
+ResUseList RandomNeeds(std::mt19937& rng, const MachineConfig& m) {
+  const int clusters = m.rf.clusters > 0 ? m.rf.clusters : 1;
+  std::vector<OpClass> ops = {OpClass::kFAdd, OpClass::kFMul, OpClass::kLoad,
+                              OpClass::kStore, OpClass::kFDiv};
+  if (m.rf.clusters > 1 && m.rf.shared_regs == 0) ops.push_back(OpClass::kMove);
+  if (m.rf.clusters > 1 && m.rf.shared_regs > 0) {
+    ops.push_back(OpClass::kLoadR);
+    ops.push_back(OpClass::kStoreR);
+  }
+  const OpClass op = ops[rng() % ops.size()];
+  const int cluster = static_cast<int>(rng() % clusters);
+  int src = static_cast<int>(rng() % clusters);
+  if (op == OpClass::kMove && src == cluster) src = (src + 1) % clusters;
+  return ResourceNeeds(op, cluster, src, m);
+}
+
+TEST(MRT, RandomizedScanEquivalence) {
+  std::mt19937 rng(20260808);
+  const MachineConfig machines[] = {Mono(), Clustered(), Hier()};
+  const int iis[] = {1, 2, 3, 5, 7, 11, 17};
+  for (int trial = 0; trial < 240; ++trial) {
+    const MachineConfig& m = machines[trial % 3];
+    const int ii = iis[rng() % (sizeof(iis) / sizeof(iis[0]))];
+    ModuloReservationTable mrt(m, ii);
+    // Fill to a random occupancy level (0 = empty .. heavy, often up to
+    // full saturation of some resource rows).
+    const int fills = static_cast<int>(rng() % 64);
+    NodeId next = 1;
+    for (int f = 0; f < fills; ++f) {
+      const ResUseList needs = RandomNeeds(rng, m);
+      const int cycle = static_cast<int>(rng() % (4 * ii + 1)) - 2 * ii;
+      if (mrt.CanPlace(needs, cycle)) mrt.Place(next++, needs, cycle);
+    }
+    for (int probe = 0; probe < 10; ++probe) {
+      ResUseList needs;
+      if (rng() % 8 != 0) needs = RandomNeeds(rng, m);  // 1-in-8: empty
+      // Windows straddle negative cycles, wrap several kernels, collapse
+      // to one cycle, or invert (hi < lo must find nothing).
+      const int lo = static_cast<int>(rng() % (4 * ii + 7)) - 2 * ii - 3;
+      const int width = static_cast<int>(rng() % (3 * ii + 5)) - 2;
+      const int hi = lo + width;
+      EXPECT_EQ(mrt.FindFirstSlotUp(needs, lo, hi), RefUp(mrt, needs, lo, hi))
+          << "up ii=" << ii << " lo=" << lo << " hi=" << hi;
+      EXPECT_EQ(mrt.FindFirstSlotDown(needs, hi, lo),
+                RefDown(mrt, needs, hi, lo))
+          << "down ii=" << ii << " lo=" << lo << " hi=" << hi;
+    }
+  }
+}
+
+TEST(MRT, ScansOnFullySaturatedTable) {
+  // Saturate every FU and memory-port row, then scan wide windows: both
+  // directions must report kNoSlot for FU/memory needs at any range shape.
+  const MachineConfig m = Mono();
+  for (const int ii : {1, 3, 8}) {
+    ModuloReservationTable mrt(m, ii);
+    NodeId next = 1;
+    const auto fu = ResourceNeeds(OpClass::kFAdd, 0, 0, m);
+    const auto ld = ResourceNeeds(OpClass::kLoad, 0, 0, m);
+    for (int t = 0; t < ii; ++t) {
+      while (mrt.CanPlace(fu, t)) mrt.Place(next++, fu, t);
+      while (mrt.CanPlace(ld, t)) mrt.Place(next++, ld, t);
+    }
+    for (const auto& needs : {fu, ld}) {
+      EXPECT_EQ(mrt.FindFirstSlotUp(needs, 0, 10 * ii),
+                ModuloReservationTable::kNoSlot);
+      EXPECT_EQ(mrt.FindFirstSlotDown(needs, 10 * ii, -10 * ii),
+                ModuloReservationTable::kNoSlot);
+      EXPECT_EQ(mrt.FindFirstSlotUp(needs, -3, -3),
+                ModuloReservationTable::kNoSlot);
+    }
+    // Empty needs still fit everywhere.
+    EXPECT_EQ(mrt.FindFirstSlotUp(ResUseList{}, -5, 5), -5);
+    EXPECT_EQ(mrt.FindFirstSlotDown(ResUseList{}, 5, -5), 5);
+  }
+}
+
+TEST(MRT, ScanWindowClampMatchesPeriodicity) {
+  // A window far wider than II: only the first II candidates can differ,
+  // and a hole at exactly one row must be found at its first occurrence in
+  // scan order from either direction.
+  const MachineConfig m = Clustered();
+  const int ii = 5;
+  ModuloReservationTable mrt(m, ii);
+  const auto fu = ResourceNeeds(OpClass::kFAdd, 2, 0, m);
+  NodeId next = 1;
+  for (int t = 0; t < ii; ++t) {
+    if (t == 3) continue;  // leave row 3 open
+    while (mrt.CanPlace(fu, t)) mrt.Place(next++, fu, t);
+  }
+  EXPECT_EQ(mrt.FindFirstSlotUp(fu, 0, 100), 3);
+  EXPECT_EQ(mrt.FindFirstSlotUp(fu, 4, 100), 8);    // next wrap of row 3
+  EXPECT_EQ(mrt.FindFirstSlotUp(fu, -9, 100), -7);  // -7 mod 5 == 3
+  EXPECT_EQ(mrt.FindFirstSlotDown(fu, 100, 0), 98);
+  EXPECT_EQ(mrt.FindFirstSlotDown(fu, 2, -100), -2);
+  // The clamp must not skip candidates of a window shorter than II.
+  EXPECT_EQ(mrt.FindFirstSlotUp(fu, 0, 2), ModuloReservationTable::kNoSlot);
+  EXPECT_EQ(mrt.FindFirstSlotDown(fu, 2, 0), ModuloReservationTable::kNoSlot);
 }
 
 }  // namespace

@@ -58,5 +58,79 @@ TEST(ThreadPool, SharedInstanceIsStable) {
   EXPECT_EQ(n.load(), 10);
 }
 
+TEST(SpeculationPool, WorkerlessPoolRunsEverythingInline) {
+  // 0 workers is a valid configuration: RunAndWait steals the group's own
+  // queued tasks and runs them on the caller, so nothing can hang.
+  SpeculationPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0);
+  std::atomic<int> n{0};
+  TaskGroup g(pool);
+  for (int i = 0; i < 16; ++i) g.Submit([&] { ++n; });
+  g.RunAndWait();
+  EXPECT_EQ(n.load(), 16);
+}
+
+TEST(SpeculationPool, GroupIsReusableAcrossRounds) {
+  SpeculationPool pool(3);
+  std::atomic<long> total{0};
+  TaskGroup g(pool);
+  for (int round = 0; round < 40; ++round) {
+    for (int i = 0; i < 8; ++i) g.Submit([&] { ++total; });
+    g.RunAndWait();
+  }
+  EXPECT_EQ(total.load(), 40L * 8);
+}
+
+TEST(SpeculationPool, NestedGroupsNeverDeadlock) {
+  // More live groups than workers: every outer task opens its own inner
+  // group while all workers are already busy running outer tasks. The
+  // inner RunAndWait must make progress by stealing its own queued tasks.
+  SpeculationPool pool(2);
+  std::atomic<int> inner_runs{0};
+  TaskGroup outer(pool);
+  for (int i = 0; i < 6; ++i) {
+    outer.Submit([&] {
+      TaskGroup inner(pool);
+      for (int j = 0; j < 4; ++j) inner.Submit([&] { ++inner_runs; });
+      inner.RunAndWait();
+    });
+  }
+  outer.RunAndWait();
+  EXPECT_EQ(inner_runs.load(), 6 * 4);
+}
+
+TEST(SpeculationPool, CallerHelpsUnderSaturation) {
+  // Far more tasks than workers; the submitter must chew through the
+  // backlog itself instead of blocking until workers get around to it.
+  SpeculationPool pool(1);
+  std::atomic<int> n{0};
+  TaskGroup g(pool);
+  for (int i = 0; i < 200; ++i) g.Submit([&] { ++n; });
+  g.RunAndWait();
+  EXPECT_EQ(n.load(), 200);
+}
+
+TEST(SpeculationPool, SharedInstanceIsStable) {
+  SpeculationPool& a = SpeculationPool::Shared();
+  SpeculationPool& b = SpeculationPool::Shared();
+  EXPECT_EQ(&a, &b);
+  std::atomic<int> n{0};
+  TaskGroup g(a);
+  for (int i = 0; i < 10; ++i) g.Submit([&] { ++n; });
+  g.RunAndWait();
+  EXPECT_EQ(n.load(), 10);
+}
+
+TEST(SpeculationPool, DestructorDrainsOutstandingTasks) {
+  SpeculationPool pool(2);
+  std::atomic<int> n{0};
+  {
+    TaskGroup g(pool);
+    for (int i = 0; i < 32; ++i) g.Submit([&] { ++n; });
+    // No explicit RunAndWait: ~TaskGroup must drain before `n` dies.
+  }
+  EXPECT_EQ(n.load(), 32);
+}
+
 }  // namespace
 }  // namespace hcrf::perf

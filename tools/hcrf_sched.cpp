@@ -51,10 +51,14 @@ commands:
       --machine=FILE       full `hcl 1 machine` document instead of --rf
       --no-characterize    skip the hardware model (keep baseline clock)
       --budget=X --max-ii=N --policy=NAME --non-iterative
+      --speculate=K        race K candidate IIs per wave (bit-identical
+                           schedules; K < 2 = serial)
+      --eager              race the first wave too (with --speculate)
       --cache=DIR          persistent schedule cache
       --out=FILE           write the result document (default stdout)
   run <manifest>         run every request of a batch manifest
       --cache=DIR --threads=N --out-dir=DIR --quiet
+      --speculate=K --eager  speculative II racing inside each request
   sweep <spec.hcl>       run a design-space sweep over RF organizations
       --cache=DIR          persistent schedule cache
       --threads=N
@@ -74,16 +78,22 @@ commands:
   cache-stats <dir>      entry count and bytes of a schedule cache
   smoke <manifest>       run twice (cold, warm cache); verify the warm run
                          hits the cache and its output is bit-identical
-  bench                  time the scheduling hot path: incremental engine
-                         vs the non-incremental reference, asserting both
-                         produce bit-identical schedules (exit 1 if not)
+  bench                  time the scheduling hot path: reference engine vs
+                         incremental vs speculative II racing, asserting
+                         all modes produce bit-identical schedules (exit 1
+                         if not); reports per-loop latency tails
+                         (p50/p95/p99/max) and speculation telemetry
       --out=FILE           write the BENCH_*.json report (default
-                           BENCH_PR4.json; '-' = stdout only)
+                           BENCH_PR6.json; '-' = stdout only)
       --rf=A,B,...         organizations to bench (paper notation)
       --reps=N             kernel-suite repetitions per timed mode
       --synth-n=N          synthetic loops per case (default: whole suite)
+      --speculate=K        candidate IIs per speculative wave (default 4;
+                           K < 2 skips the speculative leg)
+      --eager              race the first wave too
       --smoke              small slice + one organization: the identity
-                           assertion at CI cost
+                           assertions (incl. one speculative case) at CI
+                           cost
       --baseline-seconds=X --current-seconds=Y --baseline-note=STR
                            record a comparison against a separately timed
                            older binary (e.g. the pre-PR engine) in the
@@ -210,6 +220,14 @@ core::MirsOptions OptionsFromFlags(const Args& args) {
     if (!p) throw std::runtime_error("unknown --policy=" + *v);
     opt.cluster_policy = *p;
   }
+  if (const std::string* v = args.Flag("speculate")) {
+    opt.speculate_k = ParseIntFlag("speculate", *v);
+    if (opt.speculate_k < 0) {
+      throw std::runtime_error("--speculate: expected a non-negative count, "
+                               "got '" + *v + "'");
+    }
+  }
+  if (args.Flag("eager") != nullptr) opt.speculate_eager = true;
   return opt;
 }
 
@@ -229,8 +247,8 @@ void PrintItem(const service::BatchItem& item) {
 int CmdSchedule(const Args& args) {
   if (args.positional.size() != 1 ||
       !CheckFlags(args, {"rf", "machine", "no-characterize", "budget",
-                         "max-ii", "policy", "non-iterative", "cache",
-                         "out"})) {
+                         "max-ii", "policy", "non-iterative", "speculate",
+                         "eager", "cache", "out"})) {
     return Usage();
   }
   const auto loop =
@@ -292,7 +310,8 @@ int RunManifestOnce(const std::string& manifest,
 
 int CmdRun(const Args& args) {
   if (args.positional.size() != 1 ||
-      !CheckFlags(args, {"cache", "threads", "out-dir", "quiet"})) {
+      !CheckFlags(args, {"cache", "threads", "out-dir", "quiet", "speculate",
+                         "eager"})) {
     return Usage();
   }
   service::BatchOptions bopt;
@@ -300,6 +319,14 @@ int CmdRun(const Args& args) {
   if (const std::string* t = args.Flag("threads")) {
     bopt.threads = ParseIntFlag("threads", *t);
   }
+  if (const std::string* v = args.Flag("speculate")) {
+    bopt.speculate_k = ParseIntFlag("speculate", *v);
+    if (bopt.speculate_k < 0) {
+      throw std::runtime_error("--speculate: expected a non-negative count, "
+                               "got '" + *v + "'");
+    }
+  }
+  if (args.Flag("eager") != nullptr) bopt.speculate_eager = true;
   return RunManifestOnce(args.positional[0], bopt,
                          args.Flag("quiet") != nullptr, args.Flag("out-dir"),
                          nullptr);
@@ -584,13 +611,21 @@ int CmdSmoke(const Args& args) {
 // Writes the BENCH_*.json trajectory artifact; CI runs `bench --smoke`.
 int CmdBench(const Args& args) {
   if (!args.positional.empty() ||
-      !CheckFlags(args, {"out", "rf", "reps", "synth-n", "smoke",
-                         "baseline-seconds", "current-seconds",
-                         "baseline-note"})) {
+      !CheckFlags(args, {"out", "rf", "reps", "synth-n", "speculate",
+                         "eager", "smoke", "baseline-seconds",
+                         "current-seconds", "baseline-note"})) {
     return Usage();
   }
   perf::BenchOptions bopt;
   bopt.smoke = args.Flag("smoke") != nullptr;
+  if (const std::string* v = args.Flag("speculate")) {
+    bopt.speculate_k = ParseIntFlag("speculate", *v);
+    if (bopt.speculate_k < 0) {
+      throw std::runtime_error("--speculate: expected a non-negative count, "
+                               "got '" + *v + "'");
+    }
+  }
+  bopt.speculate_eager = args.Flag("eager") != nullptr;
   if (const std::string* rf = args.Flag("rf")) {
     bopt.rf_names.clear();
     size_t start = 0;
@@ -648,6 +683,15 @@ int CmdBench(const Args& args) {
         c.suite.c_str(), c.rf.c_str(), c.loops, c.reps, c.reference_seconds,
         c.incremental_seconds, c.Speedup(),
         c.identical ? "identical" : "MISMATCH");
+    if (c.speculative_seconds > 0) {
+      std::printf(
+          "         spec %8.3f s  p95 %.3f -> %.3f ms (%.2fx)  "
+          "raced %d won %d lost %d cancelled %d  parallelism %.2f\n",
+          c.speculative_seconds, c.serial_latency.p95 * 1e3,
+          c.speculative_latency.p95 * 1e3, c.SpecP95Speedup(), c.spec_raced,
+          c.spec_wins, c.spec_losses, c.spec_cancelled,
+          c.EffectiveParallelism());
+    }
   }
   std::printf(
       "total: ref %.3f s, incr %.3f s, speedup %.2fx, %.0f placements/s, "
@@ -667,15 +711,15 @@ int CmdBench(const Args& args) {
   }
 
   const std::string* out = args.Flag("out");
-  const std::string path = out != nullptr ? *out : "BENCH_PR4.json";
+  const std::string path = out != nullptr ? *out : "BENCH_PR6.json";
   if (path != "-") {
     io::WriteFileAtomic(path, perf::BenchJson(report));
     std::printf("report: %s\n", path.c_str());
   }
   if (!report.identical) {
     std::fprintf(stderr,
-                 "bench: incremental engine diverged from the reference "
-                 "schedules\n");
+                 "bench: incremental/speculative engine diverged from the "
+                 "reference schedules\n");
     return 1;
   }
   return 0;
