@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <optional>
 
 #include "core/check.h"
 #include "core/debug.h"
 #include "ddg/mii.h"
+#include "obs/trace.h"
 #include "perf/thread_pool.h"
 #include "sched/banks.h"
 #include "sched/mrt.h"
@@ -120,6 +122,13 @@ bool AttemptContext::PlaceNode(NodeId u, int cluster, int src_cluster) {
 
   if (found == kNoCycle) {
     if (!opt_.iterative) return false;
+    // Lazily armed: this runs once per forced placement (ejection-heavy
+    // organizations force hundreds of thousands per second), so the
+    // untraced path must pay one relaxed load, not a span's member setup.
+    std::optional<obs::TraceSpan> cascade_span;
+    if (obs::TraceEnabled()) {
+      cascade_span.emplace("phase", "eject-cascade", ii, u);
+    }
     // Force placement. Following iterative modulo scheduling, the forced
     // cycle advances past the previous placement of the node so repeated
     // forcing makes progress.
@@ -282,6 +291,19 @@ int AttemptContext::SelectCluster(NodeId u) {
 // ---------------------------------------------------------------------------
 
 AttemptStatus AttemptContext::TryII(int ii, const SpeculationToken* cancel) {
+  if (!obs::TraceEnabled()) return RunAttempt(ii, cancel);
+  obs::TraceSpan span("sched", "attempt", ii);
+  const AttemptStatus st = RunAttempt(ii, cancel);
+  span.set_detail(std::string(ToString(st)));
+  if (st == AttemptStatus::kCancelled) {
+    obs::Tracer::Shared().Instant("spec", "cancelled", ii,
+                                  static_cast<int>(kNoNode));
+  }
+  return st;
+}
+
+AttemptStatus AttemptContext::RunAttempt(int ii,
+                                         const SpeculationToken* cancel) {
   if (cancel != nullptr && cancel->Cancels(ii)) return AttemptStatus::kCancelled;
   st_.Reset(original_, base_overrides_, ii, opt_.incremental);
   comm_.Reset();
@@ -298,6 +320,10 @@ AttemptStatus AttemptContext::TryII(int ii, const SpeculationToken* cancel) {
                 8.0 * opt_.budget_ratio * std::max(4, original_.NumNodes()));
 
   while (true) {
+    {
+    // One "placement" span per drain of the priority list (a spill fixpoint
+    // iteration that reschedules reloads opens another).
+    obs::TraceSpan place_span("phase", "placement", ii);
     while (st_.num_unscheduled > 0) {
       // Cancellation point: once a strictly lower II has validated this
       // attempt is moot, wherever it stands — including mid-ejection-cascade
@@ -340,8 +366,16 @@ AttemptStatus AttemptContext::TryII(int ii, const SpeculationToken* cancel) {
           src_cluster = st_.sched->ClusterOf(producers.front().src);
         }
       }
-      if (!comm_.EnsureCommunication(u, cluster)) {
-        return AttemptStatus::kFailed;
+      {
+        // Lazily armed (one comm rewrite per placed node; see the
+        // eject-cascade span).
+        std::optional<obs::TraceSpan> comm_span;
+        if (obs::TraceEnabled()) {
+          comm_span.emplace("phase", "comm-rewrite", ii, static_cast<int>(u));
+        }
+        if (!comm_.EnsureCommunication(u, cluster)) {
+          return AttemptStatus::kFailed;
+        }
       }
       // Building u's communication can force-place chain nodes, whose
       // ejection cascade may dissolve the very chain u belongs to and
@@ -359,14 +393,18 @@ AttemptStatus AttemptContext::TryII(int ii, const SpeculationToken* cancel) {
         spill_.CheckAndInsert();
       }
     }
+    }
 
     // Sink reloads towards their consumers. Sinking can lengthen
     // shared-bank residencies (that is its purpose: the shared bank absorbs
     // the carried distances), which may in turn require further spilling of
     // shared values to memory -- so iterate sink -> spill -> schedule to a
     // fixpoint (bounded: each value spills at most once per attempt).
-    spill_.SinkReloads();
-    spill_.CheckAndInsert();
+    {
+      obs::TraceSpan spill_span("phase", "spill", ii);
+      spill_.SinkReloads();
+      spill_.CheckAndInsert();
+    }
     if (st_.num_unscheduled > 0) {
       if (budget_.exhausted()) return AttemptStatus::kFailed;
       continue;
@@ -375,6 +413,7 @@ AttemptStatus AttemptContext::TryII(int ii, const SpeculationToken* cancel) {
   }
 
   // Final register allocation check: every bank within capacity.
+  obs::TraceSpan validate_span("phase", "validate", ii);
   const RFConfig& rf = m_.rf;
   const bool shared_bounded = rf.HasSharedBank() && !rf.UnboundedSharedRegs();
   const bool cluster_bounded = !rf.UnboundedClusterRegs() && rf.clusters > 0;
@@ -497,14 +536,25 @@ EngineDriver::EngineDriver(const DDG& loop, const MachineConfig& m,
 }
 
 ScheduleResult EngineDriver::Run() {
-  const MIIInfo mii =
-      opt_.precomputed_mii ? *opt_.precomputed_mii : ComputeMII(original_, m_);
-  order_ = ordering_->Order(original_, m_);
-  // Event-sink callbacks must stay single-threaded and attempt-ordered, so
-  // any observed run takes the serial path.
-  const bool speculative =
-      opt_.speculate_k >= 2 && opt_.event_sink == nullptr;
-  return speculative ? RunSpeculative(mii) : RunSerial(mii);
+  obs::TraceSpan loop_span("sched", "loop");
+  loop_span.set_detail(original_.name());
+  MIIInfo mii;
+  if (opt_.precomputed_mii) {
+    mii = *opt_.precomputed_mii;
+  } else {
+    obs::TraceSpan mii_span("phase", "mii");
+    mii = ComputeMII(original_, m_);
+  }
+  {
+    obs::TraceSpan order_span("phase", "ordering");
+    order_ = ordering_->Order(original_, m_);
+  }
+  // An attached event sink no longer forces the serial path: the
+  // speculative driver captures each attempt's sink events and replays
+  // them in escalation order after the wave commits (the same protocol
+  // that keeps the per-attempt stats deltas serial-identical), so the sink
+  // stays single-threaded and attempt-ordered while attempts race.
+  return opt_.speculate_k >= 2 ? RunSpeculative(mii) : RunSerial(mii);
 }
 
 ScheduleResult EngineDriver::FailResult(const MIIInfo& mii,
@@ -550,7 +600,31 @@ ScheduleResult EngineDriver::RunSpeculative(const MIIInfo& mii) {
   std::vector<int> wave;
   std::vector<AttemptStatus> status;
   std::vector<ScheduleStats> attempt_stats;
+  std::vector<std::vector<SinkEvent>> attempt_events;
   std::vector<double> seconds;
+
+  // With a sink attached, each attempt captures its events privately and
+  // the driver replays them below in escalation order — the sink observes
+  // the exact serial sequence (attempt events, then the restart separator)
+  // while the attempts themselves race.
+  const bool capture = opt_.event_sink != nullptr;
+  const auto replay_log = [&](size_t i) {
+    for (const SinkEvent& ev : attempt_events[i]) {
+      opt_.event_sink->OnEvent(ev.e, ev.node, ev.ii);
+    }
+  };
+  // The restart separator between candidates. The serial driver emits it
+  // through Instrumentation (sink + trace instant); here the attempts are
+  // already done, so the driver emits both itself.
+  const auto emit_restart = [&](int next) {
+    if (capture) {
+      opt_.event_sink->OnEvent(SchedEvent::kIIRestart, kNoNode, next);
+    }
+    if (obs::TraceEnabled()) {
+      obs::Tracer::Shared().Instant("sched", "restart", next,
+                                    static_cast<int>(kNoNode));
+    }
+  };
 
   int failures = 0;
   int next_ii = mii.MII();
@@ -578,6 +652,7 @@ ScheduleResult EngineDriver::RunSpeculative(const MIIInfo& mii) {
 
     status.assign(n, AttemptStatus::kFailed);
     attempt_stats.assign(n, ScheduleStats{});
+    attempt_events.assign(n, {});
     seconds.assign(n, 0.0);
     SpeculationToken token;
     const auto run_one = [&](size_t i, const SpeculationToken* cancel) {
@@ -586,6 +661,10 @@ ScheduleResult EngineDriver::RunSpeculative(const MIIInfo& mii) {
       // undersubscribed pool the above-winner slots cost nothing.
       if (cancel != nullptr && cancel->Cancels(wave[i])) {
         status[i] = AttemptStatus::kCancelled;
+        if (obs::TraceEnabled()) {
+          obs::Tracer::Shared().Instant("spec", "cancelled", wave[i],
+                                        static_cast<int>(kNoNode));
+        }
         return;
       }
       const auto t0 = std::chrono::steady_clock::now();
@@ -597,8 +676,10 @@ ScheduleResult EngineDriver::RunSpeculative(const MIIInfo& mii) {
                                                 base_overrides_, order_);
       }
       slot->instr().ResetStats();  // capture this attempt's deltas only
+      if (capture) slot->BeginSinkCapture();
       status[i] = slot->TryII(wave[i], cancel);
       attempt_stats[i] = slot->instr().stats();
+      if (capture) attempt_events[i] = slot->TakeSinkEvents();
       if (status[i] == AttemptStatus::kScheduled) token.Commit(wave[i]);
       seconds[i] = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - t0)
@@ -636,9 +717,15 @@ ScheduleResult EngineDriver::RunSpeculative(const MIIInfo& mii) {
     }
     if (win < n) {
       if (n > 1 && win > 0) ++spec.raced_wins;
+      if (n > 1 && obs::TraceEnabled()) {
+        obs::Tracer::Shared().Instant("spec", "win", wave[win],
+                                      static_cast<int>(kNoNode));
+      }
       // Commit: merge the failed candidates below the winner, then the
       // winner itself, onto the carried totals — exactly the serial walk's
-      // accumulation order — and let the winner's context finalize.
+      // accumulation order — and let the winner's context finalize. The
+      // captured sink events replay in the same order, restart separators
+      // between candidates, none after the winner.
       ScheduleStats merged = carry;
       for (size_t i = 0; i < win; ++i) {
         HCRF_CHECK(status[i] == AttemptStatus::kFailed,
@@ -647,8 +734,11 @@ ScheduleResult EngineDriver::RunSpeculative(const MIIInfo& mii) {
                    "below, which the winner refutes",
                    wave[i], wave[win]);
         Accumulate(merged, attempt_stats[i]);
+        if (capture) replay_log(i);
+        emit_restart(wave[i + 1]);
       }
       Accumulate(merged, attempt_stats[win]);
+      if (capture) replay_log(win);
       for (size_t i = win + 1; i < n; ++i) {
         if (status[i] == AttemptStatus::kCancelled) {
           ++spec.cancelled;
@@ -666,13 +756,17 @@ ScheduleResult EngineDriver::RunSpeculative(const MIIInfo& mii) {
       return res;
     }
 
-    // Whole wave failed: carry every attempt's stats forward and continue
-    // the escalation where the serial walk would.
+    // Whole wave failed: carry every attempt's stats forward (and replay
+    // its events, each followed by the restart the serial walk would emit —
+    // the last one names the post-wave candidate), then continue the
+    // escalation where the serial walk would.
     for (size_t i = 0; i < n; ++i) {
       HCRF_CHECK(status[i] == AttemptStatus::kFailed,
                  "attempt at II=%d cancelled without any success in the wave",
                  wave[i]);
       Accumulate(carry, attempt_stats[i]);
+      if (capture) replay_log(i);
+      emit_restart(i + 1 < n ? wave[i + 1] : ii);
     }
     failures = f;
     next_ii = ii;

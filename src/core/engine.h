@@ -93,6 +93,15 @@ class SpeculationToken {
 /// Outcome of one II attempt.
 enum class AttemptStatus : std::uint8_t { kScheduled, kFailed, kCancelled };
 
+constexpr std::string_view ToString(AttemptStatus s) {
+  switch (s) {
+    case AttemptStatus::kScheduled: return "scheduled";
+    case AttemptStatus::kFailed: return "failed";
+    case AttemptStatus::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
 /// Everything one II attempt owns and mutates. A context is reusable
 /// (TryII resets it) and fully self-contained — no state is shared between
 /// two contexts beyond the immutable inputs (original graph, machine,
@@ -111,6 +120,19 @@ class AttemptContext : public NodePlacer {
   /// (optional) aborts the attempt as soon as a strictly lower II commits.
   AttemptStatus TryII(int ii, const SpeculationToken* cancel = nullptr);
 
+  /// Redirects this context's sink callbacks into an internal per-attempt
+  /// buffer. The speculative driver captures each attempt and replays the
+  /// buffers to the user's sink in escalation order after the wave commits
+  /// (same protocol as the per-attempt stats deltas), so the sink observes
+  /// the exact serial event sequence while attempts race concurrently.
+  void BeginSinkCapture() {
+    event_log_.clear();
+    instr_.CaptureTo(&event_log_);
+  }
+  /// Takes the captured events of the last attempt (the capture buffer
+  /// stays attached and is cleared by the next BeginSinkCapture).
+  std::vector<SinkEvent> TakeSinkEvents() { return std::move(event_log_); }
+
   /// Builds the final ScheduleResult from a successful TryII (normalizes
   /// the schedule, recounts ops, classifies the bound; moves the graph and
   /// schedule out, so the context must be Reset by TryII before reuse).
@@ -123,6 +145,10 @@ class AttemptContext : public NodePlacer {
   bool PlaceNode(NodeId u, int cluster, int src_cluster) override;
 
  private:
+  /// TryII's body (TryII itself is a thin wrapper that brackets the body
+  /// in an "attempt" trace span carrying the outcome).
+  AttemptStatus RunAttempt(int ii, const SpeculationToken* cancel);
+
   void Eject(NodeId victim);
   void EjectScheduledNode(NodeId v);
 
@@ -150,6 +176,7 @@ class AttemptContext : public NodePlacer {
   // ---- per-attempt state -----------------------------------------------
   BudgetAccount budget_;
   int since_spill_check_ = 0;
+  std::vector<SinkEvent> event_log_;  ///< Capture buffer (BeginSinkCapture).
 
   // Scratch buffers reused across (non-reentrant) forced placements so the
   // hot loop never allocates.

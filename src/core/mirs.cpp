@@ -1,11 +1,50 @@
 #include "core/mirs.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "core/engine.h"
 #include "ddg/mii.h"
+#include "obs/metrics.h"
 
 namespace hcrf::core {
+
+namespace {
+
+/// Mirrors one finished run's counters into the process-wide registry —
+/// once, from the final ScheduleResult, so the registry totals reconcile
+/// exactly with the summed ScheduleStats of every MirsHC call (asserted in
+/// test_obs.cpp). The engine's hot path never touches the registry.
+void RecordRunMetrics(const ScheduleResult& res, double seconds) {
+  static obs::Counter& runs = obs::GetCounter("engine.runs");
+  static obs::Counter& failed = obs::GetCounter("engine.failed_runs");
+  static obs::Counter& attempts = obs::GetCounter("engine.attempts");
+  static obs::Counter& ejections = obs::GetCounter("engine.ejections");
+  static obs::Counter& forced = obs::GetCounter("engine.force_places");
+  static obs::Counter& restarts = obs::GetCounter("engine.restarts");
+  static obs::Counter& spills = obs::GetCounter("engine.spills_inserted");
+  static obs::Counter& chains_built = obs::GetCounter("engine.chains_built");
+  static obs::Counter& chains_undone = obs::GetCounter("engine.chains_undone");
+  static obs::Counter& raced = obs::GetCounter("engine.spec_raced");
+  static obs::Counter& raced_wins = obs::GetCounter("engine.spec_raced_wins");
+  static obs::Counter& cancelled = obs::GetCounter("engine.spec_cancelled");
+  static obs::Histogram& latency = obs::GetHistogram("engine.schedule_seconds");
+  runs.Add(1);
+  if (!res.ok) failed.Add(1);
+  attempts.Add(res.stats.attempts);
+  ejections.Add(res.stats.ejections);
+  forced.Add(res.stats.force_places);
+  restarts.Add(res.stats.restarts);
+  spills.Add(res.stats.spills_inserted);
+  chains_built.Add(res.stats.chains_built);
+  chains_undone.Add(res.stats.chains_undone);
+  raced.Add(res.spec.raced);
+  raced_wins.Add(res.spec.raced_wins);
+  cancelled.Add(res.spec.cancelled);
+  latency.Record(seconds);
+}
+
+}  // namespace
 
 std::string_view ToString(BoundClass b) {
   switch (b) {
@@ -24,8 +63,13 @@ std::string_view ToString(BoundClass b) {
 ScheduleResult MirsHC(const DDG& loop, const MachineConfig& m,
                       const MirsOptions& opt,
                       const sched::LatencyOverrides& load_overrides) {
+  const auto t0 = std::chrono::steady_clock::now();
   EngineDriver engine(loop, m, opt, load_overrides);
-  return engine.Run();
+  ScheduleResult res = engine.Run();
+  RecordRunMetrics(res, std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+  return res;
 }
 
 BoundClass ClassifyBound(const DDG& final_graph, const MachineConfig& m,

@@ -65,8 +65,10 @@ struct MirsOptions {
   /// path — every candidate below the winner is still attempted and its
   /// per-attempt counters merged in escalation order — so the mode is
   /// outside the schedule cache key, like `incremental`. 0/1 = serial.
-  /// Ignored when an event_sink is attached (its callbacks would
-  /// interleave across concurrent attempts).
+  /// Composes with event_sink: each racing attempt captures its events
+  /// privately and the driver replays them to the sink in escalation
+  /// order after the wave commits, so the sink observes the exact serial
+  /// sequence on a single thread.
   int speculate_k = 0;
   /// Race eagerly: the very first wave already has speculate_k candidates
   /// (MII included) instead of trying MII alone first. Cuts the latency of

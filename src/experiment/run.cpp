@@ -156,6 +156,7 @@ ReproReport RunExperiments(const std::vector<const Experiment*>& selection,
   report.scheduled = batch.scheduled;
   report.hits = batch.hits;
   report.seconds = batch.seconds;
+  report.timing = batch.timing;
 
   for (const Plan& plan : plans) {
     const Experiment* def = plan.def;

@@ -21,6 +21,7 @@
 
 #include "experiment/experiment.h"
 #include "experiment/paper_ref.h"
+#include "service/batch.h"
 #include "service/sched_cache.h"
 
 namespace hcrf::experiment {
@@ -73,6 +74,9 @@ struct ReproReport {
   int hits = 0;       ///< Requests served from the persistent cache.
   int ref_failures = 0;  ///< Enforced reference values out of tolerance.
   double seconds = 0.0;
+  /// Summed per-request phase timings of the scheduling batch (stdout
+  /// summary only, like `cache`: reports stay byte-identical cold/warm).
+  service::RequestTiming timing;
 
   int RefChecks() const;
   int RefPasses() const;

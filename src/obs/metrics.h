@@ -1,0 +1,153 @@
+// Process-wide metrics registry: named counters, gauges and histograms.
+//
+// This is the quantitative half of the observability layer (the tracer in
+// obs/trace.h is the temporal half). Components register an instrument
+// once by name — `obs::GetCounter("mii_cache.hits")` — and bump it on the
+// hot path; `hcrf_sched stats` (and the `--stats` flag of the service
+// commands) dumps the whole registry as an aligned table or JSON.
+//
+// Design constraints, in order:
+//  * Hot-path increments must be cheap and contention-free: Counter is
+//    sharded over cacheline-aligned relaxed atomics (threads hash to a
+//    shard, so concurrent scheduling workers never bounce one line).
+//  * Instruments are process-lived: the registry never deletes an entry,
+//    so a `Counter&` obtained once (typically cached in a function-local
+//    static) stays valid forever. ResetForTest zeroes values in place and
+//    keeps every reference valid.
+//  * Dumps are deterministic: instruments render in name order, doubles
+//    through one fixed format.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace hcrf::obs {
+
+/// Monotonic counter, sharded to keep concurrent increments off one
+/// cacheline. `value()` sums the shards (racy reads are fine: every
+/// increment is relaxed and the sum is only consumed by reporting).
+class Counter {
+ public:
+  void Add(long delta = 1) {
+    shards_[ShardIndex()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  long value() const {
+    long sum = 0;
+    for (const Shard& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  void Reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+  /// The calling thread's shard (hashed thread id, computed once per
+  /// thread).
+  static unsigned ShardIndex();
+
+  struct alignas(64) Shard {
+    std::atomic<long> v{0};
+  };
+  static constexpr unsigned kShards = 8;
+
+  std::string name_;
+  Shard shards_[kShards];
+};
+
+/// Last-write-wins instantaneous value (pool worker counts, cache
+/// residency).
+class Gauge {
+ public:
+  void Set(long v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(long delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  long value() const { return v_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+  std::string name_;
+  std::atomic<long> v_{0};
+};
+
+/// Log-scale latency histogram over seconds. Bucket 0 holds samples up to
+/// 1 microsecond; bucket i (i >= 1) holds (2^(i-1), 2^i] microseconds, so
+/// 28 buckets span ~1 us to ~2 minutes. The sum is kept in integer
+/// nanoseconds: additions stay exact and order-independent.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 28;
+
+  void Record(double seconds);
+
+  long count() const { return count_.load(std::memory_order_relaxed); }
+  double sum_seconds() const {
+    return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  long bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Upper bound of bucket i, in seconds.
+  static double BucketUpperSeconds(int i);
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+  void Reset();
+
+  std::string name_;
+  std::atomic<long> count_{0};
+  std::atomic<long> sum_ns_{0};
+  std::atomic<long> buckets_[kBuckets]{};
+};
+
+/// The process-wide instrument registry. Lookup is mutex-guarded (cache
+/// the returned reference; it never dangles), iteration for dumps is in
+/// name order.
+class Registry {
+ public:
+  static Registry& Shared();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Aligned human-readable dump, instruments in name order.
+  std::string Table() const;
+  /// Deterministic JSON: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum_seconds, mean_seconds,
+  /// buckets: [[upper_seconds, count], ...nonzero...]}}}.
+  std::string Json() const;
+
+  /// Zeroes every instrument in place (references stay valid); entries are
+  /// never removed. Test isolation only.
+  void ResetForTest();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Shared-registry shorthands. The returned references are process-lived;
+/// hot paths should capture them once (function-local static) instead of
+/// re-looking-up per event.
+Counter& GetCounter(std::string_view name);
+Gauge& GetGauge(std::string_view name);
+Histogram& GetHistogram(std::string_view name);
+
+}  // namespace hcrf::obs

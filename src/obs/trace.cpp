@@ -1,0 +1,196 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <string_view>
+
+namespace hcrf::obs {
+
+namespace internal {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace internal
+
+namespace {
+
+// Same rationale as in metrics.cpp: obs is below io in the layering, so it
+// formats its own JSON.
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendTs(std::string& out, double us) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  out += buf;
+}
+
+}  // namespace
+
+Tracer& Tracer::Shared() {
+  static Tracer* tracer = new Tracer();  // leaked: lives for the process
+  return *tracer;
+}
+
+void Tracer::Start() {
+  std::lock_guard<std::mutex> lk(mu_);
+  logs_.clear();
+  start_ = std::chrono::steady_clock::now();
+  // Bumping the epoch invalidates every thread's cached buffer pointer;
+  // the order (epoch first, then enable) does not matter under the
+  // quiescence contract.
+  epoch_.fetch_add(1, std::memory_order_release);
+  internal::g_trace_enabled.store(true, std::memory_order_release);
+}
+
+void Tracer::Stop() {
+  internal::g_trace_enabled.store(false, std::memory_order_release);
+}
+
+double Tracer::NowUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+Tracer::ThreadLog* Tracer::LocalLog() {
+  struct Cache {
+    ThreadLog* log = nullptr;
+    std::uint64_t epoch = 0;
+  };
+  thread_local Cache cache;
+  const std::uint64_t ep = epoch_.load(std::memory_order_acquire);
+  if (cache.log == nullptr || cache.epoch != ep) {
+    std::lock_guard<std::mutex> lk(mu_);
+    logs_.push_back(std::make_unique<ThreadLog>());
+    ThreadLog* log = logs_.back().get();
+    log->tid = static_cast<int>(logs_.size());
+    const auto it = names_.find(std::this_thread::get_id());
+    log->name = it != names_.end() ? it->second
+                                   : "thread-" + std::to_string(log->tid);
+    cache.log = log;
+    cache.epoch = ep;
+  }
+  return cache.log;
+}
+
+void Tracer::Complete(const char* cat, const char* name, double ts_us,
+                      double dur_us, int ii, int node, std::string detail) {
+  TraceEvent ev;
+  ev.ph = 'X';
+  ev.cat = cat;
+  ev.name = name;
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.ii = ii;
+  ev.node = node;
+  ev.detail = std::move(detail);
+  LocalLog()->events.push_back(std::move(ev));
+}
+
+void Tracer::Instant(const char* cat, const char* name, int ii, int node) {
+  TraceEvent ev;
+  ev.ph = 'i';
+  ev.cat = cat;
+  ev.name = name;
+  ev.ts_us = NowUs();
+  ev.ii = ii;
+  ev.node = node;
+  LocalLog()->events.push_back(std::move(ev));
+}
+
+std::string Tracer::ExportJson() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  const auto sep = [&] {
+    out += first ? "\n" : ",\n";
+    first = false;
+  };
+  for (const auto& log : logs_) {
+    sep();
+    out += "{\"ph\": \"M\", \"pid\": 1, \"tid\": " + std::to_string(log->tid) +
+           ", \"name\": \"thread_name\", \"args\": {\"name\": \"" +
+           JsonEscape(log->name) + "\"}}";
+    for (const TraceEvent& ev : log->events) {
+      sep();
+      out += "{\"ph\": \"";
+      out += ev.ph;
+      out += "\", \"pid\": 1, \"tid\": " + std::to_string(log->tid) +
+             ", \"cat\": \"" + JsonEscape(ev.cat) + "\", \"name\": \"" +
+             JsonEscape(ev.name) + "\", \"ts\": ";
+      AppendTs(out, ev.ts_us);
+      if (ev.ph == 'X') {
+        out += ", \"dur\": ";
+        AppendTs(out, ev.dur_us);
+      } else if (ev.ph == 'i') {
+        out += ", \"s\": \"t\"";  // thread-scoped instant
+      }
+      std::string args;
+      if (ev.ii >= 0) args += "\"ii\": " + std::to_string(ev.ii);
+      if (ev.node >= 0) {
+        if (!args.empty()) args += ", ";
+        args += "\"node\": " + std::to_string(ev.node);
+      }
+      if (!ev.detail.empty()) {
+        if (!args.empty()) args += ", ";
+        args += "\"detail\": \"" + JsonEscape(ev.detail) + "\"";
+      }
+      if (!args.empty()) out += ", \"args\": {" + args + "}";
+      out += "}";
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::vector<Tracer::ThreadSnapshot> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<ThreadSnapshot> out;
+  out.reserve(logs_.size());
+  for (const auto& log : logs_) {
+    out.push_back(ThreadSnapshot{log->tid, log->name, log->events});
+  }
+  return out;
+}
+
+void Tracer::SetThreadName(std::string name) {
+  Tracer& t = Shared();
+  std::lock_guard<std::mutex> lk(t.mu_);
+  t.names_[std::this_thread::get_id()] = std::move(name);
+}
+
+void TraceSpan::Finish() {
+  Tracer& t = Tracer::Shared();
+  t.Complete(cat_, name_, t0_, t.NowUs() - t0_, ii_, node_,
+             std::move(detail_));
+}
+
+}  // namespace hcrf::obs

@@ -265,14 +265,36 @@ BenchReport RunBench(const BenchOptions& opt) {
   report.speculate_eager = opt.speculate_eager;
   report.speculation_pool_workers =
       opt.speculate_k >= 2 ? SpeculationPool::Shared().num_workers() : 0;
+  report.host = QueryHostInfo();
   report.mii_cache = GetMiiCacheStats();
   return report;
 }
 
+HostInfo QueryHostInfo() {
+  HostInfo h;
+  h.hardware_concurrency = std::thread::hardware_concurrency();
+  h.thread_pool_workers = ThreadPool::Shared().num_workers();
+  h.speculation_pool_workers = SpeculationPool::Shared().num_workers();
+#ifdef NDEBUG
+  h.build_type = "release";
+#else
+  h.build_type = "debug";
+#endif
+  return h;
+}
+
 std::string BenchJson(const BenchReport& report) {
   std::string out = "{\n";
-  out += "  \"format\": \"hcrf-bench-2\",\n";
+  out += "  \"format\": \"hcrf-bench-3\",\n";
   out += "  \"generated_by\": \"hcrf_sched bench\",\n";
+  out += "  \"host\": {\"hardware_concurrency\": " +
+         std::to_string(report.host.hardware_concurrency) +
+         ", \"thread_pool_workers\": " +
+         std::to_string(report.host.thread_pool_workers) +
+         ", \"speculation_pool_workers\": " +
+         std::to_string(report.host.speculation_pool_workers) +
+         ",\n           \"build_type\": \"" + report.host.build_type +
+         "\"},\n";
   out += "  \"threads\": 1,\n";
   out += "  \"speculate_k\": " + std::to_string(report.speculate_k) + ",\n";
   out += "  \"speculate_eager\": " +
@@ -326,6 +348,26 @@ std::string BenchJson(const BenchReport& report) {
                                     report.incremental_seconds
                               : 0.0) +
          "\n  },\n";
+  if (report.service.present) {
+    const auto phases = [](const ServicePhaseSeconds& p) {
+      return "{\"queue\": " + io::FormatDouble(p.queue) +
+             ", \"cache_probe\": " + io::FormatDouble(p.cache_probe) +
+             ", \"mii\": " + io::FormatDouble(p.mii) +
+             ", \"schedule\": " + io::FormatDouble(p.schedule) +
+             ", \"serialize\": " + io::FormatDouble(p.serialize) + "}";
+    };
+    out += "  \"service\": {\n";
+    out += "    \"requests\": " + std::to_string(report.service.requests) +
+           ", \"warm_hits\": " + std::to_string(report.service.warm_hits) +
+           ",\n";
+    out += "    \"cold_seconds\": " +
+           io::FormatDouble(report.service.cold_seconds) +
+           ", \"warm_seconds\": " +
+           io::FormatDouble(report.service.warm_seconds) + ",\n";
+    out += "    \"cold_phases\": " + phases(report.service.cold) + ",\n";
+    out += "    \"warm_phases\": " + phases(report.service.warm) + "\n";
+    out += "  },\n";
+  }
   const long lookups = report.mii_cache.hits + report.mii_cache.misses;
   out += "  \"mii_cache\": {\"hits\": " + std::to_string(report.mii_cache.hits) +
          ", \"misses\": " + std::to_string(report.mii_cache.misses) +

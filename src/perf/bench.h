@@ -127,6 +127,44 @@ struct BaselineComparison {
   }
 };
 
+/// Host/build metadata stamped into the bench JSON header. Without it the
+/// checked-in numbers are not interpretable — a single-core host degrades
+/// the speculative leg to inline racing (BENCH_PR6.json's numbers needed a
+/// commit-message footnote to explain exactly that).
+struct HostInfo {
+  unsigned hardware_concurrency = 0;
+  int thread_pool_workers = 0;
+  int speculation_pool_workers = 0;
+  std::string build_type;  ///< "release" (NDEBUG) or "debug".
+};
+
+/// Returns the running process's HostInfo (pools lazily started).
+HostInfo QueryHostInfo();
+
+/// Summed per-request phase seconds of the service-timing leg. Mirror of
+/// service::RequestTiming — the service layer sits above perf, so bench.h
+/// cannot include it; tools/hcrf_sched runs the leg and copies the fields.
+struct ServicePhaseSeconds {
+  double queue = 0;
+  double cache_probe = 0;
+  double mii = 0;
+  double schedule = 0;
+  double serialize = 0;
+};
+
+/// Service-timing leg: the kernel corpus scheduled through service::RunBatch
+/// against a fresh cache directory (cold), then again over the populated
+/// cache (warm). Shows where a request's wall time goes on each path.
+struct ServiceLeg {
+  bool present = false;
+  int requests = 0;   ///< Requests per pass.
+  int warm_hits = 0;  ///< Cache hits observed in the warm pass.
+  double cold_seconds = 0;  ///< Batch wall time, cold cache.
+  double warm_seconds = 0;  ///< Batch wall time, warm cache.
+  ServicePhaseSeconds cold;
+  ServicePhaseSeconds warm;
+};
+
 struct BenchReport {
   std::vector<BenchCase> cases;
   double reference_seconds = 0;
@@ -138,6 +176,8 @@ struct BenchReport {
   int speculate_k = 0;
   bool speculate_eager = false;
   int speculation_pool_workers = 0;
+  HostInfo host;
+  ServiceLeg service;
   MiiCacheStats mii_cache;
   BaselineComparison pre_pr;
 
@@ -156,7 +196,7 @@ struct BenchReport {
 BenchReport RunBench(const BenchOptions& opt = {});
 
 /// Serializes the report as deterministic, human-diffable JSON (the
-/// BENCH_*.json format, "hcrf-bench-2"; see README.md).
+/// BENCH_*.json format, "hcrf-bench-3"; see README.md).
 std::string BenchJson(const BenchReport& report);
 
 }  // namespace hcrf::perf

@@ -9,6 +9,7 @@
 
 #include "ddg/mii.h"
 #include "memsim/replay.h"
+#include "obs/metrics.h"
 #include "perf/dual_hash.h"
 #include "perf/thread_pool.h"
 
@@ -99,20 +100,21 @@ class MiiCache {
       std::lock_guard<std::mutex> lk(mu_);
       auto it = map_.find(key);
       if (it != map_.end()) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
+        hits_.Add(1);
         return it->second;
       }
     }
     const MIIInfo mii = ComputeMII(g, m);
     std::lock_guard<std::mutex> lk(mu_);
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_.Add(1);
     if (map_.emplace(key, mii).second) {
       fifo_.push_back(key);
       while (static_cast<long>(map_.size()) > capacity_) {
         map_.erase(fifo_.front());
         fifo_.pop_front();
-        evictions_.fetch_add(1, std::memory_order_relaxed);
+        evictions_.Add(1);
       }
+      entries_.Set(static_cast<long>(map_.size()));
     }
     return mii;
   }
@@ -124,33 +126,42 @@ class MiiCache {
     while (static_cast<long>(map_.size()) > capacity_) {
       map_.erase(fifo_.front());
       fifo_.pop_front();
-      evictions_.fetch_add(1, std::memory_order_relaxed);
+      evictions_.Add(1);
     }
+    entries_.Set(static_cast<long>(map_.size()));
     return previous;
   }
 
-  // The hit/miss/eviction counters are atomics (not fields guarded by mu_)
-  // so that GetMiiCacheStats never races with — or contends against —
-  // runner threads in the middle of a sweep; the entry count takes the
-  // lock (it reads the map).
+  // The hit/miss/eviction counters live in the process-wide metrics
+  // registry (sharded atomics, not fields guarded by mu_) so that
+  // GetMiiCacheStats never races with — or contends against — runner
+  // threads in the middle of a sweep; the entry count takes the lock (it
+  // reads the map).
   MiiCacheStats stats() const {
     MiiCacheStats s;
-    s.hits = hits_.load(std::memory_order_relaxed);
-    s.misses = misses_.load(std::memory_order_relaxed);
-    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.hits = hits_.value();
+    s.misses = misses_.value();
+    s.evictions = evictions_.value();
     std::lock_guard<std::mutex> lk(mu_);
     s.entries = static_cast<long>(map_.size());
     return s;
   }
 
  private:
+  MiiCache()
+      : hits_(obs::GetCounter("mii_cache.hits")),
+        misses_(obs::GetCounter("mii_cache.misses")),
+        evictions_(obs::GetCounter("mii_cache.evictions")),
+        entries_(obs::GetGauge("mii_cache.entries")) {}
+
   mutable std::mutex mu_;
   std::unordered_map<MiiKeyT, MIIInfo, MiiKeyHash> map_;
   std::deque<MiiKeyT> fifo_;  ///< Insertion order; front is evicted first.
   long capacity_ = 4096;
-  std::atomic<long> hits_{0};
-  std::atomic<long> misses_{0};
-  std::atomic<long> evictions_{0};
+  obs::Counter& hits_;
+  obs::Counter& misses_;
+  obs::Counter& evictions_;
+  obs::Gauge& entries_;
 };
 
 // ---------------------------------------------------------------------------

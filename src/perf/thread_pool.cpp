@@ -1,11 +1,19 @@
 #include "perf/thread_pool.h"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hcrf::perf {
 
 ThreadPool& ThreadPool::Shared() {
-  static ThreadPool* pool = new ThreadPool();  // leaked: lives for the process
+  static ThreadPool* pool = [] {
+    auto* p = new ThreadPool();  // leaked: lives for the process
+    obs::GetGauge("thread_pool.workers").Set(p->num_workers());
+    return p;
+  }();
   return *pool;
 }
 
@@ -19,7 +27,10 @@ ThreadPool::ThreadPool(int threads) {
   // "threads" semantics of RunOptions.
   workers_.reserve(static_cast<size_t>(std::max(0, n - 1)));
   for (int i = 0; i < n - 1; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      obs::Tracer::SetThreadName("pool-worker-" + std::to_string(i + 1));
+      WorkerLoop();
+    });
   }
 }
 
@@ -61,6 +72,10 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::ParallelFor(std::size_t n, int max_workers,
                              const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  static obs::Counter& jobs = obs::GetCounter("thread_pool.jobs");
+  static obs::Counter& items = obs::GetCounter("thread_pool.items");
+  jobs.Add(1);
+  items.Add(static_cast<long>(n));
   if (max_workers <= 1 || n == 1 || workers_.empty()) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
@@ -87,8 +102,11 @@ void ThreadPool::ParallelFor(std::size_t n, int max_workers,
 // ---------------------------------------------------------------------------
 
 SpeculationPool& SpeculationPool::Shared() {
-  static SpeculationPool* pool =
-      new SpeculationPool();  // leaked: lives for the process
+  static SpeculationPool* pool = [] {
+    auto* p = new SpeculationPool();  // leaked: lives for the process
+    obs::GetGauge("spec_pool.workers").Set(p->num_workers());
+    return p;
+  }();
   return *pool;
 }
 
@@ -105,7 +123,10 @@ SpeculationPool::SpeculationPool(int threads) {
                 1;
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      obs::Tracer::SetThreadName("spec-worker-" + std::to_string(i + 1));
+      WorkerLoop();
+    });
   }
 }
 
@@ -135,6 +156,8 @@ void SpeculationPool::WorkerLoop() {
 }
 
 void TaskGroup::Submit(std::function<void()> fn) {
+  static obs::Counter& tasks = obs::GetCounter("spec_pool.tasks");
+  tasks.Add(1);
   {
     std::lock_guard<std::mutex> lk(pool_.mu_);
     pool_.queue_.push_back(SpeculationPool::Task{this, std::move(fn)});
@@ -154,6 +177,8 @@ void TaskGroup::RunAndWait() {
       if (it->group == this) break;
     }
     if (it != pool_.queue_.end()) {
+      static obs::Counter& steals = obs::GetCounter("spec_pool.inline_steals");
+      steals.Add(1);
       std::function<void()> fn = std::move(it->fn);
       pool_.queue_.erase(it);
       lk.unlock();

@@ -6,6 +6,8 @@
 
 #include "io/hcl.h"
 #include "io/scanner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "perf/runner.h"
 #include "perf/thread_pool.h"
 
@@ -105,20 +107,35 @@ BatchReport RunBatch(const std::vector<BatchRequest>& requests,
   const int max_workers =
       opt.threads > 0 ? opt.threads : pool.num_workers() + 1;
   pool.ParallelFor(requests.size(), max_workers, [&](size_t i) {
+    static obs::Counter& req_count = obs::GetCounter("service.requests");
+    static obs::Counter& hit_count = obs::GetCounter("service.cache_hits");
+    static obs::Histogram& req_hist =
+        obs::GetHistogram("service.request_seconds");
     const BatchRequest& req = requests[i];
     BatchItem& item = report.items[i];
     item.id = req.id;
     const auto t0 = std::chrono::steady_clock::now();
-    const CacheKey key =
-        cache ? MakeCacheKey(req.loop->ddg, req.machine, req.options,
-                             req.overrides)
-              : CacheKey{};
+    item.timing.queue_seconds =
+        std::chrono::duration<double>(t0 - wall0).count();
+    obs::TraceSpan req_span("service", "request");
+    req_span.set_detail(req.id);
+    const auto phase_seconds = [](const auto& since) {
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           since)
+          .count();
+    };
+    CacheKey key{};
     if (cache) {
+      obs::TraceSpan probe_span("phase", "cache-probe");
+      const auto p0 = std::chrono::steady_clock::now();
+      key = MakeCacheKey(req.loop->ddg, req.machine, req.options,
+                         req.overrides);
       if (std::optional<core::ScheduleResult> hit = cache->Get(key)) {
         item.result = *std::move(hit);
         item.ok = item.result.ok;
         item.cache_hit = true;
       }
+      item.timing.cache_probe_seconds = phase_seconds(p0);
     }
     if (!item.cache_hit) {
       core::MirsOptions mirs = req.options;
@@ -136,13 +153,22 @@ BatchReport RunBatch(const std::vector<BatchRequest>& requests,
         // resource counts — not the RF organization — so the process-wide
         // sweep cache shares it across the configurations of a
         // design-space sweep (and across repeated batches in-process).
+        const auto m0 = std::chrono::steady_clock::now();
         mirs.precomputed_mii =
             perf::CachedMii(req.loop->ddg, req.machine, req.overrides);
+        item.timing.mii_seconds = phase_seconds(m0);
       }
+      const auto s0 = std::chrono::steady_clock::now();
       item.result =
           core::MirsHC(req.loop->ddg, req.machine, mirs, req.overrides);
+      item.timing.schedule_seconds = phase_seconds(s0);
       item.ok = item.result.ok;
-      if (cache) cache->Put(key, item.result);
+      if (cache) {
+        obs::TraceSpan write_span("phase", "serialize");
+        const auto w0 = std::chrono::steady_clock::now();
+        cache->Put(key, item.result);
+        item.timing.serialize_seconds = phase_seconds(w0);
+      }
     }
     if (!item.ok && item.error.empty()) {
       item.error = "scheduling failed (no II <= max_ii admitted a schedule)";
@@ -150,6 +176,9 @@ BatchReport RunBatch(const std::vector<BatchRequest>& requests,
     item.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+    req_count.Add(1);
+    if (item.cache_hit) hit_count.Add(1);
+    req_hist.Record(item.seconds);
   });
   report.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
@@ -162,6 +191,7 @@ BatchReport RunBatch(const std::vector<BatchRequest>& requests,
       ++report.scheduled;
     }
     if (!item.ok) ++report.failed;
+    report.timing.Accumulate(item.timing);
   }
   if (cache) report.cache = cache->stats();
   return report;
@@ -220,6 +250,7 @@ BatchReport RunManifest(const std::string& manifest_path,
   report.hits = run.hits;
   report.failed += run.failed;
   report.seconds = run.seconds;
+  report.timing = run.timing;
   return report;
 }
 

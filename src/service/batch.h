@@ -88,13 +88,37 @@ struct BatchOptions {
   bool speculate_eager = false;
 };
 
+/// Wall-clock decomposition of one request's trip through the service.
+/// Phases that did not run stay zero (mii/schedule/serialize on a cache
+/// hit; cache_probe/serialize when caching is disabled).
+struct RequestTiming {
+  double queue_seconds = 0;  ///< Batch start until a worker picked it up.
+  double cache_probe_seconds = 0;  ///< Cache key + persistent-cache Get.
+  double mii_seconds = 0;       ///< MII bound (sweep-cache probe/compute).
+  double schedule_seconds = 0;  ///< The MirsHC run itself.
+  double serialize_seconds = 0;  ///< Result serialization + cache write.
+
+  double Total() const {
+    return queue_seconds + cache_probe_seconds + mii_seconds +
+           schedule_seconds + serialize_seconds;
+  }
+  void Accumulate(const RequestTiming& d) {
+    queue_seconds += d.queue_seconds;
+    cache_probe_seconds += d.cache_probe_seconds;
+    mii_seconds += d.mii_seconds;
+    schedule_seconds += d.schedule_seconds;
+    serialize_seconds += d.serialize_seconds;
+  }
+};
+
 struct BatchItem {
   std::string id;
   bool ok = false;
   bool cache_hit = false;
   std::string error;  ///< Load/schedule failure; empty on success.
   core::ScheduleResult result;
-  double seconds = 0.0;  ///< Wall time spent on this request.
+  double seconds = 0.0;   ///< Wall time spent on this request.
+  RequestTiming timing;   ///< Phase decomposition of `seconds` (+ queue).
 };
 
 struct BatchReport {
@@ -103,7 +127,8 @@ struct BatchReport {
   int scheduled = 0;             ///< Fresh MirsHC runs.
   int hits = 0;                  ///< Requests served from the cache.
   int failed = 0;
-  double seconds = 0.0;  ///< Wall time of the whole batch.
+  double seconds = 0.0;   ///< Wall time of the whole batch.
+  RequestTiming timing;   ///< Summed per-request phase timings.
 };
 
 /// Schedules every request (in parallel, cache-backed). Never throws for

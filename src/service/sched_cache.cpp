@@ -4,9 +4,15 @@
 #include <filesystem>
 
 #include "io/hcl.h"
+#include "obs/metrics.h"
 #include "perf/dual_hash.h"
 
 namespace hcrf::service {
+
+// The per-instance atomic counters stay (a cache object's stats() must
+// describe that instance — RunBatch reports them per batch); the shared
+// metrics registry additionally accumulates the process-wide view under
+// `sched_cache.*`.
 
 namespace {
 
@@ -123,10 +129,12 @@ std::optional<core::ScheduleResult> ScheduleCache::Get(const CacheKey& key) {
     text = io::ReadFile(path);
   } catch (const std::runtime_error&) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::GetCounter("sched_cache.misses").Add(1);
     return std::nullopt;
   }
   const auto reject = [&]() {
     rejects_.fetch_add(1, std::memory_order_relaxed);
+    obs::GetCounter("sched_cache.rejects").Add(1);
     return std::nullopt;
   };
 
@@ -156,6 +164,7 @@ std::optional<core::ScheduleResult> ScheduleCache::Get(const CacheKey& key) {
   try {
     core::ScheduleResult r = io::ParseResult(body, path);
     hits_.fetch_add(1, std::memory_order_relaxed);
+    obs::GetCounter("sched_cache.hits").Add(1);
     return r;
   } catch (const io::HclError&) {
     return reject();
@@ -171,6 +180,7 @@ void ScheduleCache::Put(const CacheKey& key,
   try {
     io::WriteFileAtomic(EntryPath(key), text);
     writes_.fetch_add(1, std::memory_order_relaxed);
+    obs::GetCounter("sched_cache.writes").Add(1);
   } catch (const std::runtime_error&) {
     // Cache writes are best-effort; the schedule itself already exists.
   }

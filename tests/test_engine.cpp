@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/engine.h"
@@ -292,26 +293,45 @@ TEST(Speculation, RacesInsideSingleThreadAndParallelBatches) {
   }
 }
 
-// An attached event sink forces the serial path (interleaved callbacks
-// from racing attempts would be meaningless): same schedule, no telemetry.
-TEST(Speculation, EventSinkDisablesRacing) {
-  class CountSink final : public core::EventSink {
+// Regression for the PR 6 restriction that an attached event sink forced
+// the serial path: racing attempts now capture their callbacks privately
+// and the driver replays them in escalation order after each wave, so the
+// sink observes the exact serial sequence — same events, same order, same
+// (node, ii) payloads, on a single thread — while racing still happens.
+TEST(Speculation, EventSinkComposesWithRacing) {
+  class RecordingSink final : public core::EventSink {
    public:
-    void OnEvent(core::SchedEvent, NodeId, int) override { ++events; }
-    int events = 0;
+    void OnEvent(core::SchedEvent e, NodeId n, int ii) override {
+      events.push_back({e, n, ii});
+    }
+    std::vector<std::tuple<core::SchedEvent, NodeId, int>> events;
   };
   const workload::Suite& kernels = workload::SharedKernelSuite();
-  const MachineConfig m = OrgMachine("4C16S64/2-1");
-  CountSink sink;
-  core::MirsOptions spec;
-  spec.speculate_k = 4;
-  spec.event_sink = &sink;
-  const core::ScheduleResult r = core::MirsHC(kernels[0].ddg, m, spec);
-  const core::ScheduleResult serial = core::MirsHC(kernels[0].ddg, m, {});
-  ASSERT_TRUE(r.ok);
-  EXPECT_GT(sink.events, 0);
-  EXPECT_EQ(r.spec.raced, 0);
-  EXPECT_EQ(io::DumpResult(r), io::DumpResult(serial));
+  // Ejection-heavy organization so the walk escalates (several waves) and
+  // the replayed stream includes restarts, not just one attempt's events.
+  const MachineConfig m = OrgMachine("4C32/1-1");
+  int raced_total = 0;
+  for (size_t i = 0; i < kernels.size() && i < 6; ++i) {
+    const std::string what = kernels[i].ddg.name();
+    RecordingSink serial_sink;
+    core::MirsOptions serial;
+    serial.event_sink = &serial_sink;
+    RecordingSink spec_sink;
+    core::MirsOptions spec;
+    spec.speculate_k = 4;
+    spec.speculate_eager = true;
+    spec.event_sink = &spec_sink;
+    const core::ScheduleResult a = core::MirsHC(kernels[i].ddg, m, serial);
+    const core::ScheduleResult b = core::MirsHC(kernels[i].ddg, m, spec);
+    ASSERT_TRUE(a.ok) << what;
+    ASSERT_TRUE(b.ok) << what;
+    EXPECT_EQ(io::DumpResult(b), io::DumpResult(a)) << what;
+    EXPECT_GT(serial_sink.events.size(), 0u) << what;
+    EXPECT_EQ(spec_sink.events, serial_sink.events) << what;
+    raced_total += b.spec.raced;
+  }
+  // The point of the regression test: the sink no longer disables racing.
+  EXPECT_GT(raced_total, 0);
 }
 
 }  // namespace

@@ -6,10 +6,16 @@
 //   hcrf_sched dump <file>                     parse + canonical re-dump
 //   hcrf_sched validate <file.hcl>             strict load + graph check
 //   hcrf_sched export [options]                write a suite as .hcl corpus
-//   hcrf_sched cache-stats <dir>               census of a schedule cache
+//   hcrf_sched stats [dir]                     metrics registry (+ cache census)
 //   hcrf_sched smoke <manifest>                cold+warm cache self-check
 //   hcrf_sched bench [options]                 engine A/B perf baseline
 //   hcrf_sched repro [options]                 paper-reproduction experiments
+//
+// The scheduling commands (schedule / run / bench / repro) additionally
+// accept `--trace=FILE` (write a Chrome trace_event JSON of the run; open
+// in Perfetto or chrome://tracing) and `--stats[=json]` (dump the metrics
+// registry after the run). Tracing is a pure observer: schedules and
+// serialized stats are bit-identical with or without it.
 //
 // Run `hcrf_sched help` for per-command options. Exit status: 0 on
 // success, 1 on bad usage / failed requests / failed self-check.
@@ -30,6 +36,8 @@
 #include "hwmodel/characterize.h"
 #include "io/hcl.h"
 #include "machine/machine_config.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "perf/bench.h"
 #include "perf/runner.h"
 #include "service/batch.h"
@@ -56,9 +64,12 @@ commands:
       --eager              race the first wave too (with --speculate)
       --cache=DIR          persistent schedule cache
       --out=FILE           write the result document (default stdout)
+      --trace=FILE         write a Chrome trace_event JSON of the run
+      --stats[=json]       dump the metrics registry after the run
   run <manifest>         run every request of a batch manifest
       --cache=DIR --threads=N --out-dir=DIR --quiet
       --speculate=K --eager  speculative II racing inside each request
+      --trace=FILE --stats[=json]
   sweep <spec.hcl>       run a design-space sweep over RF organizations
       --cache=DIR          persistent schedule cache
       --threads=N
@@ -75,7 +86,12 @@ commands:
       --rf=NAME              RF the generated manifest schedules on
                              (default 4C16S64/2-1, the paper's proposal)
       --out=DIR              corpus directory (default corpus)
-  cache-stats <dir>      entry count and bytes of a schedule cache
+  stats [dir]            dump the process metrics registry (counters,
+                         gauges, latency histograms); with a directory,
+                         folds a disk census of that schedule cache in as
+                         sched_cache.disk_entries / sched_cache.disk_bytes
+      --json               JSON instead of the aligned table
+                         (`cache-stats <dir>` is the pre-PR7 alias)
   smoke <manifest>       run twice (cold, warm cache); verify the warm run
                          hits the cache and its output is bit-identical
   bench                  time the scheduling hot path: reference engine vs
@@ -84,7 +100,7 @@ commands:
                          if not); reports per-loop latency tails
                          (p50/p95/p99/max) and speculation telemetry
       --out=FILE           write the BENCH_*.json report (default
-                           BENCH_PR6.json; '-' = stdout only)
+                           BENCH_PR7.json; '-' = stdout only)
       --rf=A,B,...         organizations to bench (paper notation)
       --reps=N             kernel-suite repetitions per timed mode
       --synth-n=N          synthetic loops per case (default: whole suite)
@@ -98,6 +114,7 @@ commands:
                            record a comparison against a separately timed
                            older binary (e.g. the pre-PR engine) in the
                            report's pre_pr block
+      --trace=FILE --stats[=json]
   repro                  run the registered paper-reproduction experiments
                          (figures 1/4/6, tables 1-6, the ablations) through
                          the cache-backed batch service and render the
@@ -111,6 +128,7 @@ commands:
                            warm run against a fresh cache; the warm run
                            must be fully cache-served with bit-identical
                            reports
+      --trace=FILE --stats[=json]
 )");
   return 1;
 }
@@ -192,6 +210,49 @@ bool CheckFlags(const Args& a, std::initializer_list<const char*> known) {
   return true;
 }
 
+/// `--stats[=json]`: dump the whole metrics registry after the command.
+void MaybeDumpStats(const Args& args) {
+  const std::string* v = args.Flag("stats");
+  if (v == nullptr) return;
+  if (!v->empty() && *v != "json") {
+    throw std::runtime_error("--stats: expected --stats or --stats=json");
+  }
+  const std::string out = *v == "json" ? obs::Registry::Shared().Json()
+                                       : obs::Registry::Shared().Table();
+  std::fwrite(out.data(), 1, out.size(), stdout);
+}
+
+/// `--trace=FILE`: brackets the command body with the flight recorder and
+/// writes the Chrome trace_event JSON when it returns. The export happens
+/// after the body — i.e. after every ParallelFor / TaskGroup wait — so the
+/// tracer's quiescence contract holds (pool workers are parked, no spans
+/// in flight). Also applies `--stats` after the body, traced or not.
+template <typename Body>
+int RunTraced(const Args& args, Body&& body) {
+  const std::string* trace = args.Flag("trace");
+  if (trace != nullptr && trace->empty()) {
+    throw std::runtime_error("--trace: expected --trace=FILE");
+  }
+  if (trace != nullptr) {
+    obs::Tracer::SetThreadName("main");
+    obs::Tracer::Shared().Start();
+  }
+  int rc;
+  try {
+    rc = body();
+  } catch (...) {
+    if (trace != nullptr) obs::Tracer::Shared().Stop();
+    throw;
+  }
+  if (trace != nullptr) {
+    obs::Tracer::Shared().Stop();
+    io::WriteFileAtomic(*trace, obs::Tracer::Shared().ExportJson());
+    std::printf("trace: %s\n", trace->c_str());
+  }
+  MaybeDumpStats(args);
+  return rc;
+}
+
 MachineConfig MachineFromFlags(const Args& args) {
   if (const std::string* path = args.Flag("machine")) {
     return io::LoadMachineFile(*path);
@@ -248,7 +309,7 @@ int CmdSchedule(const Args& args) {
   if (args.positional.size() != 1 ||
       !CheckFlags(args, {"rf", "machine", "no-characterize", "budget",
                          "max-ii", "policy", "non-iterative", "speculate",
-                         "eager", "cache", "out"})) {
+                         "eager", "cache", "out", "trace", "stats"})) {
     return Usage();
   }
   const auto loop =
@@ -311,7 +372,7 @@ int RunManifestOnce(const std::string& manifest,
 int CmdRun(const Args& args) {
   if (args.positional.size() != 1 ||
       !CheckFlags(args, {"cache", "threads", "out-dir", "quiet", "speculate",
-                         "eager"})) {
+                         "eager", "trace", "stats"})) {
     return Usage();
   }
   service::BatchOptions bopt;
@@ -526,12 +587,30 @@ int CmdExport(const Args& args) {
   return 0;
 }
 
-int CmdCacheStats(const Args& args) {
-  if (args.positional.size() != 1 || !CheckFlags(args, {})) return Usage();
-  const service::ScheduleCache::DirStats ds =
-      service::ScheduleCache::Scan(args.positional[0]);
-  std::printf("%s: %ld entries, %ld bytes\n", args.positional[0].c_str(),
-              ds.entries, ds.bytes);
+// Metrics-registry dump (`stats`, with `cache-stats` as the pre-PR7
+// alias). A fresh process has mostly-zero instruments — the interesting
+// use is `--stats` on the scheduling commands, which dumps the registry
+// the run just populated — but a cache directory argument always works:
+// its disk census is folded into the registry as gauges so the table and
+// the JSON render it like every other instrument.
+int CmdStats(const Args& args) {
+  if (args.positional.size() > 1 || !CheckFlags(args, {"json"})) {
+    return Usage();
+  }
+  if (!args.positional.empty()) {
+    const service::ScheduleCache::DirStats ds =
+        service::ScheduleCache::Scan(args.positional[0]);
+    obs::GetGauge("sched_cache.disk_entries").Set(ds.entries);
+    obs::GetGauge("sched_cache.disk_bytes").Set(ds.bytes);
+    if (args.Flag("json") == nullptr) {
+      std::printf("%s: %ld entries, %ld bytes\n", args.positional[0].c_str(),
+                  ds.entries, ds.bytes);
+    }
+  }
+  const std::string out = args.Flag("json") != nullptr
+                              ? obs::Registry::Shared().Json()
+                              : obs::Registry::Shared().Table();
+  std::fwrite(out.data(), 1, out.size(), stdout);
   return 0;
 }
 
@@ -606,6 +685,63 @@ int CmdSmoke(const Args& args) {
   return ok ? 0 : 1;
 }
 
+// Service-timing leg of the bench: the kernel corpus scheduled through
+// service::RunBatch against a fresh temp cache (cold), then again over
+// the populated cache (warm). The per-request phase decomposition
+// (queue / cache probe / MII / schedule / serialize) shows where a
+// request's wall time goes on each path; the leg lives here rather than
+// in perf::RunBench because the service layer sits above perf.
+perf::ServiceLeg RunServiceTimingLeg() {
+  perf::ServiceLeg leg;
+  const workload::Suite* suite = workload::SharedSuiteByName("kernels");
+  if (suite == nullptr || suite->size() == 0) return leg;
+  MachineConfig m = MachineConfig::WithRF(RFConfig::Parse("4C16S64/2-1"));
+  m = hw::ApplyCharacterization(m, hw::RFModelMode::kPaperTable);
+
+  std::vector<service::BatchRequest> requests;
+  requests.reserve(suite->size());
+  for (size_t i = 0; i < suite->size(); ++i) {
+    const workload::Loop& loop = (*suite)[i];
+    service::BatchRequest req;
+    // Non-owning alias: the shared suite outlives the batch.
+    req.loop = std::shared_ptr<const workload::Loop>(
+        std::shared_ptr<const void>(), &loop);
+    req.id = loop.ddg.name().empty() ? "kernel-" + std::to_string(i)
+                                     : loop.ddg.name();
+    req.machine = m;
+    requests.push_back(std::move(req));
+  }
+
+  service::BatchOptions sopt;
+  std::error_code ec;
+  sopt.cache_dir = (fs::temp_directory_path() /
+                    ("hcrf-bench-service-" + std::to_string(::getpid())))
+                       .string();
+  fs::remove_all(sopt.cache_dir, ec);
+
+  const auto phases = [](const service::RequestTiming& t) {
+    perf::ServicePhaseSeconds p;
+    p.queue = t.queue_seconds;
+    p.cache_probe = t.cache_probe_seconds;
+    p.mii = t.mii_seconds;
+    p.schedule = t.schedule_seconds;
+    p.serialize = t.serialize_seconds;
+    return p;
+  };
+  const service::BatchReport cold = service::RunBatch(requests, sopt);
+  const service::BatchReport warm = service::RunBatch(requests, sopt);
+  fs::remove_all(sopt.cache_dir, ec);
+
+  leg.present = true;
+  leg.requests = static_cast<int>(cold.items.size());
+  leg.warm_hits = warm.hits;
+  leg.cold_seconds = cold.seconds;
+  leg.warm_seconds = warm.seconds;
+  leg.cold = phases(cold.timing);
+  leg.warm = phases(warm.timing);
+  return leg;
+}
+
 // Engine A/B perf baseline: times the incremental hot path against the
 // non-incremental reference and asserts schedules stay bit-identical.
 // Writes the BENCH_*.json trajectory artifact; CI runs `bench --smoke`.
@@ -613,7 +749,8 @@ int CmdBench(const Args& args) {
   if (!args.positional.empty() ||
       !CheckFlags(args, {"out", "rf", "reps", "synth-n", "speculate",
                          "eager", "smoke", "baseline-seconds",
-                         "current-seconds", "baseline-note"})) {
+                         "current-seconds", "baseline-note", "trace",
+                         "stats"})) {
     return Usage();
   }
   perf::BenchOptions bopt;
@@ -659,6 +796,7 @@ int CmdBench(const Args& args) {
   }
 
   perf::BenchReport report = perf::RunBench(bopt);
+  report.service = RunServiceTimingLeg();
   // Optional comparison against a separately timed older binary (see the
   // BENCH_*.json notes in README.md): both numbers must come from the same
   // command, run the same way.
@@ -709,9 +847,18 @@ int CmdBench(const Args& args) {
                 report.pre_pr.baseline_seconds, report.pre_pr.current_seconds,
                 report.pre_pr.Speedup(), report.pre_pr.note.c_str());
   }
+  if (report.service.present) {
+    std::printf(
+        "service: %d requests  cold %.3f s (mii %.3f, schedule %.3f, "
+        "serialize %.3f)  warm %.3f s (%d hits, probe %.3f)\n",
+        report.service.requests, report.service.cold_seconds,
+        report.service.cold.mii, report.service.cold.schedule,
+        report.service.cold.serialize, report.service.warm_seconds,
+        report.service.warm_hits, report.service.warm.cache_probe);
+  }
 
   const std::string* out = args.Flag("out");
-  const std::string path = out != nullptr ? *out : "BENCH_PR6.json";
+  const std::string path = out != nullptr ? *out : "BENCH_PR7.json";
   if (path != "-") {
     io::WriteFileAtomic(path, perf::BenchJson(report));
     std::printf("report: %s\n", path.c_str());
@@ -737,6 +884,11 @@ void PrintReproSummary(const experiment::ReproReport& report,
       "%d scheduled, %d cache hits, %d failed cells, %.3f s wall\n",
       report.experiments.size(), cells, report.requests, report.scheduled,
       report.hits, failed_cells, report.seconds);
+  std::printf(
+      "timing: probe %.3f s, mii %.3f s, schedule %.3f s, serialize %.3f s "
+      "(summed per-request phases)\n",
+      report.timing.cache_probe_seconds, report.timing.mii_seconds,
+      report.timing.schedule_seconds, report.timing.serialize_seconds);
   if (!cache_dir.empty()) {
     std::printf("cache: %ld hits, %ld misses, %ld rejects, %ld writes (%s)\n",
                 report.cache.hits, report.cache.misses, report.cache.rejects,
@@ -770,7 +922,7 @@ void PrintReproSummary(const experiment::ReproReport& report,
 int CmdRepro(const Args& args) {
   if (!args.positional.empty() ||
       !CheckFlags(args, {"list", "only", "out", "cache", "threads", "quiet",
-                         "smoke"})) {
+                         "smoke", "trace", "stats"})) {
     return Usage();
   }
   if (args.Flag("list") != nullptr) {
@@ -897,16 +1049,18 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const Args args = Args::Parse(argc, argv, 2);
   try {
-    if (cmd == "schedule") return CmdSchedule(args);
-    if (cmd == "run") return CmdRun(args);
+    if (cmd == "schedule") {
+      return RunTraced(args, [&] { return CmdSchedule(args); });
+    }
+    if (cmd == "run") return RunTraced(args, [&] { return CmdRun(args); });
     if (cmd == "sweep") return CmdSweep(args);
     if (cmd == "dump") return CmdDump(args);
     if (cmd == "validate") return CmdValidate(args);
     if (cmd == "export") return CmdExport(args);
-    if (cmd == "cache-stats") return CmdCacheStats(args);
+    if (cmd == "stats" || cmd == "cache-stats") return CmdStats(args);
     if (cmd == "smoke") return CmdSmoke(args);
-    if (cmd == "bench") return CmdBench(args);
-    if (cmd == "repro") return CmdRepro(args);
+    if (cmd == "bench") return RunTraced(args, [&] { return CmdBench(args); });
+    if (cmd == "repro") return RunTraced(args, [&] { return CmdRepro(args); });
     if (cmd == "help" || cmd == "--help" || cmd == "-h") {
       Usage();
       return 0;
