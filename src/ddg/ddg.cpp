@@ -1,8 +1,9 @@
 #include "ddg/ddg.h"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+
+#include "core/check.h"
 
 namespace hcrf {
 
@@ -33,7 +34,8 @@ void DDG::AddEdge(NodeId src, NodeId dst, DepKind kind, int distance) {
   if (src == dst && distance == 0) {
     throw std::invalid_argument("DDG::AddEdge: zero-distance self edge");
   }
-  assert(IsAlive(src) && IsAlive(dst));
+  HCRF_CHECK(IsAlive(src) && IsAlive(dst),
+             "AddEdge touching a dead node (src=%d dst=%d)", src, dst);
   const Edge e{src, dst, kind, distance};
   out_[static_cast<size_t>(src)].push_back(e);
   in_[static_cast<size_t>(dst)].push_back(e);
@@ -85,7 +87,9 @@ bool DDG::RemoveEdge(NodeId src, NodeId dst, DepKind kind, int distance) {
   outs.erase(out_it);
   auto& ins = in_[static_cast<size_t>(dst)];
   auto in_it = std::find_if(ins.begin(), ins.end(), matches);
-  assert(in_it != ins.end());
+  HCRF_CHECK(in_it != ins.end(),
+             "edge %d->%d present in out-list but missing from in-list",
+             src, dst);
   ins.erase(in_it);
   --num_edges_;
   if (kind == DepKind::kFlow) {

@@ -94,7 +94,7 @@ Registry& Registry::Shared() {
 }
 
 Counter& Registry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_
@@ -106,7 +106,7 @@ Counter& Registry::counter(std::string_view name) {
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_
@@ -118,7 +118,7 @@ Gauge& Registry::gauge(std::string_view name) {
 }
 
 Histogram& Registry::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -130,7 +130,7 @@ Histogram& Registry::histogram(std::string_view name) {
 }
 
 std::string Registry::Table() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::string out;
   std::size_t width = 0;
   for (const auto& [name, c] : counters_) width = std::max(width, name.size());
@@ -168,7 +168,7 @@ std::string Registry::Table() const {
 }
 
 std::string Registry::Json() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::string out = "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -213,7 +213,7 @@ std::string Registry::Json() const {
 }
 
 void Registry::ResetForTest() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   for (const auto& [name, c] : counters_) c->Reset();
   for (const auto& [name, g] : gauges_) g->Reset();
   for (const auto& [name, h] : histograms_) h->Reset();

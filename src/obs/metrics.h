@@ -22,9 +22,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "core/thread_annotations.h"
 
 namespace hcrf::obs {
 
@@ -119,28 +120,33 @@ class Registry {
  public:
   static Registry& Shared();
 
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
-  Histogram& histogram(std::string_view name);
+  Counter& counter(std::string_view name) HCRF_EXCLUDES(mu_);
+  Gauge& gauge(std::string_view name) HCRF_EXCLUDES(mu_);
+  Histogram& histogram(std::string_view name) HCRF_EXCLUDES(mu_);
 
   /// Aligned human-readable dump, instruments in name order.
-  std::string Table() const;
+  std::string Table() const HCRF_EXCLUDES(mu_);
   /// Deterministic JSON: {"counters": {...}, "gauges": {...},
   /// "histograms": {name: {count, sum_seconds, mean_seconds,
   /// buckets: [[upper_seconds, count], ...nonzero...]}}}.
-  std::string Json() const;
+  std::string Json() const HCRF_EXCLUDES(mu_);
 
   /// Zeroes every instrument in place (references stay valid); entries are
   /// never removed. Test isolation only.
-  void ResetForTest();
+  void ResetForTest() HCRF_EXCLUDES(mu_);
 
  private:
   Registry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // mu_ guards the name→instrument maps only; the instruments themselves
+  // are lock-free (sharded / plain atomics) and outlive the lookup.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      HCRF_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      HCRF_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      HCRF_GUARDED_BY(mu_);
 };
 
 /// Shared-registry shorthands. The returned references are process-lived;

@@ -60,12 +60,15 @@ Tracer& Tracer::Shared() {
 }
 
 void Tracer::Start() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   logs_.clear();
   start_ = std::chrono::steady_clock::now();
-  // Bumping the epoch invalidates every thread's cached buffer pointer;
-  // the order (epoch first, then enable) does not matter under the
-  // quiescence contract.
+  // Bumping the epoch invalidates every thread's cached buffer pointer.
+  // The enable store must come last: it is the release half of the
+  // publication pair with TraceEnabled()'s acquire load, making the epoch
+  // bump and the clock-base write above visible to any thread that
+  // observes tracing as on (long-lived pool workers have no other
+  // happens-before edge with this call).
   epoch_.fetch_add(1, std::memory_order_release);
   internal::g_trace_enabled.store(true, std::memory_order_release);
 }
@@ -88,7 +91,7 @@ Tracer::ThreadLog* Tracer::LocalLog() {
   thread_local Cache cache;
   const std::uint64_t ep = epoch_.load(std::memory_order_acquire);
   if (cache.log == nullptr || cache.epoch != ep) {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     logs_.push_back(std::make_unique<ThreadLog>());
     ThreadLog* log = logs_.back().get();
     log->tid = static_cast<int>(logs_.size());
@@ -127,7 +130,7 @@ void Tracer::Instant(const char* cat, const char* name, int ii, int node) {
 }
 
 std::string Tracer::ExportJson() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
   bool first = true;
   const auto sep = [&] {
@@ -172,7 +175,7 @@ std::string Tracer::ExportJson() const {
 }
 
 std::vector<Tracer::ThreadSnapshot> Tracer::Snapshot() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::vector<ThreadSnapshot> out;
   out.reserve(logs_.size());
   for (const auto& log : logs_) {
@@ -183,7 +186,7 @@ std::vector<Tracer::ThreadSnapshot> Tracer::Snapshot() const {
 
 void Tracer::SetThreadName(std::string name) {
   Tracer& t = Shared();
-  std::lock_guard<std::mutex> lk(t.mu_);
+  MutexLock lk(t.mu_);
   t.names_[std::this_thread::get_id()] = std::move(name);
 }
 

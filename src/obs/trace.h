@@ -25,10 +25,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "core/thread_annotations.h"
 
 namespace hcrf::obs {
 
@@ -36,10 +37,14 @@ namespace internal {
 extern std::atomic<bool> g_trace_enabled;
 }  // namespace internal
 
-/// True while the process-wide tracer is recording. One relaxed load —
-/// cheap enough for per-placement call sites.
+/// True while the process-wide tracer is recording. One acquire load —
+/// free on x86, and it pairs with the release store in Tracer::Start() so
+/// a long-lived pool worker that observes `true` also observes the epoch
+/// and clock base written just before (without this, TSan rightly flags
+/// the worker's NowUs() read of the clock base as racing Start()'s write).
+/// Cheap enough for per-placement call sites.
 inline bool TraceEnabled() {
-  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+  return internal::g_trace_enabled.load(std::memory_order_acquire);
 }
 
 /// One recorded event. `cat` and `name` must be string literals (they are
@@ -62,7 +67,7 @@ class Tracer {
   /// Discards any previous recording and starts a new one. Threads
   /// re-register their buffers lazily on their next event (an epoch bump
   /// invalidates cached per-thread buffer pointers).
-  void Start();
+  void Start() HCRF_EXCLUDES(mu_);
   /// Stops recording; the events stay buffered for ExportJson/Snapshot.
   void Stop();
 
@@ -104,13 +109,21 @@ class Tracer {
   Tracer() = default;
   /// The calling thread's buffer for the current epoch (registers one on
   /// first use after each Start()).
-  ThreadLog* LocalLog();
+  ThreadLog* LocalLog() HCRF_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
+  // mu_ guards registration state: the log list and the thread-name map.
+  // The ThreadLogs themselves are single-writer by construction (each
+  // thread appends to its own buffer with no lock); readers (ExportJson /
+  // Snapshot) rely on the documented quiescence contract, not on mu_.
+  // `start_` is deliberately unguarded: it is written by Start() under the
+  // same quiescence contract and read on every hot-path NowUs() call —
+  // publication happens through the g_trace_enabled release store in
+  // Start() paired with the acquire load in TraceEnabled().
+  mutable Mutex mu_;
   std::atomic<std::uint64_t> epoch_{0};
   std::chrono::steady_clock::time_point start_{};
-  std::vector<std::unique_ptr<ThreadLog>> logs_;
-  std::map<std::thread::id, std::string> names_;
+  std::vector<std::unique_ptr<ThreadLog>> logs_ HCRF_GUARDED_BY(mu_);
+  std::map<std::thread::id, std::string> names_ HCRF_GUARDED_BY(mu_);
 };
 
 /// RAII span: samples the clock at construction if tracing is on, records

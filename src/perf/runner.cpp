@@ -4,9 +4,9 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <unordered_map>
 
+#include "core/thread_annotations.h"
 #include "ddg/mii.h"
 #include "memsim/replay.h"
 #include "obs/metrics.h"
@@ -94,10 +94,10 @@ class MiiCache {
   }
 
   MIIInfo Get(const DDG& g, const MachineConfig& m,
-              const sched::LatencyOverrides& overrides) {
+              const sched::LatencyOverrides& overrides) HCRF_EXCLUDES(mu_) {
     const MiiKeyT key = MiiKey(g, m, overrides);
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       auto it = map_.find(key);
       if (it != map_.end()) {
         hits_.Add(1);
@@ -105,7 +105,7 @@ class MiiCache {
       }
     }
     const MIIInfo mii = ComputeMII(g, m);
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     misses_.Add(1);
     if (map_.emplace(key, mii).second) {
       fifo_.push_back(key);
@@ -119,8 +119,8 @@ class MiiCache {
     return mii;
   }
 
-  long SetCapacity(long max_entries) {
-    std::lock_guard<std::mutex> lk(mu_);
+  long SetCapacity(long max_entries) HCRF_EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     const long previous = capacity_;
     capacity_ = max_entries > 0 ? max_entries : 1;
     while (static_cast<long>(map_.size()) > capacity_) {
@@ -137,12 +137,12 @@ class MiiCache {
   // GetMiiCacheStats never races with — or contends against — runner
   // threads in the middle of a sweep; the entry count takes the lock (it
   // reads the map).
-  MiiCacheStats stats() const {
+  MiiCacheStats stats() const HCRF_EXCLUDES(mu_) {
     MiiCacheStats s;
     s.hits = hits_.value();
     s.misses = misses_.value();
     s.evictions = evictions_.value();
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     s.entries = static_cast<long>(map_.size());
     return s;
   }
@@ -154,10 +154,11 @@ class MiiCache {
         evictions_(obs::GetCounter("mii_cache.evictions")),
         entries_(obs::GetGauge("mii_cache.entries")) {}
 
-  mutable std::mutex mu_;
-  std::unordered_map<MiiKeyT, MIIInfo, MiiKeyHash> map_;
-  std::deque<MiiKeyT> fifo_;  ///< Insertion order; front is evicted first.
-  long capacity_ = 4096;
+  mutable Mutex mu_;
+  std::unordered_map<MiiKeyT, MIIInfo, MiiKeyHash> map_ HCRF_GUARDED_BY(mu_);
+  /// Insertion order; front is evicted first.
+  std::deque<MiiKeyT> fifo_ HCRF_GUARDED_BY(mu_);
+  long capacity_ HCRF_GUARDED_BY(mu_) = 4096;
   obs::Counter& hits_;
   obs::Counter& misses_;
   obs::Counter& evictions_;

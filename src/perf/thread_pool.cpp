@@ -36,37 +36,38 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::RunItems(std::unique_lock<std::mutex>& lk) {
+void ThreadPool::RunItems() {
   while (job_.active && job_.next < job_.n) {
     const std::size_t i = job_.next++;
     const auto* fn = job_.fn;
-    lk.unlock();
+    mu_.unlock();
     (*fn)(i);
-    lk.lock();
-    if (--job_.remaining == 0) done_cv_.notify_all();
+    mu_.lock();
+    if (--job_.remaining == 0) done_cv_.NotifyAll();
   }
 }
 
 void ThreadPool::WorkerLoop() {
   std::uint64_t seen = 0;
-  std::unique_lock<std::mutex> lk(mu_);
+  mu_.lock();
   while (true) {
-    work_cv_.wait(lk, [&] {
-      return stop_ || (job_.active && job_.generation != seen);
-    });
-    if (stop_) return;
+    while (!stop_ && !(job_.active && job_.generation != seen)) {
+      work_cv_.Wait(mu_);
+    }
+    if (stop_) break;
     seen = job_.generation;
     if (job_.entrants_left <= 0) continue;  // width cap reached
     --job_.entrants_left;
-    RunItems(lk);
+    RunItems();
   }
+  mu_.unlock();
 }
 
 void ThreadPool::ParallelFor(std::size_t n, int max_workers,
@@ -80,8 +81,8 @@ void ThreadPool::ParallelFor(std::size_t n, int max_workers,
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  std::lock_guard<std::mutex> session(session_mu_);
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock session(session_mu_);
+  mu_.lock();
   job_.fn = &fn;
   job_.n = n;
   job_.next = 0;
@@ -89,12 +90,13 @@ void ThreadPool::ParallelFor(std::size_t n, int max_workers,
   job_.entrants_left = max_workers - 1;  // the caller takes one slot
   ++job_.generation;
   job_.active = true;
-  lk.unlock();
-  work_cv_.notify_all();
-  lk.lock();
-  RunItems(lk);
-  done_cv_.wait(lk, [&] { return job_.remaining == 0; });
+  mu_.unlock();
+  work_cv_.NotifyAll();
+  mu_.lock();
+  RunItems();
+  while (job_.remaining != 0) done_cv_.Wait(mu_);
   job_.active = false;
+  mu_.unlock();
 }
 
 // ---------------------------------------------------------------------------
@@ -132,42 +134,43 @@ SpeculationPool::SpeculationPool(int threads) {
 
 SpeculationPool::~SpeculationPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
 void SpeculationPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lk(mu_);
+  mu_.lock();
   while (true) {
-    work_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
-    if (stop_) return;
+    while (!stop_ && queue_.empty()) work_cv_.Wait(mu_);
+    if (stop_) break;
     Task t = std::move(queue_.front());
     queue_.pop_front();
-    lk.unlock();
+    mu_.unlock();
     t.fn();
-    lk.lock();
+    mu_.lock();
     // The group outlives its tasks (RunAndWait cannot return while
     // pending_ > 0), so touching it under the pool mutex is safe.
-    if (--t.group->pending_ == 0) t.group->done_cv_.notify_all();
+    t.group->FinishFromWorker();
   }
+  mu_.unlock();
 }
 
 void TaskGroup::Submit(std::function<void()> fn) {
   static obs::Counter& tasks = obs::GetCounter("spec_pool.tasks");
   tasks.Add(1);
   {
-    std::lock_guard<std::mutex> lk(pool_.mu_);
+    MutexLock lk(pool_.mu_);
     pool_.queue_.push_back(SpeculationPool::Task{this, std::move(fn)});
     ++pending_;
   }
-  pool_.work_cv_.notify_one();
+  pool_.work_cv_.NotifyOne();
 }
 
 void TaskGroup::RunAndWait() {
-  std::unique_lock<std::mutex> lk(pool_.mu_);
+  pool_.mu_.lock();
   while (pending_ > 0) {
     // Steal one of our own still-queued tasks and run it inline. This is
     // the no-deadlock guarantee: whatever the pool's saturation, every
@@ -181,14 +184,15 @@ void TaskGroup::RunAndWait() {
       steals.Add(1);
       std::function<void()> fn = std::move(it->fn);
       pool_.queue_.erase(it);
-      lk.unlock();
+      pool_.mu_.unlock();
       fn();
-      lk.lock();
+      pool_.mu_.lock();
       --pending_;  // our own completion; no one else waits on this group
       continue;
     }
-    done_cv_.wait(lk);
+    done_cv_.Wait(pool_.mu_);
   }
+  pool_.mu_.unlock();
 }
 
 }  // namespace hcrf::perf

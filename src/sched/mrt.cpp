@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <bit>
-#include <cassert>
 #include <stdexcept>
+
+#include "core/check.h"
 
 namespace hcrf::sched {
 
@@ -298,8 +299,9 @@ int ModuloReservationTable::FindFirstSlotDown(std::span<const ResUse> needs,
 
 void ModuloReservationTable::Place(NodeId node, const ResUseList& needs,
                                    int cycle) {
-  assert(!IsPlaced(node));
-  assert(CanPlace(needs, cycle));
+  HCRF_CHECK(!IsPlaced(node), "double placement of node %d", node);
+  HCRF_CHECK(CanPlace(needs, cycle),
+             "placing node %d at cycle %d over capacity", node, cycle);
   for (const ResUse& use : needs) {
     const size_t base = Base(use.kind, use.cluster);
     for (int d = 0; d < use.duration; ++d) {
@@ -324,7 +326,8 @@ void ModuloReservationTable::Remove(NodeId node) {
       --count_[slot];
       auto& occ = occupants_[slot];
       auto pos = std::find(occ.begin(), occ.end(), node);
-      assert(pos != occ.end());
+      HCRF_CHECK(pos != occ.end(),
+                 "node %d missing from its reserved slot occupants", node);
       occ.erase(pos);
     }
   }

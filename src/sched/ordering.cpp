@@ -1,9 +1,9 @@
 #include "sched/ordering.h"
 
 #include <algorithm>
-#include <cassert>
 #include <queue>
 
+#include "core/check.h"
 #include "ddg/mii.h"
 
 namespace hcrf::sched {
@@ -283,7 +283,9 @@ std::vector<NodeId> HrmsOrder(const DDG& g, const LatencyTable& lat) {
     }
   }
 
-  assert(order.size() == static_cast<size_t>(g.NumNodes()));
+  HCRF_CHECK(order.size() == static_cast<size_t>(g.NumNodes()),
+             "priority order covers %zu of %d nodes", order.size(),
+             g.NumNodes());
   return order;
 }
 

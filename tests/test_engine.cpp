@@ -130,7 +130,9 @@ TEST(Speculation, BitIdenticalToSerialAcrossKernelCorpusAndPaperOrgs) {
       const core::ScheduleResult b = core::MirsHC(kernels[i].ddg, m, spec);
       ASSERT_EQ(a.ok, b.ok) << what;
       ExpectStatsEq(a.stats, b.stats, what);
-      if (a.ok) EXPECT_EQ(io::DumpResult(a), io::DumpResult(b)) << what;
+      if (a.ok) {
+        EXPECT_EQ(io::DumpResult(a), io::DumpResult(b)) << what;
+      }
       // Telemetry is the speculative driver's own, never merged into the
       // serial-equivalent stats.
       EXPECT_EQ(a.spec.raced, 0) << what;

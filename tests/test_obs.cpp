@@ -416,7 +416,9 @@ TEST(Trace, SpansNestAndSpeculationMarkersAppear) {
   // Racing tries at least every candidate II of the serial escalation
   // walk (cancelled raced attempts add more spans on worker tracks).
   EXPECT_GE(attempt_spans, total_candidates);
-  if (raced_wins > 0) EXPECT_GT(win_markers, 0);
+  if (raced_wins > 0) {
+    EXPECT_GT(win_markers, 0);
+  }
 }
 
 // The tentpole gate: tracing is a pure observer. With the tracer running
