@@ -10,6 +10,7 @@
 #include "memsim/prefetch.h"
 #include "perf/runner.h"
 #include "service/batch.h"
+#include "service/session.h"
 #include "workload/suite_cache.h"
 
 namespace hcrf::experiment {
@@ -99,7 +100,8 @@ int ReproReport::RefPasses() const {
 }
 
 ReproReport RunExperiments(const std::vector<const Experiment*>& selection,
-                           const ReproOptions& opt) {
+                           const ReproOptions& opt,
+                           service::SchedulerService& session) {
   std::vector<const Experiment*> sel = selection;
   if (sel.empty()) {
     for (const Experiment& e : Registry()) sel.push_back(&e);
@@ -143,11 +145,8 @@ ReproReport RunExperiments(const std::vector<const Experiment*>& selection,
     plans.push_back(std::move(plan));
   }
 
-  service::BatchOptions bopt;
-  bopt.cache_dir = opt.cache_dir;
-  bopt.threads = opt.threads;
   service::BatchReport batch;
-  if (!requests.empty()) batch = service::RunBatch(requests, bopt);
+  if (!requests.empty()) batch = session.RunBatch(requests);
 
   ReproReport report;
   report.smoke = opt.smoke;
@@ -236,6 +235,20 @@ ReproReport RunExperiments(const std::vector<const Experiment*>& selection,
     }
     report.experiments.push_back(std::move(res));
   }
+  return report;
+}
+
+ReproReport RunExperiments(const std::vector<const Experiment*>& selection,
+                           const ReproOptions& opt) {
+  service::ServiceConfig config;
+  config.cache_dir = opt.cache_dir;
+  config.cache_mem_entries = opt.cache_mem_entries;
+  config.cache_mem_bytes = opt.cache_mem_bytes;
+  config.threads = opt.threads;
+  service::SchedulerService session(config);
+  ReproReport report = RunExperiments(selection, opt, session);
+  session.Drain();
+  if (session.has_cache()) report.cache = session.cache_stats();
   return report;
 }
 

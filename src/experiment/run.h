@@ -24,11 +24,19 @@
 #include "service/batch.h"
 #include "service/sched_cache.h"
 
+namespace hcrf::service {
+class SchedulerService;
+}
+
 namespace hcrf::experiment {
 
 struct ReproOptions {
   /// Persistent schedule cache directory; empty disables caching.
   std::string cache_dir;
+  /// Memory-tier entry bound (`--cache-mem`); 0 disables the hot tier.
+  long cache_mem_entries = 0;
+  /// Memory-tier byte bound; 0 = the MemoryTier default.
+  long cache_mem_bytes = 0;
   /// Parallelism (perf::RunOptions convention: 0 = hardware concurrency).
   int threads = 0;
   /// Run each experiment on its bounded smoke slice instead of the full
@@ -84,7 +92,12 @@ struct ReproReport {
 
 /// Runs the selected experiments (every registry entry when `selection`
 /// is empty). Throws on an unknown suite name; per-cell scheduling
-/// failures are data and surface in the results.
+/// failures are data and surface in the results. The session form
+/// schedules through an existing resident session (report.cache is the
+/// per-call delta); the options form wraps a transient, drained session.
+ReproReport RunExperiments(const std::vector<const Experiment*>& selection,
+                           const ReproOptions& opt,
+                           service::SchedulerService& session);
 ReproReport RunExperiments(const std::vector<const Experiment*>& selection,
                            const ReproOptions& opt);
 

@@ -1,15 +1,11 @@
 #include "service/batch.h"
 
-#include <chrono>
 #include <filesystem>
 #include <memory>
 
 #include "io/hcl.h"
 #include "io/scanner.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
-#include "perf/runner.h"
-#include "perf/thread_pool.h"
+#include "service/session.h"
 
 namespace hcrf::service {
 
@@ -92,165 +88,55 @@ std::vector<ManifestEntry> LoadManifestFile(const std::string& path) {
   return ParseManifest(io::ReadFile(path), path);
 }
 
+BatchRequest ResolveManifestEntry(const ManifestEntry& e,
+                                  const std::string& base_dir,
+                                  hw::RFModelMode rf_model) {
+  const fs::path base(base_dir);
+  BatchRequest req;
+  req.loop = std::make_shared<workload::Loop>(
+      io::LoadLoopFile((base / e.graph).string()));
+  req.id = req.loop->ddg.name().empty() ? e.graph : req.loop->ddg.name();
+  if (!e.machine.empty()) {
+    req.machine = io::LoadMachineFile((base / e.machine).string());
+  } else {
+    req.machine = MachineConfig::WithRF(RFConfig::Parse(e.rf));
+    if (e.characterize && !req.machine.rf.UnboundedClusterRegs() &&
+        !req.machine.rf.UnboundedSharedRegs()) {
+      req.machine = hw::ApplyCharacterization(req.machine, rf_model);
+    }
+  }
+  if (e.budget_ratio) req.options.budget_ratio = *e.budget_ratio;
+  if (e.max_ii) req.options.max_ii = *e.max_ii;
+  if (e.iterative) req.options.iterative = *e.iterative;
+  if (e.policy) req.options.cluster_policy = *e.policy;
+  return req;
+}
+
+// The free functions are the transient-session form: one SchedulerService
+// per call, drained before reporting so the counters are exact even with
+// write-behind (a fresh session's lifetime totals ARE the batch totals).
+
 BatchReport RunBatch(const std::vector<BatchRequest>& requests,
                      const BatchOptions& opt) {
-  BatchReport report;
-  report.items.resize(requests.size());
-
-  std::unique_ptr<ScheduleCache> cache;
-  if (!opt.cache_dir.empty()) {
-    cache = std::make_unique<ScheduleCache>(opt.cache_dir);
+  SchedulerService session(ServiceConfig::FromBatch(opt));
+  BatchReport report = session.RunBatch(requests);
+  session.Drain();
+  if (session.has_cache()) {
+    report.cache = session.cache_stats();
+    report.mem_cache = session.memory_stats();
   }
-
-  const auto wall0 = std::chrono::steady_clock::now();
-  perf::ThreadPool& pool = perf::ThreadPool::Shared();
-  const int max_workers =
-      opt.threads > 0 ? opt.threads : pool.num_workers() + 1;
-  pool.ParallelFor(requests.size(), max_workers, [&](size_t i) {
-    static obs::Counter& req_count = obs::GetCounter("service.requests");
-    static obs::Counter& hit_count = obs::GetCounter("service.cache_hits");
-    static obs::Histogram& req_hist =
-        obs::GetHistogram("service.request_seconds");
-    const BatchRequest& req = requests[i];
-    BatchItem& item = report.items[i];
-    item.id = req.id;
-    const auto t0 = std::chrono::steady_clock::now();
-    item.timing.queue_seconds =
-        std::chrono::duration<double>(t0 - wall0).count();
-    obs::TraceSpan req_span("service", "request");
-    req_span.set_detail(req.id);
-    const auto phase_seconds = [](const auto& since) {
-      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                           since)
-          .count();
-    };
-    CacheKey key{};
-    if (cache) {
-      obs::TraceSpan probe_span("phase", "cache-probe");
-      const auto p0 = std::chrono::steady_clock::now();
-      key = MakeCacheKey(req.loop->ddg, req.machine, req.options,
-                         req.overrides);
-      if (std::optional<core::ScheduleResult> hit = cache->Get(key)) {
-        item.result = *std::move(hit);
-        item.ok = item.result.ok;
-        item.cache_hit = true;
-      }
-      item.timing.cache_probe_seconds = phase_seconds(p0);
-    }
-    if (!item.cache_hit) {
-      core::MirsOptions mirs = req.options;
-      // Execution strategy, not request semantics (see BatchOptions): the
-      // speculative engine commits bit-identical results, and the nested
-      // racing rides the SpeculationPool, so a 1-thread batch still races.
-      // Batch-level knob wins when set; otherwise the request's own value
-      // (e.g. from `hcrf_sched schedule --speculate`) stands.
-      if (opt.speculate_k > 0) {
-        mirs.speculate_k = opt.speculate_k;
-        mirs.speculate_eager = opt.speculate_eager;
-      }
-      if (!mirs.precomputed_mii) {
-        // The MII depends on the graph, the latency table and the global
-        // resource counts — not the RF organization — so the process-wide
-        // sweep cache shares it across the configurations of a
-        // design-space sweep (and across repeated batches in-process).
-        const auto m0 = std::chrono::steady_clock::now();
-        mirs.precomputed_mii =
-            perf::CachedMii(req.loop->ddg, req.machine, req.overrides);
-        item.timing.mii_seconds = phase_seconds(m0);
-      }
-      const auto s0 = std::chrono::steady_clock::now();
-      item.result =
-          core::MirsHC(req.loop->ddg, req.machine, mirs, req.overrides);
-      item.timing.schedule_seconds = phase_seconds(s0);
-      item.ok = item.result.ok;
-      if (cache) {
-        obs::TraceSpan write_span("phase", "serialize");
-        const auto w0 = std::chrono::steady_clock::now();
-        cache->Put(key, item.result);
-        item.timing.serialize_seconds = phase_seconds(w0);
-      }
-    }
-    if (!item.ok && item.error.empty()) {
-      item.error = "scheduling failed (no II <= max_ii admitted a schedule)";
-    }
-    item.seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
-    req_count.Add(1);
-    if (item.cache_hit) hit_count.Add(1);
-    req_hist.Record(item.seconds);
-  });
-  report.seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
-          .count();
-
-  for (const BatchItem& item : report.items) {
-    if (item.cache_hit) {
-      ++report.hits;
-    } else {
-      ++report.scheduled;
-    }
-    if (!item.ok) ++report.failed;
-    report.timing.Accumulate(item.timing);
-  }
-  if (cache) report.cache = cache->stats();
   return report;
 }
 
 BatchReport RunManifest(const std::string& manifest_path,
                         const BatchOptions& opt) {
-  const std::vector<ManifestEntry> entries = LoadManifestFile(manifest_path);
-  const fs::path base = fs::path(manifest_path).parent_path();
-
-  std::vector<BatchRequest> requests;
-  std::vector<size_t> request_slot;  // maps run items back to report slots
-  requests.reserve(entries.size());
-
-  BatchReport report;
-  report.items.resize(entries.size());
-
-  for (size_t i = 0; i < entries.size(); ++i) {
-    const ManifestEntry& e = entries[i];
-    BatchItem& item = report.items[i];
-    const std::string graph_path = (base / e.graph).string();
-    item.id = e.graph;
-    try {
-      BatchRequest req;
-      req.loop = std::make_shared<workload::Loop>(io::LoadLoopFile(graph_path));
-      req.id = req.loop->ddg.name().empty() ? e.graph : req.loop->ddg.name();
-      if (!e.machine.empty()) {
-        req.machine = io::LoadMachineFile((base / e.machine).string());
-      } else {
-        req.machine = MachineConfig::WithRF(RFConfig::Parse(e.rf));
-        if (e.characterize && !req.machine.rf.UnboundedClusterRegs() &&
-            !req.machine.rf.UnboundedSharedRegs()) {
-          req.machine = hw::ApplyCharacterization(req.machine, opt.rf_model);
-        }
-      }
-      if (e.budget_ratio) req.options.budget_ratio = *e.budget_ratio;
-      if (e.max_ii) req.options.max_ii = *e.max_ii;
-      if (e.iterative) req.options.iterative = *e.iterative;
-      if (e.policy) req.options.cluster_policy = *e.policy;
-      item.id = req.id;
-      requests.push_back(std::move(req));
-      request_slot.push_back(i);
-    } catch (const std::exception& ex) {
-      item.ok = false;
-      item.error = ex.what();
-      ++report.failed;
-    }
+  SchedulerService session(ServiceConfig::FromBatch(opt));
+  BatchReport report = session.RunManifest(manifest_path);
+  session.Drain();
+  if (session.has_cache()) {
+    report.cache = session.cache_stats();
+    report.mem_cache = session.memory_stats();
   }
-
-  BatchReport run = RunBatch(requests, opt);
-  for (size_t r = 0; r < run.items.size(); ++r) {
-    report.items[request_slot[r]] = std::move(run.items[r]);
-  }
-  report.cache = run.cache;
-  report.scheduled = run.scheduled;
-  report.hits = run.hits;
-  report.failed += run.failed;
-  report.seconds = run.seconds;
-  report.timing = run.timing;
   return report;
 }
 

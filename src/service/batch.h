@@ -74,6 +74,12 @@ struct BatchRequest {
 struct BatchOptions {
   /// Persistent cache directory; empty disables caching.
   std::string cache_dir;
+  /// In-memory hot-tier bound in entries; 0 disables the memory tier
+  /// (`--cache-mem=N`). When both tiers are on they stack as a
+  /// TieredCache with write-behind to disk.
+  long cache_mem_entries = 0;
+  /// Memory-tier byte bound; 0 = the MemoryTier default (64 MiB).
+  long cache_mem_bytes = 0;
   /// Parallelism (perf::RunOptions convention: 0 = hardware concurrency,
   /// 1 = strictly serial on the caller).
   int threads = 0;
@@ -123,7 +129,13 @@ struct BatchItem {
 
 struct BatchReport {
   std::vector<BatchItem> items;  ///< In request order.
-  ScheduleCache::Stats cache;    ///< Zeroes when caching is disabled.
+  /// Whole-stack cache counters for this batch (hits from any tier;
+  /// misses/writes at the durable boundary). Zeroes when caching is
+  /// disabled.
+  ScheduleCache::Stats cache;
+  /// Memory-tier counters for this batch; zeroes without `--cache-mem`.
+  /// entries/bytes are the residency at batch end, not a delta.
+  TierStats mem_cache;
   int scheduled = 0;             ///< Fresh MirsHC runs.
   int hits = 0;                  ///< Requests served from the cache.
   int failed = 0;
@@ -131,8 +143,17 @@ struct BatchReport {
   RequestTiming timing;   ///< Summed per-request phase timings.
 };
 
-/// Schedules every request (in parallel, cache-backed). Never throws for
-/// per-request failures; they surface as failed items.
+/// Resolves one manifest entry into a dispatchable request: loads the
+/// graph (and machine document, if named) relative to `base_dir`, applies
+/// the RF organization + hardware characterization otherwise, and folds
+/// the per-entry option overrides in. Throws on unloadable files.
+BatchRequest ResolveManifestEntry(const ManifestEntry& entry,
+                                  const std::string& base_dir,
+                                  hw::RFModelMode rf_model);
+
+/// Schedules every request (in parallel, cache-backed) on a transient
+/// single-batch session (see service/session.h for the resident form).
+/// Never throws for per-request failures; they surface as failed items.
 BatchReport RunBatch(const std::vector<BatchRequest>& requests,
                      const BatchOptions& opt);
 

@@ -1,0 +1,178 @@
+#include "service/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "io/hcl.h"
+
+namespace hcrf::service {
+
+namespace {
+
+[[noreturn]] void FailErrno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// Reads the `hcrf 1 <verb> ...` reply line; throws on EOF.
+std::vector<std::string> ReadReplyLine(wire::Conn& conn) {
+  std::string line;
+  if (!conn.ReadLine(&line)) {
+    throw wire::WireError("connection closed before a reply");
+  }
+  std::vector<std::string> toks = wire::SplitTokens(line);
+  if (toks.size() < 3 || toks[0] != "hcrf" || toks[1] != "1") {
+    throw wire::WireError("bad reply line: " + line);
+  }
+  return toks;
+}
+
+/// Decodes the replies every verb can get: `busy` (returns true) and
+/// `error <bytes>` (throws with the server's message).
+bool HandleCommonReply(wire::Conn& conn, const std::vector<std::string>& toks) {
+  if (toks[2] == "busy") return true;
+  if (toks[2] == "error" && toks.size() == 4) {
+    const std::optional<long> bytes = io::TryParseLong(toks[3]);
+    if (bytes && *bytes >= 0 && *bytes <= wire::kMaxPayloadBytes) {
+      std::string message;
+      conn.ReadExact(static_cast<std::size_t>(*bytes), &message);
+      throw std::runtime_error("server error: " + message);
+    }
+    throw wire::WireError("bad error reply byte count");
+  }
+  return false;
+}
+
+/// Reads the sized payload of a `hcrf 1 <verb> <bytes>` reply.
+std::string ReadReplyPayload(wire::Conn& conn,
+                             const std::vector<std::string>& toks) {
+  if (toks.size() != 4) {
+    throw wire::WireError("expected a sized reply, got verb '" + toks[2] +
+                          "' with " + std::to_string(toks.size()) +
+                          " tokens");
+  }
+  const std::optional<long> bytes = io::TryParseLong(toks[3]);
+  if (!bytes || *bytes < 0 || *bytes > wire::kMaxPayloadBytes) {
+    throw wire::WireError("bad reply byte count: " + toks[3]);
+  }
+  std::string payload;
+  conn.ReadExact(static_cast<std::size_t>(*bytes), &payload);
+  return payload;
+}
+
+}  // namespace
+
+Client::Client(std::string socket_path, int read_timeout_ms)
+    : socket_path_(std::move(socket_path)),
+      read_timeout_ms_(read_timeout_ms) {}
+
+int Client::Connect() const {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("submit: socket path too long: " + socket_path_);
+  }
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) FailErrno("submit: socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    FailErrno("submit: connect " + socket_path_);
+  }
+  if (read_timeout_ms_ > 0) {
+    timeval tv{};
+    tv.tv_sec = read_timeout_ms_ / 1000;
+    tv.tv_usec = (read_timeout_ms_ % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  return fd;
+}
+
+bool Client::Ping() {
+  wire::Conn conn(Connect());
+  if (!conn.WriteAll("hcrf 1 ping\n")) {
+    throw std::runtime_error("submit: connection lost while pinging");
+  }
+  const std::vector<std::string> toks = ReadReplyLine(conn);
+  if (HandleCommonReply(conn, toks)) return false;
+  if (toks[2] != "ok") throw wire::WireError("unexpected ping reply");
+  return true;
+}
+
+SubmitReply Client::Submit(const std::vector<BatchRequest>& requests) {
+  if (static_cast<long>(requests.size()) > wire::kMaxBatchRequests) {
+    throw wire::WireError("batch exceeds the protocol request cap");
+  }
+  wire::Conn conn(Connect());
+  if (!conn.WriteAll("hcrf 1 submit " + std::to_string(requests.size()) +
+                     "\n")) {
+    throw std::runtime_error("submit: connection lost while submitting");
+  }
+  for (const BatchRequest& req : requests) {
+    wire::WriteRequest(conn, req);
+  }
+
+  SubmitReply reply;
+  const std::vector<std::string> toks = ReadReplyLine(conn);
+  if (HandleCommonReply(conn, toks)) {
+    reply.busy = true;
+    return reply;
+  }
+  if (toks[2] != "results" || toks.size() != 4) {
+    throw wire::WireError("unexpected submit reply verb: " + toks[2]);
+  }
+  const std::optional<long> n = io::TryParseLong(toks[3]);
+  if (!n || *n < 0 || *n > wire::kMaxBatchRequests) {
+    throw wire::WireError("bad results count: " + toks[3]);
+  }
+  reply.items.reserve(static_cast<std::size_t>(*n));
+  for (long i = 0; i < *n; ++i) {
+    reply.items.push_back(wire::ReadItem(conn));
+  }
+  std::string end_line;
+  if (!conn.ReadLine(&end_line) || end_line != "end") {
+    throw wire::WireError("missing 'end' after results");
+  }
+  return reply;
+}
+
+std::string Client::Stats() {
+  wire::Conn conn(Connect());
+  if (!conn.WriteAll("hcrf 1 stats\n")) {
+    throw std::runtime_error("submit: connection lost requesting stats");
+  }
+  const std::vector<std::string> toks = ReadReplyLine(conn);
+  if (HandleCommonReply(conn, toks)) {
+    throw std::runtime_error("server busy; stats unavailable");
+  }
+  if (toks[2] != "stats") {
+    throw wire::WireError("unexpected stats reply verb: " + toks[2]);
+  }
+  return ReadReplyPayload(conn, toks);
+}
+
+std::string Client::CacheStats() {
+  wire::Conn conn(Connect());
+  if (!conn.WriteAll("hcrf 1 cache-stats\n")) {
+    throw std::runtime_error("submit: connection lost requesting stats");
+  }
+  const std::vector<std::string> toks = ReadReplyLine(conn);
+  if (HandleCommonReply(conn, toks)) {
+    throw std::runtime_error("server busy; cache-stats unavailable");
+  }
+  if (toks[2] != "cache-stats") {
+    throw wire::WireError("unexpected cache-stats reply verb: " + toks[2]);
+  }
+  return ReadReplyPayload(conn, toks);
+}
+
+}  // namespace hcrf::service

@@ -18,12 +18,7 @@ namespace {
 
 namespace fs = std::filesystem;
 
-using perf::DualHash;
 using perf::Fnv1a;
-
-// Bumped whenever the serialized result format or the hashed content set
-// changes; salts every key so stale-format entries read as misses.
-constexpr std::uint64_t kCacheFormatSalt = 3;
 
 std::string ToHex(std::uint64_t v) {
   char buf[17];
@@ -34,95 +29,13 @@ std::string ToHex(std::uint64_t v) {
 
 }  // namespace
 
-std::string CacheKey::Hex() const { return ToHex(a) + ToHex(b); }
+DiskTier::DiskTier(std::string dir) : dir_(std::move(dir)) {}
 
-CacheKey MakeCacheKey(const DDG& g, const MachineConfig& m,
-                      const core::MirsOptions& opt,
-                      const sched::LatencyOverrides& overrides) {
-  DualHash f;
-  f.Mix(kCacheFormatSalt);
-
-  // Machine: resources, RF organization, latencies, clock.
-  f.Mix(static_cast<std::uint64_t>(m.num_fus));
-  f.Mix(static_cast<std::uint64_t>(m.num_mem_ports));
-  for (int v : {m.rf.clusters, m.rf.cluster_regs, m.rf.shared_regs, m.rf.lp,
-                m.rf.sp, m.rf.buses}) {
-    f.Mix(static_cast<std::uint64_t>(v));
-  }
-  for (int v : {m.lat.fadd, m.lat.fmul, m.lat.fdiv, m.lat.fsqrt,
-                m.lat.load_hit, m.lat.store, m.lat.load_miss, m.lat.move,
-                m.lat.loadr, m.lat.storer}) {
-    f.Mix(static_cast<std::uint64_t>(v));
-  }
-  f.MixDouble(m.clock_ns);
-
-  // Options (the serializable subset; injected policy objects are the
-  // caller's responsibility and keyed out by convention).
-  f.MixDouble(opt.budget_ratio);
-  f.Mix(static_cast<std::uint64_t>(opt.max_ii));
-  f.Mix(static_cast<std::uint64_t>(opt.iterative ? 1 : 2));
-  f.Mix(static_cast<std::uint64_t>(opt.cluster_policy));
-
-  // Loop identity: the cached result document embeds the graph name, so
-  // structurally identical twins under different names must not share an
-  // entry — a hit has to be bit-identical to a fresh schedule.
-  f.Mix(static_cast<std::uint64_t>(g.name().size()));
-  f.Mix(Fnv1a(g.name()));
-
-  // Graph structure. Ids are stable and tombstones keep their slot, so
-  // hashing alive slots in ascending order is canonical.
-  f.Mix(static_cast<std::uint64_t>(g.NumSlots()));
-  f.Mix(static_cast<std::uint64_t>(g.num_invariants()));
-  for (NodeId v = 0; v < g.NumSlots(); ++v) {
-    if (!g.IsAlive(v)) continue;
-    const Node& n = g.node(v);
-    f.Mix(static_cast<std::uint64_t>(v));
-    f.Mix(static_cast<std::uint64_t>(n.op));
-    f.Mix((n.inserted ? 1u : 0u) | (n.spill ? 2u : 0u) |
-          (n.mem.has_value() ? 4u : 0u));
-    if (n.mem.has_value()) {
-      f.Mix(static_cast<std::uint64_t>(n.mem->array_id));
-      f.Mix(static_cast<std::uint64_t>(n.mem->base));
-      f.Mix(static_cast<std::uint64_t>(n.mem->stride));
-    }
-    f.Mix(static_cast<std::uint64_t>(n.invariant_uses.size()));
-    for (std::int32_t inv : n.invariant_uses) {
-      f.Mix(static_cast<std::uint64_t>(inv));
-    }
-    for (const Edge& e : g.OutEdges(v)) {
-      f.Mix(static_cast<std::uint64_t>(e.src));
-      f.Mix(static_cast<std::uint64_t>(e.dst));
-      f.Mix(static_cast<std::uint64_t>(e.kind));
-      f.Mix(static_cast<std::uint64_t>(e.distance));
-    }
-  }
-
-  // Binding-prefetch latency overrides (empty in the common service path).
-  // Only the positive (index, value) pairs and their count are mixed:
-  // zero entries are behaviorally inert (LatencyOverrides::For falls back),
-  // so two equivalent vectors that differ only in trailing-zero padding —
-  // or an all-zero vector and an empty one — must key identically.
-  std::uint64_t active_overrides = 0;
-  for (int v : overrides.producer_latency) {
-    if (v > 0) ++active_overrides;
-  }
-  f.Mix(active_overrides);
-  for (size_t i = 0; i < overrides.producer_latency.size(); ++i) {
-    if (overrides.producer_latency[i] > 0) {
-      f.Mix(static_cast<std::uint64_t>(i));
-      f.Mix(static_cast<std::uint64_t>(overrides.producer_latency[i]));
-    }
-  }
-  return CacheKey{f.a, f.b};
-}
-
-ScheduleCache::ScheduleCache(std::string dir) : dir_(std::move(dir)) {}
-
-std::string ScheduleCache::EntryPath(const CacheKey& key) const {
+std::string DiskTier::EntryPath(const CacheKey& key) const {
   return (fs::path(dir_) / (key.Hex() + ".hclc")).string();
 }
 
-std::optional<core::ScheduleResult> ScheduleCache::Get(const CacheKey& key) {
+std::optional<core::ScheduleResult> DiskTier::Get(const CacheKey& key) {
   const std::string path = EntryPath(key);
   std::string text;
   try {
@@ -171,9 +84,11 @@ std::optional<core::ScheduleResult> ScheduleCache::Get(const CacheKey& key) {
   }
 }
 
-void ScheduleCache::Put(const CacheKey& key,
-                        const core::ScheduleResult& result) {
-  const std::string body = io::DumpResult(result);
+void DiskTier::Put(const CacheKey& key, const core::ScheduleResult& result) {
+  PutBody(key, io::DumpResult(result));
+}
+
+void DiskTier::PutBody(const CacheKey& key, const std::string& body) {
   std::string text = "hclc 1 " + key.Hex() + "\n";
   text += body;
   text += "checksum " + ToHex(Fnv1a(body)) + "\n";
@@ -186,7 +101,7 @@ void ScheduleCache::Put(const CacheKey& key,
   }
 }
 
-ScheduleCache::Stats ScheduleCache::stats() const {
+DiskTier::Stats DiskTier::stats() const {
   Stats s;
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
@@ -195,7 +110,17 @@ ScheduleCache::Stats ScheduleCache::stats() const {
   return s;
 }
 
-ScheduleCache::DirStats ScheduleCache::Scan(const std::string& dir) {
+TierStats DiskTier::tier_stats() const {
+  const Stats s = stats();
+  TierStats t;
+  t.hits = s.hits;
+  t.misses = s.misses;
+  t.rejects = s.rejects;
+  t.writes = s.writes;
+  return t;
+}
+
+DiskTier::DirStats DiskTier::Scan(const std::string& dir) {
   DirStats ds;
   // Error-code overloads throughout: the directory may be mutated (or an
   // entry unlinked) while we scan, and a census must not throw over it.

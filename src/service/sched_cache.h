@@ -1,12 +1,13 @@
-// Persistent, content-addressed schedule cache.
+// Persistent, content-addressed schedule cache: the durable disk tier.
 //
 // Extends the in-memory MII sweep cache idea (src/perf/runner.cpp) to whole
 // schedules on disk: the key is a structural hash of everything a schedule
 // depends on — the dependence graph, the machine / RF configuration and the
-// value-typed scheduling options — and the value is the full
-// core::ScheduleResult in its canonical .hcl serialization. Repeated sweeps
-// over the same corpus therefore skip scheduling entirely, and a cached
-// result is bit-identical to a fresh one (io::DumpResult round-trip).
+// value-typed scheduling options (see service/cache_tier.h for CacheKey) —
+// and the value is the full core::ScheduleResult in its canonical .hcl
+// serialization. Repeated sweeps over the same corpus therefore skip
+// scheduling entirely, and a cached result is bit-identical to a fresh one
+// (io::DumpResult round-trip).
 //
 // Entry files are self-describing:
 //     hclc 1 <32-hex-digit key>
@@ -23,53 +24,32 @@
 #pragma once
 
 #include <atomic>
-#include <cstdint>
 #include <optional>
 #include <string>
 
 #include "core/mirs.h"
-#include "ddg/ddg.h"
-#include "machine/machine_config.h"
-#include "sched/lifetime.h"
+#include "service/cache_tier.h"
 
 namespace hcrf::service {
 
-/// 128-bit structural key (two independent 64-bit hashes; same rationale
-/// as the MII sweep cache: collisions must stay negligible over long-lived
-/// heavy-traffic processes).
-struct CacheKey {
-  std::uint64_t a = 0;
-  std::uint64_t b = 0;
-
-  bool operator==(const CacheKey&) const = default;
-  /// 32 lowercase hex digits; doubles as the entry's file stem.
-  std::string Hex() const;
-};
-
-/// Hashes the schedule-relevant content: graph name and structure (ops,
-/// flags, memory refs, invariant uses, edges), machine (resources, RF fields,
-/// latencies, clock) and options (budget_ratio, max_ii, iterative,
-/// cluster_policy), plus per-load latency overrides when binding
-/// prefetching is in play (only the positive override entries count, so
-/// trailing-zero padding does not split keys). A format-version salt
-/// invalidates all entries when the serialization changes.
-CacheKey MakeCacheKey(const DDG& graph, const MachineConfig& m,
-                      const core::MirsOptions& opt,
-                      const sched::LatencyOverrides& overrides = {});
-
-class ScheduleCache {
+class DiskTier : public CacheTier {
  public:
   /// `dir` is created lazily on first Put.
-  explicit ScheduleCache(std::string dir);
+  explicit DiskTier(std::string dir);
 
   const std::string& dir() const { return dir_; }
 
   /// Returns the cached result for `key`, or nullopt (miss or reject).
-  std::optional<core::ScheduleResult> Get(const CacheKey& key);
+  std::optional<core::ScheduleResult> Get(const CacheKey& key) override;
 
   /// Stores `result` under `key` (atomic write; errors are swallowed —
   /// the cache is an accelerator, never a correctness dependency).
-  void Put(const CacheKey& key, const core::ScheduleResult& result);
+  void Put(const CacheKey& key, const core::ScheduleResult& result) override;
+
+  /// Put with the canonical `hcl 1 result` document already serialized;
+  /// the tiered stack dumps once and shares the bytes with the memory
+  /// tier's size accounting.
+  void PutBody(const CacheKey& key, const std::string& body);
 
   struct Stats {
     long hits = 0;
@@ -78,6 +58,7 @@ class ScheduleCache {
     long writes = 0;
   };
   Stats stats() const;
+  TierStats tier_stats() const override;
 
   /// Offline directory census for `hcrf_sched cache-stats`.
   struct DirStats {
@@ -95,5 +76,9 @@ class ScheduleCache {
   std::atomic<long> rejects_{0};
   std::atomic<long> writes_{0};
 };
+
+/// Historical name: the disk store predates the tier stack, and the batch /
+/// sweep / repro layers (and their tests) refer to it as ScheduleCache.
+using ScheduleCache = DiskTier;
 
 }  // namespace hcrf::service

@@ -1,0 +1,248 @@
+#include "service/session.h"
+
+#include <chrono>
+#include <filesystem>
+
+#include "core/mirs.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "perf/runner.h"
+#include "perf/thread_pool.h"
+
+namespace hcrf::service {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The legacy four-field view of a stack-level TierStats.
+ScheduleCache::Stats StackStats(const TierStats& t) {
+  ScheduleCache::Stats s;
+  s.hits = t.hits;
+  s.misses = t.misses;
+  s.rejects = t.rejects;
+  s.writes = t.writes;
+  return s;
+}
+
+TierStats FlowDelta(const TierStats& after, const TierStats& before) {
+  TierStats d = after;
+  d.hits -= before.hits;
+  d.misses -= before.misses;
+  d.rejects -= before.rejects;
+  d.writes -= before.writes;
+  d.evictions -= before.evictions;
+  d.oversize -= before.oversize;
+  // entries/bytes are residency, not flow: keep the `after` footprint.
+  return d;
+}
+
+}  // namespace
+
+ServiceConfig ServiceConfig::FromBatch(const BatchOptions& opt) {
+  ServiceConfig c;
+  c.cache_dir = opt.cache_dir;
+  c.cache_mem_entries = opt.cache_mem_entries;
+  c.cache_mem_bytes = opt.cache_mem_bytes;
+  c.threads = opt.threads;
+  c.rf_model = opt.rf_model;
+  c.speculate_k = opt.speculate_k;
+  c.speculate_eager = opt.speculate_eager;
+  return c;
+}
+
+SchedulerService::SchedulerService(const ServiceConfig& config)
+    : config_(config) {
+  const bool want_mem = config_.cache_mem_entries > 0;
+  const bool want_disk = !config_.cache_dir.empty();
+  if (want_mem) {
+    MemoryTier::Config mc;
+    mc.max_entries = config_.cache_mem_entries;
+    mc.max_bytes = config_.cache_mem_bytes;
+    auto mem = std::make_unique<MemoryTier>(mc);
+    memory_ = mem.get();
+    if (want_disk) {
+      auto disk = std::make_unique<DiskTier>(config_.cache_dir);
+      disk_ = disk.get();
+      cache_ = std::make_unique<TieredCache>(std::move(mem), std::move(disk),
+                                             config_.write_behind);
+    } else {
+      cache_ = std::move(mem);
+    }
+  } else if (want_disk) {
+    auto disk = std::make_unique<DiskTier>(config_.cache_dir);
+    disk_ = disk.get();
+    cache_ = std::move(disk);
+  }
+}
+
+SchedulerService::~SchedulerService() { Drain(); }
+
+void SchedulerService::Drain() {
+  if (cache_) cache_->Drain();
+}
+
+ScheduleCache::Stats SchedulerService::cache_stats() const {
+  return StackStats(tier_stats());
+}
+
+TierStats SchedulerService::tier_stats() const {
+  return cache_ ? cache_->tier_stats() : TierStats{};
+}
+
+TierStats SchedulerService::memory_stats() const {
+  return memory_ != nullptr ? memory_->tier_stats() : TierStats{};
+}
+
+BatchReport SchedulerService::RunBatch(
+    const std::vector<BatchRequest>& requests) {
+  BatchReport report;
+  report.items.resize(requests.size());
+
+  CacheTier* cache = cache_.get();
+  const TierStats stack_before = tier_stats();
+  const TierStats mem_before = memory_stats();
+
+  const auto wall0 = std::chrono::steady_clock::now();
+  perf::ThreadPool& pool = perf::ThreadPool::Shared();
+  const int max_workers =
+      config_.threads > 0 ? config_.threads : pool.num_workers() + 1;
+  pool.ParallelFor(requests.size(), max_workers, [&](size_t i) {
+    static obs::Counter& req_count = obs::GetCounter("service.requests");
+    static obs::Counter& hit_count = obs::GetCounter("service.cache_hits");
+    static obs::Histogram& req_hist =
+        obs::GetHistogram("service.request_seconds");
+    const BatchRequest& req = requests[i];
+    BatchItem& item = report.items[i];
+    item.id = req.id;
+    const auto t0 = std::chrono::steady_clock::now();
+    item.timing.queue_seconds =
+        std::chrono::duration<double>(t0 - wall0).count();
+    obs::TraceSpan req_span("service", "request");
+    req_span.set_detail(req.id);
+    const auto phase_seconds = [](const auto& since) {
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           since)
+          .count();
+    };
+    CacheKey key{};
+    if (cache != nullptr) {
+      obs::TraceSpan probe_span("phase", "cache-probe");
+      const auto p0 = std::chrono::steady_clock::now();
+      key = MakeCacheKey(req.loop->ddg, req.machine, req.options,
+                         req.overrides);
+      if (std::optional<core::ScheduleResult> hit = cache->Get(key)) {
+        item.result = *std::move(hit);
+        item.ok = item.result.ok;
+        item.cache_hit = true;
+      }
+      item.timing.cache_probe_seconds = phase_seconds(p0);
+    }
+    if (!item.cache_hit) {
+      core::MirsOptions mirs = req.options;
+      // Execution strategy, not request semantics (see BatchOptions): the
+      // speculative engine commits bit-identical results, and the nested
+      // racing rides the SpeculationPool, so a 1-thread batch still races.
+      // Session-level knob wins when set; otherwise the request's own
+      // value (e.g. from `hcrf_sched schedule --speculate`) stands.
+      if (config_.speculate_k > 0) {
+        mirs.speculate_k = config_.speculate_k;
+        mirs.speculate_eager = config_.speculate_eager;
+      }
+      if (!mirs.precomputed_mii) {
+        // The MII depends on the graph, the latency table and the global
+        // resource counts — not the RF organization — so the process-wide
+        // sweep cache shares it across the configurations of a
+        // design-space sweep (and across repeated batches in-process).
+        const auto m0 = std::chrono::steady_clock::now();
+        mirs.precomputed_mii =
+            perf::CachedMii(req.loop->ddg, req.machine, req.overrides);
+        item.timing.mii_seconds = phase_seconds(m0);
+      }
+      const auto s0 = std::chrono::steady_clock::now();
+      item.result =
+          core::MirsHC(req.loop->ddg, req.machine, mirs, req.overrides);
+      item.timing.schedule_seconds = phase_seconds(s0);
+      item.ok = item.result.ok;
+      if (cache != nullptr) {
+        obs::TraceSpan write_span("phase", "serialize");
+        const auto w0 = std::chrono::steady_clock::now();
+        cache->Put(key, item.result);
+        item.timing.serialize_seconds = phase_seconds(w0);
+      }
+    }
+    if (!item.ok && item.error.empty()) {
+      item.error = "scheduling failed (no II <= max_ii admitted a schedule)";
+    }
+    item.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    req_count.Add(1);
+    if (item.cache_hit) hit_count.Add(1);
+    req_hist.Record(item.seconds);
+  });
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+
+  for (const BatchItem& item : report.items) {
+    if (item.cache_hit) {
+      ++report.hits;
+    } else {
+      ++report.scheduled;
+    }
+    if (!item.ok) ++report.failed;
+    report.timing.Accumulate(item.timing);
+  }
+  if (cache != nullptr) {
+    // Per-batch deltas of the session-lifetime counters. With write-behind
+    // on, disk `writes` queued by this batch may still be in flight; the
+    // one-shot wrappers Drain() and re-snapshot for exact totals.
+    report.cache = StackStats(FlowDelta(tier_stats(), stack_before));
+    report.mem_cache = FlowDelta(memory_stats(), mem_before);
+  }
+  return report;
+}
+
+BatchReport SchedulerService::RunManifest(const std::string& manifest_path) {
+  const std::vector<ManifestEntry> entries = LoadManifestFile(manifest_path);
+  const std::string base = fs::path(manifest_path).parent_path().string();
+
+  std::vector<BatchRequest> requests;
+  std::vector<size_t> request_slot;  // maps run items back to report slots
+  requests.reserve(entries.size());
+
+  BatchReport report;
+  report.items.resize(entries.size());
+
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const ManifestEntry& e = entries[i];
+    BatchItem& item = report.items[i];
+    item.id = e.graph;
+    try {
+      BatchRequest req = ResolveManifestEntry(e, base, config_.rf_model);
+      item.id = req.id;
+      requests.push_back(std::move(req));
+      request_slot.push_back(i);
+    } catch (const std::exception& ex) {
+      item.ok = false;
+      item.error = ex.what();
+      ++report.failed;
+    }
+  }
+
+  BatchReport run = RunBatch(requests);
+  for (size_t r = 0; r < run.items.size(); ++r) {
+    report.items[request_slot[r]] = std::move(run.items[r]);
+  }
+  report.cache = run.cache;
+  report.mem_cache = run.mem_cache;
+  report.scheduled = run.scheduled;
+  report.hits = run.hits;
+  report.failed += run.failed;
+  report.seconds = run.seconds;
+  report.timing = run.timing;
+  return report;
+}
+
+}  // namespace hcrf::service

@@ -1,0 +1,113 @@
+// SchedulerService: the resident scheduling session.
+//
+// Before this layer, every front-end call (`RunBatch`, `RunSweep`,
+// `RunExperiments`, each CLI invocation) constructed its own
+// ScheduleCache, read its own flags and flushed its own stats — process
+// state lived as locals of one run. A resident daemon inverts that: the
+// cache stack, the parallelism/speculation configuration and the stats
+// views are fields of one long-lived SchedulerService, and every request
+// path — one-shot CLI, sweep, repro, the Unix-socket server — schedules
+// through the same session object. One code path, one set of counters,
+// one drain point.
+//
+// Ownership model:
+//  * The session owns the cache stack (MemoryTier / DiskTier /
+//    TieredCache, per ServiceConfig) for its whole lifetime; batch calls
+//    borrow it. Per-batch stats are deltas of the stack counters around
+//    the call.
+//  * The worker pools stay process-wide (perf::ThreadPool::Shared(),
+//    perf::SpeculationPool::Shared()); the session only carries the
+//    parallelism cap and speculation knobs applied per batch.
+//  * Drain() settles the write-behind queue; the destructor drains too.
+//    A one-shot wrapper drains before reporting (exact counters), the
+//    daemon drains on SIGTERM.
+//
+// Thread safety: RunBatch may be called from multiple threads (the server
+// dispatches concurrent submissions); calls serialize on the shared
+// pool's session mutex, and the cache stack and stats snapshots are
+// internally synchronized.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/batch.h"
+#include "service/cache_tier.h"
+#include "service/sched_cache.h"
+
+namespace hcrf::service {
+
+/// Durable configuration of a scheduling session — what used to arrive
+/// as per-call BatchOptions, fixed at session construction.
+struct ServiceConfig {
+  /// Persistent cache directory; empty disables the disk tier.
+  std::string cache_dir;
+  /// Memory-tier entry bound; 0 disables the memory tier.
+  long cache_mem_entries = 0;
+  /// Memory-tier byte bound; 0 = the MemoryTier default (64 MiB).
+  long cache_mem_bytes = 0;
+  /// Disk writes ride the SpeculationPool (Drain() settles them). Tests
+  /// that need deterministic write counts mid-run switch to synchronous.
+  bool write_behind = true;
+  /// Parallelism cap per batch (0 = hardware concurrency).
+  int threads = 0;
+  hw::RFModelMode rf_model = hw::RFModelMode::kPaperTable;
+  /// Speculative II racing (MirsOptions::speculate_k) applied to every
+  /// request of every batch when > 0.
+  int speculate_k = 0;
+  bool speculate_eager = false;
+
+  static ServiceConfig FromBatch(const BatchOptions& opt);
+};
+
+class SchedulerService {
+ public:
+  explicit SchedulerService(const ServiceConfig& config);
+  ~SchedulerService();  ///< Drains queued cache writes.
+
+  SchedulerService(const SchedulerService&) = delete;
+  SchedulerService& operator=(const SchedulerService&) = delete;
+
+  const ServiceConfig& config() const { return config_; }
+
+  /// Schedules every request in parallel against the session cache stack.
+  /// Never throws for per-request failures; they surface as failed items.
+  /// report.cache / report.mem_cache are deltas over this call; with
+  /// write-behind on, `writes` may still be in flight at return (Drain()
+  /// for exact totals — the one-shot wrappers do).
+  BatchReport RunBatch(const std::vector<BatchRequest>& requests);
+
+  /// Loads `manifest_path`, resolves its requests and runs them through
+  /// this session. Unloadable entries become failed items; a malformed
+  /// manifest throws.
+  BatchReport RunManifest(const std::string& manifest_path);
+
+  /// Settles the write-behind queue (no-op for synchronous stacks).
+  void Drain();
+
+  bool has_cache() const { return cache_ != nullptr; }
+  /// The stack (or single tier); nullptr when caching is disabled.
+  CacheTier* cache() { return cache_.get(); }
+  /// Borrowed tier views; nullptr when that tier is not configured.
+  MemoryTier* memory_tier() { return memory_; }
+  DiskTier* disk_tier() { return disk_; }
+
+  /// Whole-stack counters since session construction, in the legacy
+  /// four-field shape (hits from any tier; misses/rejects/writes at the
+  /// durable boundary).
+  ScheduleCache::Stats cache_stats() const;
+  /// Whole-stack counters since session construction.
+  TierStats tier_stats() const;
+  /// Memory-tier counters since session construction; zeroes when the
+  /// memory tier is not configured.
+  TierStats memory_stats() const;
+
+ private:
+  ServiceConfig config_;
+  std::unique_ptr<CacheTier> cache_;  ///< Null = caching disabled.
+  MemoryTier* memory_ = nullptr;      ///< View into cache_ (or null).
+  DiskTier* disk_ = nullptr;          ///< View into cache_ (or null).
+};
+
+}  // namespace hcrf::service

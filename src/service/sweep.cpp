@@ -8,6 +8,7 @@
 #include "io/hcl.h"
 #include "io/scanner.h"
 #include "perf/tables.h"
+#include "service/session.h"
 #include "workload/suite_cache.h"
 
 namespace hcrf::service {
@@ -249,8 +250,9 @@ SweepPlan ExpandSweepMachines(const SweepSpec& spec,
 }
 
 SweepReport RunSweep(const SweepSpec& spec, const std::string& base_dir,
-                     const SweepOptions& opt) {
-  const SweepPlan plan = ExpandSweepMachines(spec, opt.rf_model);
+                     SchedulerService& session) {
+  const SweepPlan plan =
+      ExpandSweepMachines(spec, session.config().rf_model);
   if (plan.machines.empty()) {
     std::string msg = "sweep expands to no valid organizations";
     for (const std::string& s : plan.skipped) msg += "\n  skipped " + s;
@@ -307,11 +309,7 @@ SweepReport RunSweep(const SweepSpec& spec, const std::string& base_dir,
     }
   }
 
-  BatchOptions bopt;
-  bopt.cache_dir = opt.cache_dir;
-  bopt.threads = opt.threads;
-  bopt.rf_model = opt.rf_model;
-  const BatchReport batch = RunBatch(requests, bopt);
+  const BatchReport batch = session.RunBatch(requests);
 
   SweepReport report;
   report.name = spec.name.empty() ? "sweep" : spec.name;
@@ -343,6 +341,21 @@ SweepReport RunSweep(const SweepSpec& spec, const std::string& base_dir,
       report.cells.push_back(std::move(cell));
     }
   }
+  return report;
+}
+
+SweepReport RunSweep(const SweepSpec& spec, const std::string& base_dir,
+                     const SweepOptions& opt) {
+  ServiceConfig config;
+  config.cache_dir = opt.cache_dir;
+  config.cache_mem_entries = opt.cache_mem_entries;
+  config.cache_mem_bytes = opt.cache_mem_bytes;
+  config.threads = opt.threads;
+  config.rf_model = opt.rf_model;
+  SchedulerService session(config);
+  SweepReport report = RunSweep(spec, base_dir, session);
+  session.Drain();
+  if (session.has_cache()) report.cache = session.cache_stats();
   return report;
 }
 

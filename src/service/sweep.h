@@ -94,6 +94,10 @@ SweepPlan ExpandSweepMachines(const SweepSpec& spec,
 struct SweepOptions {
   /// Persistent schedule cache directory; empty disables caching.
   std::string cache_dir;
+  /// Memory-tier entry bound (`--cache-mem`); 0 disables the hot tier.
+  long cache_mem_entries = 0;
+  /// Memory-tier byte bound; 0 = the MemoryTier default.
+  long cache_mem_bytes = 0;
   /// Parallelism (perf::RunOptions convention: 0 = hardware concurrency).
   int threads = 0;
   hw::RFModelMode rf_model = hw::RFModelMode::kPaperTable;
@@ -128,10 +132,17 @@ struct SweepReport {
   double seconds = 0.0;
 };
 
+class SchedulerService;
+
 /// Expands `spec` (graph paths resolved against `base_dir`, the spec
 /// file's directory) and schedules every (organization, loop) pair
 /// through the batch scheduler. Throws on an unloadable workload or an
 /// empty expansion; per-cell scheduling failures surface as failed cells.
+/// The session form schedules through an existing resident session (its
+/// cache stack and parallelism config; report.cache is the per-call
+/// delta); the options form wraps a transient, drained session.
+SweepReport RunSweep(const SweepSpec& spec, const std::string& base_dir,
+                     SchedulerService& session);
 SweepReport RunSweep(const SweepSpec& spec, const std::string& base_dir,
                      const SweepOptions& opt);
 

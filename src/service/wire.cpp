@@ -1,0 +1,208 @@
+#include "service/wire.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "io/hcl.h"
+
+namespace hcrf::service::wire {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+[[noreturn]] void FailTruncated(const std::string& what) {
+  throw WireError("truncated stream while reading " + what);
+}
+
+}  // namespace
+
+Conn::~Conn() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool Conn::ReadLine(std::string* line) {
+  line->clear();
+  while (true) {
+    const std::size_t nl = buf_.find('\n', pos_);
+    if (nl != std::string::npos) {
+      line->assign(buf_, pos_, nl - pos_);
+      pos_ = nl + 1;
+      if (pos_ == buf_.size()) {
+        buf_.clear();
+        pos_ = 0;
+      }
+      return true;
+    }
+    char chunk[kReadChunk];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n == 0) {
+      if (buf_.size() == pos_) return false;  // clean EOF between frames
+      FailTruncated("a line");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw WireError(std::string("read: ") + std::strerror(errno));
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void Conn::ReadExact(std::size_t n, std::string* out) {
+  out->clear();
+  out->reserve(n);
+  // Drain the lookahead buffer first, then read the remainder directly.
+  const std::size_t buffered = std::min(n, buf_.size() - pos_);
+  out->append(buf_, pos_, buffered);
+  pos_ += buffered;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  while (out->size() < n) {
+    char chunk[kReadChunk];
+    const std::size_t want = std::min(n - out->size(), sizeof(chunk));
+    const ssize_t got = ::read(fd_, chunk, want);
+    if (got == 0) FailTruncated("a payload");
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw WireError(std::string("read: ") + std::strerror(errno));
+    }
+    out->append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+bool Conn::WriteAll(std::string_view text) {
+  std::size_t off = 0;
+  while (off < text.size()) {
+    const ssize_t n = ::write(fd_, text.data() + off, text.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::vector<std::string> SplitTokens(std::string_view line) {
+  std::vector<std::string> toks;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const std::size_t sp = line.find(' ', i);
+    if (sp == std::string_view::npos) {
+      toks.emplace_back(line.substr(i));
+      break;
+    }
+    toks.emplace_back(line.substr(i, sp - i));
+    i = sp + 1;
+  }
+  return toks;
+}
+
+std::string ReadPayload(Conn& conn, const std::string& keyword) {
+  std::string line;
+  if (!conn.ReadLine(&line)) FailTruncated("'" + keyword + "' frame");
+  const std::vector<std::string> toks = SplitTokens(line);
+  if (toks.size() != 2 || toks[0] != keyword) {
+    throw WireError("expected '" + keyword + " <bytes>', got: " + line);
+  }
+  const std::optional<long> bytes = io::TryParseLong(toks[1]);
+  if (!bytes || *bytes < 0 || *bytes > kMaxPayloadBytes) {
+    throw WireError("bad '" + keyword + "' byte count: " + toks[1]);
+  }
+  std::string payload;
+  conn.ReadExact(static_cast<std::size_t>(*bytes), &payload);
+  return payload;
+}
+
+void WritePayload(Conn& conn, const std::string& keyword,
+                  std::string_view payload) {
+  conn.WriteAll(keyword + " " + std::to_string(payload.size()) + "\n");
+  conn.WriteAll(payload);
+}
+
+void WriteRequest(Conn& conn, const BatchRequest& request) {
+  for (int v : request.overrides.producer_latency) {
+    if (v > 0) {
+      throw WireError("request '" + request.id +
+                      "' carries latency overrides, which the wire format "
+                      "does not transmit");
+    }
+  }
+  conn.WriteAll("request " + request.id + "\n");
+  WritePayload(conn, "loop", io::DumpLoop(*request.loop));
+  WritePayload(conn, "machine", io::DumpMachine(request.machine));
+  WritePayload(conn, "options", io::DumpOptions(request.options));
+}
+
+BatchRequest ReadRequest(Conn& conn) {
+  std::string line;
+  if (!conn.ReadLine(&line)) FailTruncated("a 'request' block");
+  if (line.rfind("request ", 0) != 0 || line.size() <= 8) {
+    throw WireError("expected 'request <id>', got: " + line);
+  }
+  BatchRequest req;
+  req.id = line.substr(8);
+  const std::string loop_doc = ReadPayload(conn, "loop");
+  const std::string machine_doc = ReadPayload(conn, "machine");
+  const std::string options_doc = ReadPayload(conn, "options");
+  // The strict .hcl parsers do the real validation; their HclErrors
+  // propagate and become an `error` reply for this connection.
+  req.loop = std::make_shared<workload::Loop>(
+      io::ParseLoop(loop_doc, "<wire:" + req.id + ">"));
+  req.machine = io::ParseMachine(machine_doc, "<wire:" + req.id + ">");
+  req.options = io::ParseOptions(options_doc, "<wire:" + req.id + ">");
+  return req;
+}
+
+void WriteItem(Conn& conn, std::size_t index, const BatchItem& item) {
+  conn.WriteAll("item " + std::to_string(index) + " " +
+                (item.ok ? "ok" : "failed") + " " +
+                (item.cache_hit ? "hit" : "fresh") + "\n");
+  if (!item.error.empty()) {
+    WritePayload(conn, "error", item.error);
+  } else {
+    WritePayload(conn, "result", io::DumpResult(item.result));
+  }
+}
+
+ReplyItem ReadItem(Conn& conn) {
+  std::string line;
+  if (!conn.ReadLine(&line)) FailTruncated("an 'item' block");
+  const std::vector<std::string> toks = SplitTokens(line);
+  if (toks.size() != 4 || toks[0] != "item" ||
+      (toks[2] != "ok" && toks[2] != "failed") ||
+      (toks[3] != "hit" && toks[3] != "fresh")) {
+    throw WireError("expected 'item <i> <ok|failed> <hit|fresh>', got: " +
+                    line);
+  }
+  ReplyItem item;
+  item.id = toks[1];
+  item.ok = toks[2] == "ok";
+  item.cache_hit = toks[3] == "hit";
+  // The payload keyword discriminates: items with an error message carry
+  // it verbatim; everything else carries the result document.
+  std::string header;
+  if (!conn.ReadLine(&header)) FailTruncated("an item payload");
+  const std::vector<std::string> htoks = SplitTokens(header);
+  if (htoks.size() != 2 || (htoks[0] != "result" && htoks[0] != "error")) {
+    throw WireError("expected 'result'/'error' payload, got: " + header);
+  }
+  const std::optional<long> bytes = io::TryParseLong(htoks[1]);
+  if (!bytes || *bytes < 0 || *bytes > kMaxPayloadBytes) {
+    throw WireError("bad item payload byte count: " + htoks[1]);
+  }
+  std::string payload;
+  conn.ReadExact(static_cast<std::size_t>(*bytes), &payload);
+  if (htoks[0] == "error") {
+    item.error = payload;
+  } else {
+    item.result = io::ParseResult(payload, "<wire:item " + item.id + ">");
+  }
+  return item;
+}
+
+}  // namespace hcrf::service::wire

@@ -20,6 +20,14 @@ mode it guards against:
                   shutdown stay centralized; raw std::thread construction
                   outside src/perf/ is a smell (std::thread::id and
                   std::this_thread remain free).
+  raw-socket      Socket syscalls (socket/bind/listen/accept/connect/
+                  setsockopt/recv/send) concentrate in the daemon's two
+                  endpoint files, where admission control, timeouts and
+                  the drain discipline live; anywhere else they are a
+                  second, unreviewed network surface. Framed byte IO on
+                  an already-connected fd (read/write in wire.cpp) is
+                  deliberately not flagged — it has no syscall that can
+                  create or accept a connection.
   header-compile  Every header under src/ must compile on its own (a
                   header that leans on its includer's includes breaks the
                   next refactor).
@@ -59,6 +67,19 @@ CONSOLE_IO_ALLOWLIST = {
 # Directories whose job is writing bytes out: serialization (io/) and the
 # observability dump surfaces (obs/).
 CONSOLE_IO_ALLOWED_DIRS = ("src/io/", "src/obs/")
+
+# The daemon's two socket endpoints. Everything that can open, accept or
+# configure a connection must sit behind these files' admission/timeout/
+# drain discipline (service/server.h documents it).
+SOCKET_ALLOWLIST = {
+    "src/service/server.cpp":
+        "the daemon's listening surface: socket/bind/listen/accept and "
+        "per-connection timeouts, behind Server's admission control and "
+        "graceful-drain contract",
+    "src/service/client.cpp":
+        "the daemon client's connecting surface: socket/connect plus "
+        "timeouts for the one-request-per-connection wire protocol",
+}
 
 # Raw thread construction is the thread-pool layer's privilege.
 NAKED_THREAD_ALLOWED_DIRS = ("src/perf/",)
@@ -190,6 +211,20 @@ class Linter:
                 self.report(rel, lineno, "naked-thread",
                             "raw std::thread outside perf/; go through "
                             "perf::ThreadPool / perf::SpeculationPool")
+            if rel not in SOCKET_ALLOWLIST:
+                if re.search(r"#\s*include\s*<sys/(socket|un)\.h>", line):
+                    self.report(rel, lineno, "raw-socket",
+                                "socket headers outside the daemon "
+                                "endpoints (service/server.cpp, "
+                                "service/client.cpp)")
+                if re.search(r"(?<![\w:.])(?:::)?(socket|bind|listen|"
+                             r"accept4?|connect|setsockopt|recvfrom|"
+                             r"recvmsg|recv|sendto|sendmsg|send)\s*\(",
+                             line):
+                    self.report(rel, lineno, "raw-socket",
+                                "socket syscall outside the daemon "
+                                "endpoints; route connections through "
+                                "service::Server / service::Client")
 
     def lint_hygiene(self, rel):
         raw = self.read(rel)
@@ -206,6 +241,10 @@ class Linter:
         for rel in CONSOLE_IO_ALLOWLIST:
             if not os.path.exists(os.path.join(self.root, rel)):
                 self.report(rel, 1, "console-io",
+                            "stale allowlist entry: file no longer exists")
+        for rel in SOCKET_ALLOWLIST:
+            if not os.path.exists(os.path.join(self.root, rel)):
+                self.report(rel, 1, "raw-socket",
                             "stale allowlist entry: file no longer exists")
 
     # -- header self-sufficiency ------------------------------------------

@@ -10,6 +10,8 @@
 //   hcrf_sched smoke <manifest>                cold+warm cache self-check
 //   hcrf_sched bench [options]                 engine A/B perf baseline
 //   hcrf_sched repro [options]                 paper-reproduction experiments
+//   hcrf_sched serve --socket=PATH [options]   resident scheduling daemon
+//   hcrf_sched submit [manifest] [options]     client for a running daemon
 //
 // The scheduling commands (schedule / run / bench / repro) additionally
 // accept `--trace=FILE` (write a Chrome trace_event JSON of the run; open
@@ -21,6 +23,8 @@
 // success, 1 on bad usage / failed requests / failed self-check.
 #include <unistd.h>
 
+#include <atomic>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -41,7 +45,10 @@
 #include "perf/bench.h"
 #include "perf/runner.h"
 #include "service/batch.h"
+#include "service/client.h"
 #include "service/sched_cache.h"
+#include "service/server.h"
+#include "service/session.h"
 #include "service/sweep.h"
 #include "workload/suite_cache.h"
 
@@ -63,15 +70,20 @@ commands:
                            schedules; K < 2 = serial)
       --eager              race the first wave too (with --speculate)
       --cache=DIR          persistent schedule cache
+      --cache-mem=N        in-memory hot tier bounded to N entries
+                           (stacks in front of --cache with write-behind)
+      --cache-mem-bytes=B  hot-tier byte bound (default 64 MiB)
       --out=FILE           write the result document (default stdout)
       --trace=FILE         write a Chrome trace_event JSON of the run
       --stats[=json]       dump the metrics registry after the run
   run <manifest>         run every request of a batch manifest
-      --cache=DIR --threads=N --out-dir=DIR --quiet
+      --cache=DIR --cache-mem=N --cache-mem-bytes=B
+      --threads=N --out-dir=DIR --quiet
       --speculate=K --eager  speculative II racing inside each request
       --trace=FILE --stats[=json]
   sweep <spec.hcl>       run a design-space sweep over RF organizations
       --cache=DIR          persistent schedule cache
+      --cache-mem=N --cache-mem-bytes=B  in-memory hot tier
       --threads=N
       --out-dir=DIR        write <name>.csv and <name>.md (default .)
       --quiet              don't print the markdown report
@@ -123,12 +135,35 @@ commands:
       --only=A,B           run a subset (names from --list)
       --out=DIR            write repro.csv and repro.md (default .)
       --cache=DIR          persistent schedule cache
+      --cache-mem=N --cache-mem-bytes=B  in-memory hot tier
       --threads=N --quiet
       --smoke              bounded slice of each experiment, cold run then
                            warm run against a fresh cache; the warm run
                            must be fully cache-served with bit-identical
                            reports
       --trace=FILE --stats[=json]
+  serve                  resident scheduling daemon on a Unix socket: one
+                         long-lived cache stack + session shared by every
+                         submission (line-framed protocol, see `submit`).
+                         SIGTERM/SIGINT drain gracefully: in-flight
+                         requests finish and cache writes settle first.
+      --socket=PATH        listening Unix-socket path (required)
+      --cache=DIR          persistent schedule cache (disk tier)
+      --cache-mem=N        in-memory hot tier bounded to N entries
+      --cache-mem-bytes=B  hot-tier byte bound (default 64 MiB)
+      --threads=N --speculate=K --eager
+      --max-inflight=N     connections in service at once before the
+                           server answers `busy` (default 4)
+      --timeout-ms=N       per-connection socket timeout (default 30000)
+  submit                 client for a running daemon: resolves a batch
+                         manifest locally and submits it over the socket
+      <manifest>           manifest to resolve and submit
+      --socket=PATH        daemon socket path (required)
+      --ping               health check instead of a manifest
+      --stats              daemon metrics registry (JSON) instead
+      --cache-stats        daemon cache counters + disk census instead
+      --out-dir=DIR --quiet --timeout-ms=N
+                         exit status 2 when the daemon answers `busy`
 )");
   return 1;
 }
@@ -208,6 +243,32 @@ bool CheckFlags(const Args& a, std::initializer_list<const char*> known) {
     }
   }
   return true;
+}
+
+/// `--cache-mem=N` / `--cache-mem-bytes=B`: the memory-tier bounds every
+/// scheduling command shares. N = 0 keeps the hot tier off; the byte
+/// bound refines an enabled tier, so it requires `--cache-mem`.
+void CacheMemFromFlags(const Args& args, long* entries, long* bytes) {
+  if (const std::string* v = args.Flag("cache-mem")) {
+    *entries = ParseLongFlag("cache-mem", *v);
+    if (*entries < 0) {
+      throw std::runtime_error(
+          "--cache-mem: expected a non-negative entry count, got '" + *v +
+          "'");
+    }
+  }
+  if (const std::string* v = args.Flag("cache-mem-bytes")) {
+    *bytes = ParseLongFlag("cache-mem-bytes", *v);
+    if (*bytes < 0) {
+      throw std::runtime_error(
+          "--cache-mem-bytes: expected a non-negative byte count, got '" +
+          *v + "'");
+    }
+    if (*entries <= 0) {
+      throw std::runtime_error(
+          "--cache-mem-bytes requires --cache-mem=N to enable the tier");
+    }
+  }
 }
 
 /// `--stats[=json]`: dump the whole metrics registry after the command.
@@ -309,7 +370,8 @@ int CmdSchedule(const Args& args) {
   if (args.positional.size() != 1 ||
       !CheckFlags(args, {"rf", "machine", "no-characterize", "budget",
                          "max-ii", "policy", "non-iterative", "speculate",
-                         "eager", "cache", "out", "trace", "stats"})) {
+                         "eager", "cache", "cache-mem", "cache-mem-bytes",
+                         "out", "trace", "stats"})) {
     return Usage();
   }
   const auto loop =
@@ -325,6 +387,7 @@ int CmdSchedule(const Args& args) {
 
   service::BatchOptions bopt;
   if (const std::string* c = args.Flag("cache")) bopt.cache_dir = *c;
+  CacheMemFromFlags(args, &bopt.cache_mem_entries, &bopt.cache_mem_bytes);
   const service::BatchReport report = service::RunBatch({req}, bopt);
   const service::BatchItem& item = report.items[0];
   PrintItem(item);
@@ -365,18 +428,28 @@ int RunManifestOnce(const std::string& manifest,
                 report.cache.hits, report.cache.misses, report.cache.rejects,
                 report.cache.writes, bopt.cache_dir.c_str());
   }
+  if (bopt.cache_mem_entries > 0) {
+    std::printf(
+        "mem-cache: %ld hits, %ld writes, %ld evictions, %ld oversize; "
+        "%ld entries, %ld bytes resident\n",
+        report.mem_cache.hits, report.mem_cache.writes,
+        report.mem_cache.evictions, report.mem_cache.oversize,
+        report.mem_cache.entries, report.mem_cache.bytes);
+  }
   if (out_report != nullptr) *out_report = report;
   return report.failed == 0 ? 0 : 1;
 }
 
 int CmdRun(const Args& args) {
   if (args.positional.size() != 1 ||
-      !CheckFlags(args, {"cache", "threads", "out-dir", "quiet", "speculate",
-                         "eager", "trace", "stats"})) {
+      !CheckFlags(args, {"cache", "cache-mem", "cache-mem-bytes", "threads",
+                         "out-dir", "quiet", "speculate", "eager", "trace",
+                         "stats"})) {
     return Usage();
   }
   service::BatchOptions bopt;
   if (const std::string* c = args.Flag("cache")) bopt.cache_dir = *c;
+  CacheMemFromFlags(args, &bopt.cache_mem_entries, &bopt.cache_mem_bytes);
   if (const std::string* t = args.Flag("threads")) {
     bopt.threads = ParseIntFlag("threads", *t);
   }
@@ -415,8 +488,8 @@ void PrintSweepSummary(const service::SweepReport& report,
 
 int CmdSweep(const Args& args) {
   if (args.positional.size() != 1 ||
-      !CheckFlags(args,
-                  {"cache", "threads", "out-dir", "quiet", "smoke"})) {
+      !CheckFlags(args, {"cache", "cache-mem", "cache-mem-bytes", "threads",
+                         "out-dir", "quiet", "smoke"})) {
     return Usage();
   }
   const std::string& spec_path = args.positional[0];
@@ -425,6 +498,7 @@ int CmdSweep(const Args& args) {
 
   service::SweepOptions sopt;
   if (const std::string* c = args.Flag("cache")) sopt.cache_dir = *c;
+  CacheMemFromFlags(args, &sopt.cache_mem_entries, &sopt.cache_mem_bytes);
   if (const std::string* t = args.Flag("threads")) {
     sopt.threads = ParseIntFlag("threads", *t);
   }
@@ -450,18 +524,28 @@ int CmdSweep(const Args& args) {
     }
   }
 
-  const service::SweepReport report = service::RunSweep(spec, base_dir, sopt);
-  const std::string csv = service::SweepCsv(report);
-  const std::string md = service::SweepMarkdown(report);
-  PrintSweepSummary(report, sopt.cache_dir);
-
   // Unschedulable (org, loop) cells are sweep *data* — the paper's grid
   // includes organizations where loops legitimately fail — so they do not
   // fail the command; only smoke-check violations below do.
+  service::SweepReport report;
   bool ok = true;
   if (smoke) {
+    // Cold and warm legs share ONE resident session: the warm run probes
+    // the same cache stack the cold run populated, so with --cache-mem it
+    // is served from the memory tier. (The pre-session smoke built a
+    // fresh cache per run and could only ever warm-hit disk.)
+    service::ServiceConfig config;
+    config.cache_dir = sopt.cache_dir;
+    config.cache_mem_entries = sopt.cache_mem_entries;
+    config.cache_mem_bytes = sopt.cache_mem_bytes;
+    config.threads = sopt.threads;
+    config.rf_model = sopt.rf_model;
+    service::SchedulerService session(config);
+    report = service::RunSweep(spec, base_dir, session);
+    session.Drain();  // cold writes land before the warm leg probes disk
+    PrintSweepSummary(report, sopt.cache_dir);
     const service::SweepReport warm =
-        service::RunSweep(spec, base_dir, sopt);
+        service::RunSweep(spec, base_dir, session);
     PrintSweepSummary(warm, sopt.cache_dir);
     if (warm.scheduled != 0 ||
         warm.hits != static_cast<int>(warm.cells.size())) {
@@ -471,14 +555,26 @@ int CmdSweep(const Args& args) {
                    warm.hits, warm.scheduled);
       ok = false;
     }
-    if (service::SweepCsv(warm) != csv || service::SweepMarkdown(warm) != md) {
+    if (service::SweepCsv(warm) != service::SweepCsv(report) ||
+        service::SweepMarkdown(warm) != service::SweepMarkdown(report)) {
       std::fprintf(stderr,
                    "sweep --smoke: warm reports differ from cold reports\n");
       ok = false;
     }
+    if (sopt.cache_mem_entries > 0 && session.memory_stats().hits <= 0) {
+      std::fprintf(stderr,
+                   "sweep --smoke: --cache-mem warm run never hit the "
+                   "memory tier\n");
+      ok = false;
+    }
     if (args.Flag("cache") == nullptr) fs::remove_all(sopt.cache_dir, ec);
     std::printf("sweep smoke: %s\n", ok ? "PASS" : "FAIL");
+  } else {
+    report = service::RunSweep(spec, base_dir, sopt);
+    PrintSweepSummary(report, sopt.cache_dir);
   }
+  const std::string csv = service::SweepCsv(report);
+  const std::string md = service::SweepMarkdown(report);
 
   const std::string* out_dir = args.Flag("out-dir");
   const std::string dir = out_dir != nullptr ? *out_dir : ".";
@@ -921,8 +1017,9 @@ void PrintReproSummary(const experiment::ReproReport& report,
 // served entirely from the cache with byte-identical CSV/markdown.
 int CmdRepro(const Args& args) {
   if (!args.positional.empty() ||
-      !CheckFlags(args, {"list", "only", "out", "cache", "threads", "quiet",
-                         "smoke", "trace", "stats"})) {
+      !CheckFlags(args, {"list", "only", "out", "cache", "cache-mem",
+                         "cache-mem-bytes", "threads", "quiet", "smoke",
+                         "trace", "stats"})) {
     return Usage();
   }
   if (args.Flag("list") != nullptr) {
@@ -975,6 +1072,7 @@ int CmdRepro(const Args& args) {
   experiment::ReproOptions ropt;
   ropt.smoke = args.Flag("smoke") != nullptr;
   if (const std::string* c = args.Flag("cache")) ropt.cache_dir = *c;
+  CacheMemFromFlags(args, &ropt.cache_mem_entries, &ropt.cache_mem_bytes);
   if (const std::string* t = args.Flag("threads")) {
     ropt.threads = ParseIntFlag("threads", *t);
   }
@@ -999,16 +1097,24 @@ int CmdRepro(const Args& args) {
     }
   }
 
-  const experiment::ReproReport report =
-      experiment::RunExperiments(selection, ropt);
-  const std::string csv = experiment::ReproCsv(report);
-  const std::string md = experiment::ReproMarkdown(report);
-  PrintReproSummary(report, ropt.cache_dir);
-
-  bool ok = report.ref_failures == 0;
+  experiment::ReproReport report;
+  bool ok = true;
   if (ropt.smoke) {
+    // As in `sweep --smoke`: one resident session carries both legs, so
+    // the warm run probes the cache stack the cold run populated (the
+    // memory tier with --cache-mem, the disk tier otherwise).
+    service::ServiceConfig config;
+    config.cache_dir = ropt.cache_dir;
+    config.cache_mem_entries = ropt.cache_mem_entries;
+    config.cache_mem_bytes = ropt.cache_mem_bytes;
+    config.threads = ropt.threads;
+    service::SchedulerService session(config);
+    report = experiment::RunExperiments(selection, ropt, session);
+    session.Drain();  // cold writes land before the warm leg probes disk
+    PrintReproSummary(report, ropt.cache_dir);
+    ok = report.ref_failures == 0;
     const experiment::ReproReport warm =
-        experiment::RunExperiments(selection, ropt);
+        experiment::RunExperiments(selection, ropt, session);
     PrintReproSummary(warm, ropt.cache_dir);
     if (warm.scheduled != 0 || warm.hits != warm.requests) {
       std::fprintf(stderr,
@@ -1017,16 +1123,28 @@ int CmdRepro(const Args& args) {
                    warm.hits, warm.scheduled, warm.requests);
       ok = false;
     }
-    if (experiment::ReproCsv(warm) != csv ||
-        experiment::ReproMarkdown(warm) != md) {
+    if (experiment::ReproCsv(warm) != experiment::ReproCsv(report) ||
+        experiment::ReproMarkdown(warm) != experiment::ReproMarkdown(report)) {
       std::fprintf(stderr,
                    "repro --smoke: warm reports differ from cold reports\n");
+      ok = false;
+    }
+    if (ropt.cache_mem_entries > 0 && session.memory_stats().hits <= 0) {
+      std::fprintf(stderr,
+                   "repro --smoke: --cache-mem warm run never hit the "
+                   "memory tier\n");
       ok = false;
     }
     if (warm.ref_failures != 0) ok = false;
     if (args.Flag("cache") == nullptr) fs::remove_all(ropt.cache_dir, ec);
     std::printf("repro smoke: %s\n", ok ? "PASS" : "FAIL");
+  } else {
+    report = experiment::RunExperiments(selection, ropt);
+    PrintReproSummary(report, ropt.cache_dir);
+    ok = report.ref_failures == 0;
   }
+  const std::string csv = experiment::ReproCsv(report);
+  const std::string md = experiment::ReproMarkdown(report);
 
   const std::string* out_dir = args.Flag("out");
   const std::string dir = out_dir != nullptr ? *out_dir : ".";
@@ -1040,6 +1158,191 @@ int CmdRepro(const Args& args) {
     std::fwrite(md.data(), 1, md.size(), stdout);
   }
   return ok ? 0 : 1;
+}
+
+// The resident daemon's stop request: signal handlers may only touch
+// lock-free state, and Server::RequestStop() is async-signal-safe by
+// contract (one write() to the self-pipe).
+std::atomic<service::Server*> g_serve_instance{nullptr};
+
+extern "C" void HandleServeSignal(int) {
+  service::Server* server =
+      g_serve_instance.load(std::memory_order_relaxed);
+  if (server != nullptr) server->RequestStop();
+}
+
+// Resident scheduling daemon: one SchedulerService (cache stack, thread
+// budget, speculation config) serving line-framed submissions on a Unix
+// socket until SIGTERM/SIGINT drains it.
+int CmdServe(const Args& args) {
+  if (!args.positional.empty() ||
+      !CheckFlags(args, {"socket", "cache", "cache-mem", "cache-mem-bytes",
+                         "threads", "speculate", "eager", "max-inflight",
+                         "timeout-ms"})) {
+    return Usage();
+  }
+  const std::string* socket = args.Flag("socket");
+  if (socket == nullptr || socket->empty()) {
+    std::fprintf(stderr, "serve: --socket=PATH is required\n");
+    return 1;
+  }
+  service::ServerOptions sopt;
+  sopt.socket_path = *socket;
+  if (const std::string* v = args.Flag("max-inflight")) {
+    sopt.max_inflight = ParseIntFlag("max-inflight", *v);
+    if (sopt.max_inflight < 1) {
+      throw std::runtime_error(
+          "--max-inflight: expected a positive count, got '" + *v + "'");
+    }
+  }
+  if (const std::string* v = args.Flag("timeout-ms")) {
+    sopt.read_timeout_ms = ParseIntFlag("timeout-ms", *v);
+    if (sopt.read_timeout_ms < 0) {
+      throw std::runtime_error(
+          "--timeout-ms: expected a non-negative timeout, got '" + *v + "'");
+    }
+  }
+  if (const std::string* c = args.Flag("cache")) {
+    sopt.service.cache_dir = *c;
+  }
+  CacheMemFromFlags(args, &sopt.service.cache_mem_entries,
+                    &sopt.service.cache_mem_bytes);
+  if (const std::string* t = args.Flag("threads")) {
+    sopt.service.threads = ParseIntFlag("threads", *t);
+  }
+  if (const std::string* v = args.Flag("speculate")) {
+    sopt.service.speculate_k = ParseIntFlag("speculate", *v);
+    if (sopt.service.speculate_k < 0) {
+      throw std::runtime_error("--speculate: expected a non-negative count, "
+                               "got '" + *v + "'");
+    }
+  }
+  if (args.Flag("eager") != nullptr) sopt.service.speculate_eager = true;
+
+  service::Server server(sopt);
+  server.Start();
+  g_serve_instance.store(&server, std::memory_order_relaxed);
+  std::signal(SIGTERM, HandleServeSignal);
+  std::signal(SIGINT, HandleServeSignal);
+  std::printf("serve: listening on %s (max-inflight %d, cache %s, "
+              "cache-mem %ld)\n",
+              sopt.socket_path.c_str(), sopt.max_inflight,
+              sopt.service.cache_dir.empty() ? "off"
+                                             : sopt.service.cache_dir.c_str(),
+              sopt.service.cache_mem_entries);
+  std::fflush(stdout);  // readiness marker for scripted clients
+  server.Serve();
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  g_serve_instance.store(nullptr, std::memory_order_relaxed);
+  std::printf("serve: drained (%ld connections served, %ld bounced busy)\n",
+              server.served(), server.bounced());
+  return 0;
+}
+
+void PrintWireItem(const std::string& id, const service::wire::ReplyItem& item) {
+  if (!item.ok) {
+    std::printf("%-28s FAILED  %s\n", id.c_str(), item.error.c_str());
+    return;
+  }
+  std::printf("%-28s II %3d (MII %3d)  SC %2d  bound %-7s %s\n", id.c_str(),
+              item.result.ii, item.result.mii, item.result.sc,
+              std::string(core::ToString(item.result.bound)).c_str(),
+              item.cache_hit ? "cache-hit " : "scheduled ");
+}
+
+// Daemon client: resolves a manifest locally (same loader as `run`) and
+// submits the batch over the socket; `--ping` / `--stats` /
+// `--cache-stats` query the daemon instead. Exit 2 = server saturated.
+int CmdSubmit(const Args& args) {
+  if (!CheckFlags(args, {"socket", "ping", "stats", "cache-stats",
+                         "out-dir", "quiet", "timeout-ms"})) {
+    return Usage();
+  }
+  const std::string* socket = args.Flag("socket");
+  if (socket == nullptr || socket->empty()) {
+    std::fprintf(stderr, "submit: --socket=PATH is required\n");
+    return 1;
+  }
+  int timeout_ms = 120000;
+  if (const std::string* v = args.Flag("timeout-ms")) {
+    timeout_ms = ParseIntFlag("timeout-ms", *v);
+    if (timeout_ms < 0) {
+      throw std::runtime_error(
+          "--timeout-ms: expected a non-negative timeout, got '" + *v + "'");
+    }
+  }
+  const bool ping = args.Flag("ping") != nullptr;
+  const bool stats = args.Flag("stats") != nullptr;
+  const bool cache_stats = args.Flag("cache-stats") != nullptr;
+  if (ping + stats + cache_stats > 1) {
+    std::fprintf(stderr,
+                 "submit: --ping/--stats/--cache-stats are exclusive\n");
+    return 1;
+  }
+  const bool query = ping || stats || cache_stats;
+  if (args.positional.size() != (query ? 0u : 1u)) return Usage();
+
+  service::Client client(*socket, timeout_ms);
+  if (ping) {
+    if (!client.Ping()) {
+      std::fprintf(stderr, "submit: server busy\n");
+      return 2;
+    }
+    std::printf("ok\n");
+    return 0;
+  }
+  if (stats || cache_stats) {
+    const std::string payload = stats ? client.Stats() : client.CacheStats();
+    std::fwrite(payload.data(), 1, payload.size(), stdout);
+    return 0;
+  }
+
+  const std::string& manifest_path = args.positional[0];
+  const std::vector<service::ManifestEntry> entries =
+      service::LoadManifestFile(manifest_path);
+  const std::string base_dir =
+      fs::path(manifest_path).parent_path().string();
+  std::vector<service::BatchRequest> requests;
+  requests.reserve(entries.size());
+  for (const service::ManifestEntry& entry : entries) {
+    // Unlike `run`, a client fails fast on an unloadable entry: nothing
+    // has been submitted yet, so there is no partial batch to salvage.
+    requests.push_back(service::ResolveManifestEntry(
+        entry, base_dir, hw::RFModelMode::kPaperTable));
+  }
+
+  const service::SubmitReply reply = client.Submit(requests);
+  if (reply.busy) {
+    std::fprintf(stderr,
+                 "submit: server busy (max-inflight reached); retry later\n");
+    return 2;
+  }
+  if (reply.items.size() != requests.size()) {
+    std::fprintf(stderr, "submit: server returned %zu items for %zu requests\n",
+                 reply.items.size(), requests.size());
+    return 1;
+  }
+  const bool quiet = args.Flag("quiet") != nullptr;
+  const std::string* out_dir = args.Flag("out-dir");
+  int failed = 0, hits = 0;
+  for (size_t i = 0; i < reply.items.size(); ++i) {
+    const service::wire::ReplyItem& item = reply.items[i];
+    if (!item.ok) ++failed;
+    if (item.cache_hit) ++hits;
+    if (!quiet) PrintWireItem(requests[i].id, item);
+    if (out_dir != nullptr && item.ok) {
+      std::string stem = requests[i].id;
+      for (char& c : stem) {
+        if (c == '/' || c == '\\') c = '_';
+      }
+      io::WriteFileAtomic((fs::path(*out_dir) / (stem + ".hclr")).string(),
+                          io::DumpResult(item.result));
+    }
+  }
+  std::printf("submit: %zu requests, %d cache hits, %d failed (%s)\n",
+              requests.size(), hits, failed, socket->c_str());
+  return failed == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -1061,6 +1364,8 @@ int main(int argc, char** argv) {
     if (cmd == "smoke") return CmdSmoke(args);
     if (cmd == "bench") return RunTraced(args, [&] { return CmdBench(args); });
     if (cmd == "repro") return RunTraced(args, [&] { return CmdRepro(args); });
+    if (cmd == "serve") return CmdServe(args);
+    if (cmd == "submit") return CmdSubmit(args);
     if (cmd == "help" || cmd == "--help" || cmd == "-h") {
       Usage();
       return 0;
