@@ -7,8 +7,10 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/check.h"
@@ -69,10 +71,10 @@ Server::Server(const ServerOptions& opt)
 
 Server::~Server() {
   RequestStop();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    ::unlink(opt_.socket_path.c_str());
-  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  // Unlink only a socket this process bound: if Start() lost the bind
+  // race (EADDRINUSE), the path belongs to the daemon that won it.
+  if (owns_socket_) ::unlink(opt_.socket_path.c_str());
   for (int fd : stop_pipe_) {
     if (fd >= 0) ::close(fd);
   }
@@ -99,6 +101,7 @@ void Server::Start() {
              sizeof(addr)) != 0) {
     FailErrno("serve: bind " + opt_.socket_path);
   }
+  owns_socket_ = true;  // the socket file on disk is now ours to unlink
   if (::listen(listen_fd_, 64) != 0) FailErrno("serve: listen");
 }
 
@@ -135,11 +138,31 @@ void Server::Serve() {
       stopping = true;
       break;
     }
+    // An error condition on either fd is permanent: poll would keep
+    // reporting it immediately, so `continue` would spin at 100% CPU.
+    // Fail loudly instead; the caller still runs the drain below.
+    constexpr short kBadRevents = POLLERR | POLLHUP | POLLNVAL;
+    if ((fds[0].revents & kBadRevents) != 0 ||
+        (fds[1].revents & kBadRevents) != 0) {
+      throw std::runtime_error(
+          "serve: poll reported an error condition on the " +
+          std::string((fds[0].revents & kBadRevents) != 0 ? "stop pipe"
+                                                          : "listen socket"));
+    }
     if ((fds[1].revents & POLLIN) == 0) continue;
 
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
+      // Resource exhaustion is transient load, not a broken listener:
+      // shed this connection (the client sees a refused/reset connect),
+      // back off briefly so the loop cannot hot-spin, and keep serving.
+      if (errno == EMFILE || errno == ENFILE || errno == ENOMEM ||
+          errno == ENOBUFS) {
+        obs::GetCounter("server.accept_overload").Add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
       FailErrno("serve: accept");
     }
     if (opt_.read_timeout_ms > 0) {
@@ -179,7 +202,10 @@ void Server::Serve() {
   // Graceful drain: stop accepting (unlink first, so new connect()s fail
   // fast instead of queueing on a dying socket), finish every admitted
   // connection, then settle the cache write-behind queue.
-  ::unlink(opt_.socket_path.c_str());
+  if (owns_socket_) {
+    ::unlink(opt_.socket_path.c_str());
+    owns_socket_ = false;
+  }
   ::close(listen_fd_);
   listen_fd_ = -1;
   conns.RunAndWait();

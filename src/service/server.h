@@ -118,6 +118,10 @@ class Server {
   /// a thread even where the shared pools have none (see file comment).
   perf::SpeculationPool conn_pool_;
   int listen_fd_ = -1;
+  /// True only once bind() succeeded, i.e. this process created the
+  /// socket file. Gates every unlink: a Start() that lost the bind race
+  /// (EADDRINUSE) must not tear down the running daemon's socket.
+  bool owns_socket_ = false;
   int stop_pipe_[2] = {-1, -1};  ///< [read, write]; write side is the
                                  ///< async-signal-safe stop request.
   std::atomic<int> inflight_{0};

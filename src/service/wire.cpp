@@ -1,5 +1,6 @@
 #include "service/wire.h"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -77,7 +78,11 @@ void Conn::ReadExact(std::size_t n, std::string* out) {
 bool Conn::WriteAll(std::string_view text) {
   std::size_t off = 0;
   while (off < text.size()) {
-    const ssize_t n = ::write(fd_, text.data() + off, text.size() - off);
+    // MSG_NOSIGNAL: a peer that closed mid-write must surface as an
+    // EPIPE return (-> false), not a process-killing SIGPIPE — WriteAll
+    // is documented "never fatal" and both ends rely on that.
+    const ssize_t n = ::send(fd_, text.data() + off, text.size() - off,
+                             MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;

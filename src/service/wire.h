@@ -52,6 +52,8 @@ class Conn {
 
   /// Writes all of `text`; returns false on a write error (connection
   /// gone — callers treat the reply as undeliverable, never fatal).
+  /// Sends with MSG_NOSIGNAL, so a peer closing mid-write yields EPIPE
+  /// here instead of delivering SIGPIPE to the process.
   bool WriteAll(std::string_view text);
 
   int fd() const { return fd_; }

@@ -21,13 +21,14 @@ mode it guards against:
                   outside src/perf/ is a smell (std::thread::id and
                   std::this_thread remain free).
   raw-socket      Socket syscalls (socket/bind/listen/accept/connect/
-                  setsockopt/recv/send) concentrate in the daemon's two
+                  setsockopt/recv/send) concentrate in the daemon's
                   endpoint files, where admission control, timeouts and
                   the drain discipline live; anywhere else they are a
                   second, unreviewed network surface. Framed byte IO on
-                  an already-connected fd (read/write in wire.cpp) is
-                  deliberately not flagged — it has no syscall that can
-                  create or accept a connection.
+                  an already-connected fd (wire.cpp) is allowlisted for
+                  exactly one syscall: send(MSG_NOSIGNAL), which cannot
+                  create or accept a connection and exists so a peer
+                  closing mid-write yields EPIPE instead of SIGPIPE.
   header-compile  Every header under src/ must compile on its own (a
                   header that leans on its includer's includes breaks the
                   next refactor).
@@ -79,6 +80,10 @@ SOCKET_ALLOWLIST = {
     "src/service/client.cpp":
         "the daemon client's connecting surface: socket/connect plus "
         "timeouts for the one-request-per-connection wire protocol",
+    "src/service/wire.cpp":
+        "framed byte IO on already-connected fds: send(MSG_NOSIGNAL) so "
+        "a peer closing mid-write surfaces as EPIPE, not SIGPIPE; no "
+        "syscall here can create or accept a connection",
 }
 
 # Raw thread construction is the thread-pool layer's privilege.

@@ -1222,6 +1222,10 @@ int CmdServe(const Args& args) {
   service::Server server(sopt);
   server.Start();
   g_serve_instance.store(&server, std::memory_order_relaxed);
+  // Socket writes already use MSG_NOSIGNAL (wire::Conn::WriteAll), but a
+  // resident daemon must survive EPIPE from any fd — e.g. stdout piped
+  // to a scripted client that exits after the readiness line.
+  std::signal(SIGPIPE, SIG_IGN);
   std::signal(SIGTERM, HandleServeSignal);
   std::signal(SIGINT, HandleServeSignal);
   std::printf("serve: listening on %s (max-inflight %d, cache %s, "
