@@ -8,6 +8,7 @@
 #include "core/check.h"
 #include "core/debug.h"
 #include "ddg/mii.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "perf/thread_pool.h"
 #include "sched/banks.h"
@@ -302,9 +303,83 @@ AttemptStatus AttemptContext::TryII(int ii, const SpeculationToken* cancel) {
   return st;
 }
 
+AttemptStatus AttemptContext::TryIISeeded(const ScheduleResult& seed, int ii,
+                                          int* seeded_out) {
+  obs::TraceSpan span("sched", "warm-attempt", ii);
+  BeginAttempt(ii);
+  const int seeded = SeedFrom(seed);
+  if (seeded_out != nullptr) *seeded_out = seeded;
+  const AttemptStatus st = FinishAttempt(ii, nullptr);
+  span.set_detail(std::string(ToString(st)) + " seeded=" +
+                  std::to_string(seeded));
+  return st;
+}
+
+int AttemptContext::SeedFrom(const ScheduleResult& seed) {
+  int seeded = 0;
+  const DDG& sg = seed.graph;
+  // Walk in priority order — the same order the cold placement loop uses —
+  // so the incremental window checks below see each node's highest-priority
+  // neighbours first, exactly like a conflict-free cold run would.
+  for (NodeId v : order_) {
+    // Seed-compat gate, per node. Only original nodes replay: inserted
+    // comm/spill nodes have seed-specific ids and are re-derived by
+    // EnsureCommunication / the spill fixpoint during repair.
+    if (static_cast<size_t>(v) >= static_cast<size_t>(sg.NumSlots())) continue;
+    if (!sg.IsAlive(v) || sg.node(v).inserted) continue;
+    if (!seed.schedule.IsScheduled(v)) continue;
+    if (!st_.g.IsAlive(v) || st_.sched->IsScheduled(v)) continue;
+    if (sg.node(v).op != st_.g.node(v).op) continue;
+    const sched::Placement p = seed.schedule.Of(v);
+    if (p.cluster < 0 ||
+        (m_.rf.HasClusters() ? p.cluster >= m_.rf.clusters : p.cluster != 0)) {
+      continue;  // seed from a different clustering: not replayable
+    }
+    // Cross-bank flows need their communication chains rebuilt before the
+    // consumer lands (the seed's own chains were skipped above). A chain
+    // the rewriter cannot build ends the seeding; the repair cascade
+    // re-derives whatever is left.
+    if (!comm_.EnsureCommunication(v, p.cluster)) break;
+    // Chain force-placements may have ejected or garbage-collected v.
+    if (!st_.g.IsAlive(v) || st_.sched->IsScheduled(v)) continue;
+    const auto needs =
+        sched::ResourceNeeds(st_.g.node(v).op, p.cluster, p.src_cluster, m_);
+    bool impossible = false;
+    for (const auto& need : needs) {
+      if (st_.mrt->Capacity(need.kind, need.cluster) <= 0) {
+        impossible = true;
+        break;
+      }
+    }
+    if (impossible) continue;
+    // Re-check the dependence window under the CURRENT latencies and edges:
+    // a node whose constraints changed since the seed (the perturbation
+    // itself, or a neighbour the walk already skipped) is left unscheduled
+    // for the repair cascade instead of replayed into a violation.
+    const Window w = st_.ComputeWindow(v);
+    if (w.has_pred && p.cycle < w.early) continue;
+    if (w.has_succ && p.cycle > w.late) continue;
+    if (!st_.mrt->CanPlace(needs, p.cycle)) continue;
+    // Same funnel sequence as PlaceNode's free-slot path, minus the
+    // instrumentation and budget spend: replayed placements are not
+    // attempts, so ScheduleStats keeps measuring repair work only.
+    st_.mrt->Place(v, needs, p.cycle);
+    st_.Assign(v, {p.cycle, p.cluster, p.src_cluster, true});
+    st_.MarkScheduled(v);
+    st_.prev_cycle[static_cast<size_t>(v)] = p.cycle;
+    ++seeded;
+  }
+  return seeded;
+}
+
 AttemptStatus AttemptContext::RunAttempt(int ii,
                                          const SpeculationToken* cancel) {
   if (cancel != nullptr && cancel->Cancels(ii)) return AttemptStatus::kCancelled;
+  BeginAttempt(ii);
+  return FinishAttempt(ii, cancel);
+}
+
+void AttemptContext::BeginAttempt(int ii) {
   st_.Reset(original_, base_overrides_, ii, opt_.incremental);
   comm_.Reset();
   spill_.Reset();
@@ -318,7 +393,10 @@ AttemptStatus AttemptContext::RunAttempt(int ii,
   for (NodeId v : order_) st_.MarkUnscheduled(v);
   budget_.Start(opt_.budget_ratio * st_.g.NumNodes(),
                 8.0 * opt_.budget_ratio * std::max(4, original_.NumNodes()));
+}
 
+AttemptStatus AttemptContext::FinishAttempt(int ii,
+                                            const SpeculationToken* cancel) {
   while (true) {
     {
     // One "placement" span per drain of the priority list (a spill fixpoint
@@ -549,12 +627,53 @@ ScheduleResult EngineDriver::Run() {
     obs::TraceSpan order_span("phase", "ordering");
     order_ = ordering_->Order(original_, m_);
   }
+  // Warm-start gate: one seeded attempt before the cold dispatch. A failed
+  // (or rejected) seed falls through to the regular path with the fallback
+  // counted on the result — never silent.
+  WarmStartTelemetry warm;
+  if (opt_.warm_start != nullptr && opt_.warm_start->ok) {
+    if (std::optional<ScheduleResult> res = RunWarm(mii)) return *res;
+    warm.attempted = true;
+    warm.fallback = true;
+  }
   // An attached event sink no longer forces the serial path: the
   // speculative driver captures each attempt's sink events and replays
   // them in escalation order after the wave commits (the same protocol
   // that keeps the per-attempt stats deltas serial-identical), so the sink
   // stays single-threaded and attempt-ordered while attempts race.
-  return opt_.speculate_k >= 2 ? RunSpeculative(mii) : RunSerial(mii);
+  ScheduleResult res =
+      opt_.speculate_k >= 2 ? RunSpeculative(mii) : RunSerial(mii);
+  res.warm = warm;
+  return res;
+}
+
+std::optional<ScheduleResult> EngineDriver::RunWarm(const MIIInfo& mii) {
+  static obs::Counter& used_counter = obs::GetCounter("engine.warm.used");
+  static obs::Counter& fallback_counter =
+      obs::GetCounter("engine.warm.fallback");
+  const ScheduleResult& seed = *opt_.warm_start;
+  // The escalation loop starts at the seed's II instead of MII (never below
+  // the current MII: the perturbed loop cannot schedule there, and the
+  // seeded MRT would not even hold the replayed rows).
+  const int start_ii = std::max(mii.MII(), seed.ii);
+  if (start_ii <= opt_.max_ii) {
+    AttemptContext ctx(original_, m_, opt_, base_overrides_, order_);
+    int seeded = 0;
+    if (ctx.TryIISeeded(seed, start_ii, &seeded) ==
+        AttemptStatus::kScheduled) {
+      // The attempt passed the full validation gate (register pressure +
+      // sched::Validate) inside FinishAttempt, like any cold attempt.
+      ScheduleResult res = ctx.Finalize(mii, start_ii);
+      res.warm.attempted = true;
+      res.warm.used = true;
+      res.warm.seeded = seeded;
+      res.warm.repaired = static_cast<int>(res.stats.attempts);
+      used_counter.Add(1);
+      return res;
+    }
+  }
+  fallback_counter.Add(1);
+  return std::nullopt;
 }
 
 ScheduleResult EngineDriver::FailResult(const MIIInfo& mii,

@@ -20,6 +20,7 @@
 #include <atomic>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/comm_rewrite.h"
@@ -120,6 +121,15 @@ class AttemptContext : public NodePlacer {
   /// (optional) aborts the attempt as soon as a strictly lower II commits.
   AttemptStatus TryII(int ii, const SpeculationToken* cancel = nullptr);
 
+  /// Warm-started attempt: resets to a fresh state, replays the seed's
+  /// compatible placements (SeedFrom), then runs the normal placement /
+  /// eject / spill cascade to repair whatever the seed could not cover.
+  /// `seeded_out` (optional) receives the number of replayed placements.
+  /// Failure semantics are identical to TryII — the caller falls back to
+  /// the cold escalation walk.
+  AttemptStatus TryIISeeded(const ScheduleResult& seed, int ii,
+                            int* seeded_out = nullptr);
+
   /// Redirects this context's sink callbacks into an internal per-attempt
   /// buffer. The speculative driver captures each attempt and replays the
   /// buffers to the user's sink in escalation order after the wave commits
@@ -148,6 +158,21 @@ class AttemptContext : public NodePlacer {
   /// TryII's body (TryII itself is a thin wrapper that brackets the body
   /// in an "attempt" trace span carrying the outcome).
   AttemptStatus RunAttempt(int ii, const SpeculationToken* cancel);
+
+  /// Resets every layer for an attempt at `ii` and refills the priority
+  /// list — the common prologue of RunAttempt and TryIISeeded.
+  void BeginAttempt(int ii);
+  /// The placement / eject / spill cascade through final validation: the
+  /// remainder of an attempt after BeginAttempt (and optional seeding).
+  AttemptStatus FinishAttempt(int ii, const SpeculationToken* cancel);
+  /// Replays `seed`'s placements that are still compatible with the
+  /// current graph, machine and latencies (window re-checked against the
+  /// live SchedState, so nodes whose constraints changed are skipped and
+  /// left to the repair cascade). Placements go through the SchedState
+  /// Assign funnel — the pressure tracker absorbs them as regular deltas —
+  /// but spend no budget and count as no attempts: ScheduleStats keeps
+  /// measuring repair work only. Returns the number of seeded placements.
+  int SeedFrom(const ScheduleResult& seed);
 
   void Eject(NodeId victim);
   void EjectScheduledNode(NodeId v);
@@ -204,6 +229,14 @@ class EngineDriver {
  private:
   ScheduleResult RunSerial(const MIIInfo& mii);
   ScheduleResult RunSpeculative(const MIIInfo& mii);
+  /// Warm-start gate: one seeded attempt at max(MII, seed.ii). Returns the
+  /// finalized result when it validates (warm.used); nullopt sends the
+  /// caller down the cold path with warm.fallback stamped on its result.
+  /// The II-no-worse half of the gate holds whenever seed.ii <= the cold
+  /// II — always true for seed.ii <= MII, and analytically true for
+  /// hardening perturbations (latency increases shrink the feasible-II
+  /// set); see ARCHITECTURE.md for the contract.
+  std::optional<ScheduleResult> RunWarm(const MIIInfo& mii);
   ScheduleResult FailResult(const MIIInfo& mii,
                             const ScheduleStats& stats) const;
 

@@ -41,6 +41,8 @@
 
 namespace hcrf::core {
 
+struct ScheduleResult;
+
 struct MirsOptions {
   /// Attempts the iterative algorithm may spend per node (Budget_Ratio).
   double budget_ratio = 6.0;
@@ -93,6 +95,16 @@ struct MirsOptions {
   /// Precomputed MII of the loop (the suite runner's sweep cache); when
   /// set, the engine skips its own ComputeMII. Must match the loop/machine.
   std::optional<MIIInfo> precomputed_mii;
+
+  /// Warm-start seed: a prior result for the same original loop (typically
+  /// the same graph under slightly different latencies / options, served by
+  /// the tier stack's near-key lookup). The driver replays the compatible
+  /// placements and lets the force-and-eject cascade repair the rest; an
+  /// incompatible or failing seed falls back to the cold path (see
+  /// ScheduleResult::warm — the fallback is counted, never silent). Like
+  /// `precomputed_mii` this is runtime-only: outside serialization and the
+  /// schedule cache key.
+  std::shared_ptr<const ScheduleResult> warm_start;
 };
 
 /// How a loop's achieved II is bounded (Table 1's classification).
@@ -115,6 +127,21 @@ struct SpeculationTelemetry {
                                ///< (the serial-equivalent work).
 };
 
+/// Telemetry of the warm-start path (all zero on a cold run). Like
+/// SpeculationTelemetry it is deliberately NOT serialized into `.hcl`
+/// result dumps: a fallback result must stay bit-identical to a cold run,
+/// and warm-started results never enter the exact-key cache anyway (the
+/// cache contract serves only cold bytes).
+struct WarmStartTelemetry {
+  bool attempted = false;  ///< A usable seed was offered to the engine.
+  bool used = false;      ///< The seeded attempt validated and was kept.
+  bool fallback = false;  ///< Seed rejected / seeded attempt failed; the
+                          ///< result below came from the cold path.
+  int seeded = 0;    ///< Placements replayed verbatim from the seed.
+  int repaired = 0;  ///< Placement attempts spent repairing conflicts
+                     ///< (the cascade's work after seeding).
+};
+
 struct ScheduleResult {
   bool ok = false;
   int ii = 0;
@@ -135,6 +162,7 @@ struct ScheduleResult {
   /// factor of the memory-traffic metric (N * trf).
   int mem_ops_per_iter = 0;
   SpeculationTelemetry spec;
+  WarmStartTelemetry warm;
 };
 
 /// Schedules one loop on the given machine. `load_overrides` (optional)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <memory>
 #include <utility>
 
@@ -166,6 +167,108 @@ BenchCase RunCase(const std::string& suite_name,
   return c;
 }
 
+/// One loop of the delta leg, prepared outside the timed region: the
+/// unperturbed base schedule (the warm-start seed), the single-load
+/// perturbation, and the perturbed MII handed to both timed modes.
+struct DeltaLoop {
+  size_t index = 0;
+  std::shared_ptr<const core::ScheduleResult> base;
+  sched::LatencyOverrides overrides;
+  MIIInfo mii;
+};
+
+DeltaCase RunDeltaCase(const workload::Suite& suite,
+                       const std::string& rf_name, int reps) {
+  DeltaCase d;
+  d.rf = rf_name;
+  d.reps = reps;
+  const MachineConfig m = BenchMachine(rf_name);
+
+  core::MirsOptions opt;
+  opt.incremental = true;
+
+  // Prepare (untimed): base schedules and one hardened load per loop.
+  // Hardening (raising the first load's producer latency toward — at
+  // least past — its hit latency) only shrinks the feasible-II set, so
+  // warm II <= cold II is guaranteed analytically, not just measured.
+  std::vector<DeltaLoop> prepared;
+  for (size_t i = 0; i < suite.size(); ++i) {
+    const DDG& ddg = suite[i].ddg;
+    NodeId load = -1;
+    for (NodeId v = 0; v < ddg.NumSlots(); ++v) {
+      if (ddg.IsAlive(v) && ddg.node(v).op == OpClass::kLoad) {
+        load = v;
+        break;
+      }
+    }
+    if (load < 0) {
+      ++d.skipped;
+      continue;
+    }
+    DeltaLoop dl;
+    dl.index = i;
+    opt.precomputed_mii = CachedMii(ddg, m);
+    opt.warm_start = nullptr;
+    core::ScheduleResult base = core::MirsHC(ddg, m, opt);
+    if (!base.ok) {
+      ++d.skipped;
+      continue;
+    }
+    dl.base = std::make_shared<const core::ScheduleResult>(std::move(base));
+    dl.overrides.producer_latency.assign(
+        static_cast<size_t>(ddg.NumSlots()), 0);
+    dl.overrides.producer_latency[static_cast<size_t>(load)] =
+        std::max(m.lat.load_miss, m.lat.load_hit + 1);
+    dl.mii = CachedMii(ddg, m, dl.overrides);
+    prepared.push_back(std::move(dl));
+  }
+  d.loops = static_cast<int>(prepared.size());
+  if (prepared.empty()) return d;
+
+  std::vector<double> cold_loop(prepared.size(), 0.0);
+  std::vector<double> warm_loop(prepared.size(), 0.0);
+  for (int rep = 0; rep < reps; ++rep) {
+    const bool last = rep == reps - 1;
+    for (size_t j = 0; j < prepared.size(); ++j) {
+      const DeltaLoop& dl = prepared[j];
+      const DDG& ddg = suite[dl.index].ddg;
+      opt.precomputed_mii = dl.mii;
+
+      opt.warm_start = nullptr;
+      Clock::time_point t0 = Clock::now();
+      const core::ScheduleResult cold =
+          core::MirsHC(ddg, m, opt, dl.overrides);
+      double dt = Seconds(t0, Clock::now());
+      d.cold_seconds += dt;
+      cold_loop[j] += dt;
+      d.rebuild_placements += cold.stats.attempts;
+
+      opt.warm_start = dl.base;
+      t0 = Clock::now();
+      const core::ScheduleResult warm =
+          core::MirsHC(ddg, m, opt, dl.overrides);
+      dt = Seconds(t0, Clock::now());
+      d.warm_seconds += dt;
+      warm_loop[j] += dt;
+      d.repair_placements += warm.stats.attempts;
+
+      if (last) {
+        d.seeded += warm.warm.seeded;
+        if (warm.warm.fallback) ++d.fallbacks;
+        if (cold.ok != warm.ok || (cold.ok && warm.ii > cold.ii)) {
+          d.ii_never_worse = false;
+        }
+      }
+    }
+  }
+  opt.warm_start = nullptr;
+  for (double& s : cold_loop) s /= reps;
+  for (double& s : warm_loop) s /= reps;
+  d.cold_latency = ComputeQuantiles(cold_loop);
+  d.warm_latency = ComputeQuantiles(warm_loop);
+  return d;
+}
+
 void AppendQuantiles(std::string& out, const char* key,
                      const LatencyQuantiles& q) {
   out += std::string("\"") + key + "\": {\"p50\": " + io::FormatDouble(q.p50) +
@@ -251,6 +354,7 @@ BenchReport RunBench(const BenchOptions& opt) {
                                    opt.speculate_k, opt.speculate_eager));
     report.cases.push_back(RunCase("synth", *synth, rf, synth_reps,
                                    opt.speculate_k, opt.speculate_eager));
+    report.delta.push_back(RunDeltaCase(kernels, rf, kernel_reps));
   }
 
   for (const BenchCase& c : report.cases) {
@@ -275,6 +379,7 @@ HostInfo QueryHostInfo() {
   h.hardware_concurrency = std::thread::hardware_concurrency();
   h.thread_pool_workers = ThreadPool::Shared().num_workers();
   h.speculation_pool_workers = SpeculationPool::Shared().num_workers();
+  h.degraded = h.speculation_pool_workers == 0;
 #ifdef NDEBUG
   h.build_type = "release";
 #else
@@ -285,7 +390,7 @@ HostInfo QueryHostInfo() {
 
 std::string BenchJson(const BenchReport& report) {
   std::string out = "{\n";
-  out += "  \"format\": \"hcrf-bench-3\",\n";
+  out += "  \"format\": \"hcrf-bench-4\",\n";
   out += "  \"generated_by\": \"hcrf_sched bench\",\n";
   out += "  \"host\": {\"hardware_concurrency\": " +
          std::to_string(report.host.hardware_concurrency) +
@@ -293,8 +398,9 @@ std::string BenchJson(const BenchReport& report) {
          std::to_string(report.host.thread_pool_workers) +
          ", \"speculation_pool_workers\": " +
          std::to_string(report.host.speculation_pool_workers) +
-         ",\n           \"build_type\": \"" + report.host.build_type +
-         "\"},\n";
+         ",\n           \"degraded\": " +
+         std::string(report.host.degraded ? "true" : "false") +
+         ", \"build_type\": \"" + report.host.build_type + "\"},\n";
   out += "  \"threads\": 1,\n";
   out += "  \"speculate_k\": " + std::to_string(report.speculate_k) + ",\n";
   out += "  \"speculate_eager\": " +
@@ -307,6 +413,32 @@ std::string BenchJson(const BenchReport& report) {
   for (size_t i = 0; i < report.cases.size(); ++i) {
     Append(out, report.cases[i]);
     out += i + 1 < report.cases.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+  out += "  \"delta\": [\n";
+  for (size_t i = 0; i < report.delta.size(); ++i) {
+    const DeltaCase& d = report.delta[i];
+    out += "    {\"rf\": \"" + d.rf + "\",\n";
+    out += "     \"loops\": " + std::to_string(d.loops) +
+           ", \"skipped\": " + std::to_string(d.skipped) +
+           ", \"reps\": " + std::to_string(d.reps) +
+           ", \"fallbacks\": " + std::to_string(d.fallbacks) + ",\n";
+    out += "     \"cold_seconds\": " + io::FormatDouble(d.cold_seconds) +
+           ", \"warm_seconds\": " + io::FormatDouble(d.warm_seconds) + ",\n";
+    out += "     \"latency\": {";
+    AppendQuantiles(out, "cold", d.cold_latency);
+    out += ",\n                 ";
+    AppendQuantiles(out, "warm", d.warm_latency);
+    out += ",\n                 \"p50_speedup\": " +
+           io::FormatDouble(d.P50Speedup()) + ", \"p95_speedup\": " +
+           io::FormatDouble(d.P95Speedup()) + "},\n";
+    out += "     \"rebuild_placements\": " +
+           std::to_string(d.rebuild_placements) +
+           ", \"repair_placements\": " + std::to_string(d.repair_placements) +
+           ", \"seeded\": " + std::to_string(d.seeded) + ",\n";
+    out += "     \"ii_never_worse\": " +
+           std::string(d.ii_never_worse ? "true" : "false") + "}";
+    out += i + 1 < report.delta.size() ? ",\n" : "\n";
   }
   out += "  ],\n";
   if (report.pre_pr.present) {
@@ -378,6 +510,141 @@ std::string BenchJson(const BenchReport& report) {
                                       : 0.0) +
          "}\n";
   out += "}\n";
+  return out;
+}
+
+namespace {
+
+/// Position of `key` within [from, to) of `s`, or npos. The baseline
+/// scanner works on BenchJson's own deterministic output, so targeted
+/// key searches are exact — no JSON library needed (or available).
+std::size_t FindIn(const std::string& s, std::size_t from, std::size_t to,
+                   const std::string& key) {
+  const std::size_t p = s.find(key, from);
+  return p == std::string::npos || p >= to ? std::string::npos : p;
+}
+
+/// Parses the number immediately following `key` within [from, to).
+bool ScanNumber(const std::string& s, std::size_t from, std::size_t to,
+                const std::string& key, double* out) {
+  const std::size_t p = FindIn(s, from, to, key);
+  if (p == std::string::npos) return false;
+  *out = std::strtod(s.c_str() + p + key.size(), nullptr);
+  return true;
+}
+
+/// Parses the quoted string opened right after `key` within [from, to).
+bool ScanString(const std::string& s, std::size_t from, std::size_t to,
+                const std::string& key, std::string* out) {
+  const std::size_t p = FindIn(s, from, to, key);
+  if (p == std::string::npos) return false;
+  const std::size_t begin = p + key.size();
+  const std::size_t quote = s.find('"', begin);
+  if (quote == std::string::npos || quote > to) return false;
+  *out = s.substr(begin, quote - begin);
+  return true;
+}
+
+}  // namespace
+
+BaselineCheck CompareAgainstBaseline(const BenchReport& current,
+                                     const std::string& baseline_json,
+                                     double tolerance) {
+  BaselineCheck out;
+  if (baseline_json.find("\"format\": \"hcrf-bench-") == std::string::npos) {
+    out.error = "baseline is not an hcrf-bench JSON report";
+    return out;
+  }
+  // The first occurrence is the host block's (the top-level copy of the
+  // knob comes later in BenchJson's field order).
+  double base_workers = 0;
+  if (!ScanNumber(baseline_json, 0, baseline_json.size(),
+                  "\"speculation_pool_workers\": ", &base_workers)) {
+    out.error = "baseline has no host block";
+    return out;
+  }
+  const bool base_spec = base_workers > 0;
+  const bool cur_spec = current.host.speculation_pool_workers > 0;
+
+  const std::size_t cases_at = baseline_json.find("\"cases\": [");
+  if (cases_at == std::string::npos) {
+    out.error = "baseline has no cases array";
+    return out;
+  }
+  const std::size_t cases_end = baseline_json.find("\n  ]", cases_at);
+  const std::size_t end =
+      cases_end == std::string::npos ? baseline_json.size() : cases_end;
+
+  std::size_t cursor = baseline_json.find("{\"suite\": \"", cases_at);
+  while (cursor != std::string::npos && cursor < end) {
+    std::size_t next = baseline_json.find("{\"suite\": \"", cursor + 1);
+    if (next == std::string::npos || next > end) next = end;
+
+    std::string suite;
+    std::string rf;
+    double serial_p95 = 0;
+    double spec_p95 = 0;
+    const bool named =
+        ScanString(baseline_json, cursor, next, "\"suite\": \"", &suite) &&
+        ScanString(baseline_json, cursor, next, "\"rf\": \"", &rf);
+    const std::size_t serial_at =
+        FindIn(baseline_json, cursor, next, "\"serial\": {");
+    if (serial_at != std::string::npos) {
+      ScanNumber(baseline_json, serial_at, next, "\"p95\": ", &serial_p95);
+    }
+    const std::size_t spec_at =
+        FindIn(baseline_json, cursor, next, "\"speculative\": {");
+    if (spec_at != std::string::npos) {
+      ScanNumber(baseline_json, spec_at, next, "\"p95\": ", &spec_p95);
+    }
+
+    const BenchCase* cur = nullptr;
+    if (named) {
+      for (const BenchCase& c : current.cases) {
+        if (c.suite == suite && c.rf == rf) {
+          cur = &c;
+          break;
+        }
+      }
+    }
+    if (cur != nullptr && serial_p95 > 0 && cur->serial_latency.p95 > 0) {
+      BaselineCaseCheck chk;
+      chk.suite = suite;
+      chk.rf = rf;
+      chk.metric = "serial_p95";
+      chk.baseline = serial_p95;
+      chk.current = cur->serial_latency.p95;
+      chk.regressed = chk.current > chk.baseline * (1.0 + tolerance);
+      ++out.compared;
+      if (chk.regressed) ++out.regressions;
+      out.checks.push_back(std::move(chk));
+    }
+    if (cur != nullptr && spec_p95 > 0 && cur->speculative_latency.p95 > 0) {
+      BaselineCaseCheck chk;
+      chk.suite = suite;
+      chk.rf = rf;
+      chk.metric = "speculative_p95";
+      chk.baseline = spec_p95;
+      chk.current = cur->speculative_latency.p95;
+      if (!base_spec || !cur_spec) {
+        // A degraded host (no speculation workers) races inline; its
+        // speculative tail is not comparable to a parallel run's.
+        chk.skipped = true;
+        ++out.skipped;
+      } else {
+        chk.regressed = chk.current > chk.baseline * (1.0 + tolerance);
+        ++out.compared;
+        if (chk.regressed) ++out.regressions;
+      }
+      out.checks.push_back(std::move(chk));
+    }
+    cursor = next == end ? std::string::npos : next;
+  }
+  if (out.compared == 0) {
+    out.error = "no comparable legs between baseline and current report";
+    return out;
+  }
+  out.ok = true;
   return out;
 }
 

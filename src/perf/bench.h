@@ -111,6 +111,36 @@ struct BenchCase {
   }
 };
 
+/// Delta leg (warm-start re-scheduling): per (kernel corpus, organization),
+/// schedule every loop cold to obtain a base result, perturb one producer
+/// latency per loop (the first alive load, hardened toward its miss
+/// latency), then schedule the perturbation cold vs warm-started from the
+/// unperturbed base (MirsOptions::warm_start). Hardening perturbations
+/// only shrink the feasible-II set, so the II-no-worse gate holds
+/// analytically; `ii_never_worse` still records the measured check.
+struct DeltaCase {
+  std::string rf;     ///< Organization (paper notation).
+  int loops = 0;      ///< Perturbed loops timed (alive-load loops only).
+  int skipped = 0;    ///< Loops without an alive load (not timed).
+  int reps = 0;
+  int fallbacks = 0;  ///< Warm attempts that fell back to the cold path.
+  double cold_seconds = 0;  ///< Perturbed loops, cold from MII.
+  double warm_seconds = 0;  ///< Perturbed loops, seeded from the base.
+  LatencyQuantiles cold_latency;  ///< Per-loop mean seconds across reps.
+  LatencyQuantiles warm_latency;
+  long rebuild_placements = 0;  ///< Engine attempts on the cold rebuilds.
+  long repair_placements = 0;   ///< Engine attempts repairing the seeds.
+  long seeded = 0;              ///< Placements replayed from the seeds.
+  bool ii_never_worse = true;   ///< Warm II <= cold II on every loop.
+
+  double P50Speedup() const {
+    return warm_latency.p50 > 0 ? cold_latency.p50 / warm_latency.p50 : 0.0;
+  }
+  double P95Speedup() const {
+    return warm_latency.p95 > 0 ? cold_latency.p95 / warm_latency.p95 : 0.0;
+  }
+};
+
 /// One-off comparison against an *older binary* (the in-binary reference
 /// mode only isolates the incremental engine; the rest of the PR's hot-path
 /// work — allocation-free MRT, hoisted window scans, comm-GC candidate
@@ -136,6 +166,11 @@ struct HostInfo {
   int thread_pool_workers = 0;
   int speculation_pool_workers = 0;
   std::string build_type;  ///< "release" (NDEBUG) or "debug".
+  /// True when the speculation pool has no workers (single-core host):
+  /// the speculative leg degrades to inline racing and its numbers are
+  /// not comparable to a multi-core run. Stamped into the JSON so
+  /// baseline comparison can skip the incomparable legs.
+  bool degraded = false;
 };
 
 /// Returns the running process's HostInfo (pools lazily started).
@@ -167,6 +202,7 @@ struct ServiceLeg {
 
 struct BenchReport {
   std::vector<BenchCase> cases;
+  std::vector<DeltaCase> delta;  ///< Warm-start delta leg, one per org.
   double reference_seconds = 0;
   double incremental_seconds = 0;
   double speculative_seconds = 0;
@@ -196,7 +232,43 @@ struct BenchReport {
 BenchReport RunBench(const BenchOptions& opt = {});
 
 /// Serializes the report as deterministic, human-diffable JSON (the
-/// BENCH_*.json format, "hcrf-bench-3"; see README.md).
+/// BENCH_*.json format, "hcrf-bench-4"; see README.md).
 std::string BenchJson(const BenchReport& report);
+
+/// One (suite, rf) leg's verdict from a baseline comparison.
+struct BaselineCaseCheck {
+  std::string suite;
+  std::string rf;
+  std::string metric;  ///< "serial_p95" or "speculative_p95".
+  double baseline = 0;  ///< Baseline p95 seconds.
+  double current = 0;   ///< This report's p95 seconds.
+  bool skipped = false;  ///< Incomparable (e.g. degraded speculation leg).
+  bool regressed = false;  ///< current > baseline * (1 + tolerance).
+
+  double Ratio() const { return baseline > 0 ? current / baseline : 0.0; }
+};
+
+/// Verdict of CompareAgainstBaseline: per-leg checks plus the rollup the
+/// CLI turns into an exit code.
+struct BaselineCheck {
+  bool ok = false;  ///< Baseline parsed and at least one leg compared.
+  std::string error;  ///< Set when the baseline JSON is unusable.
+  std::vector<BaselineCaseCheck> checks;
+  int compared = 0;
+  int skipped = 0;
+  int regressions = 0;
+};
+
+/// Compares `current` against a checked-in BENCH_*.json (the deterministic
+/// output of BenchJson — this is a targeted scanner, not a JSON library,
+/// and relies on that shape). Per (suite, rf) present in both reports it
+/// checks the serial p95 and, when BOTH hosts ran with speculation pool
+/// workers, the speculative p95; a leg is a regression when current p95 >
+/// baseline p95 * (1 + tolerance). Legs whose host block makes them
+/// incomparable (speculation_pool_workers == 0 on either side) are counted
+/// as skipped, never as regressions.
+BaselineCheck CompareAgainstBaseline(const BenchReport& current,
+                                     const std::string& baseline_json,
+                                     double tolerance = 0.15);
 
 }  // namespace hcrf::perf

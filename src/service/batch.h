@@ -69,6 +69,13 @@ struct BatchRequest {
   /// cache key: a prefetch run must never share an entry with a
   /// base-latency run of the same loop.
   sched::LatencyOverrides overrides;
+  /// Warm-start policy: on an exact cache miss, probe the tier stack's
+  /// near-key index (same loop + machine, differing options/overrides) and
+  /// seed the engine with the closest entry. Set by `delta` submissions;
+  /// warm-started results stay out of the exact-key cache (the cache
+  /// contract serves cold bytes only), so the flag never changes what
+  /// later exact hits return.
+  bool allow_warm_start = false;
 };
 
 struct BatchOptions {
@@ -138,6 +145,7 @@ struct BatchReport {
   TierStats mem_cache;
   int scheduled = 0;             ///< Fresh MirsHC runs.
   int hits = 0;                  ///< Requests served from the cache.
+  int warm_starts = 0;           ///< Fresh runs seeded via near-key lookup.
   int failed = 0;
   double seconds = 0.0;   ///< Wall time of the whole batch.
   RequestTiming timing;   ///< Summed per-request phase timings.

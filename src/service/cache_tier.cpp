@@ -16,7 +16,10 @@ using perf::Fnv1a;
 
 // Bumped whenever the serialized result format or the hashed content set
 // changes; salts every key so stale-format entries read as misses.
-constexpr std::uint64_t kCacheFormatSalt = 3;
+// 3 -> 4: the mix order moved the options block behind the graph so the
+// structural prefix (salt + machine + graph) is shared with
+// MakeStructuralHash — old entries must read as misses.
+constexpr std::uint64_t kCacheFormatSalt = 4;
 
 constexpr long kDefaultMemBytes = 64L * 1024 * 1024;
 
@@ -27,14 +30,10 @@ std::string ToHex(std::uint64_t v) {
   return std::string(buf, 16);
 }
 
-}  // namespace
-
-std::string CacheKey::Hex() const { return ToHex(a) + ToHex(b); }
-
-CacheKey MakeCacheKey(const DDG& g, const MachineConfig& m,
-                      const core::MirsOptions& opt,
-                      const sched::LatencyOverrides& overrides) {
-  DualHash f;
+/// The structural prefix shared by MakeCacheKey and MakeStructuralHash:
+/// format salt, machine (resources, RF organization, latencies, clock)
+/// and graph (name + structure) — everything except options/overrides.
+void MixStructural(DualHash& f, const DDG& g, const MachineConfig& m) {
   f.Mix(kCacheFormatSalt);
 
   // Machine: resources, RF organization, latencies, clock.
@@ -50,13 +49,6 @@ CacheKey MakeCacheKey(const DDG& g, const MachineConfig& m,
     f.Mix(static_cast<std::uint64_t>(v));
   }
   f.MixDouble(m.clock_ns);
-
-  // Options (the serializable subset; injected policy objects are the
-  // caller's responsibility and keyed out by convention).
-  f.MixDouble(opt.budget_ratio);
-  f.Mix(static_cast<std::uint64_t>(opt.max_ii));
-  f.Mix(static_cast<std::uint64_t>(opt.iterative ? 1 : 2));
-  f.Mix(static_cast<std::uint64_t>(opt.cluster_policy));
 
   // Loop identity: the cached result document embeds the graph name, so
   // structurally identical twins under different names must not share an
@@ -91,6 +83,31 @@ CacheKey MakeCacheKey(const DDG& g, const MachineConfig& m,
       f.Mix(static_cast<std::uint64_t>(e.distance));
     }
   }
+}
+
+}  // namespace
+
+std::string CacheKey::Hex() const { return ToHex(a) + ToHex(b); }
+
+std::uint64_t MakeStructuralHash(const DDG& g, const MachineConfig& m) {
+  DualHash f;
+  MixStructural(f, g, m);
+  // Same fold as CacheKeyHash: both words' entropy survives truncation.
+  return f.a ^ (f.b * 0x9e3779b97f4a7c15ull);
+}
+
+CacheKey MakeCacheKey(const DDG& g, const MachineConfig& m,
+                      const core::MirsOptions& opt,
+                      const sched::LatencyOverrides& overrides) {
+  DualHash f;
+  MixStructural(f, g, m);
+
+  // Options (the serializable subset; injected policy objects are the
+  // caller's responsibility and keyed out by convention).
+  f.MixDouble(opt.budget_ratio);
+  f.Mix(static_cast<std::uint64_t>(opt.max_ii));
+  f.Mix(static_cast<std::uint64_t>(opt.iterative ? 1 : 2));
+  f.Mix(static_cast<std::uint64_t>(opt.cluster_policy));
 
   // Binding-prefetch latency overrides (empty in the common service path).
   // Only the positive (index, value) pairs and their count are mixed:
@@ -232,7 +249,49 @@ TierStats MemoryTier::tier_stats() const {
   t.oversize = oversize_.load(std::memory_order_relaxed);
   t.entries = entries_.load(std::memory_order_relaxed);
   t.bytes = bytes_.load(std::memory_order_relaxed);
+  t.near_hits = near_hits_.load(std::memory_order_relaxed);
+  t.near_misses = near_misses_.load(std::memory_order_relaxed);
   return t;
+}
+
+void MemoryTier::NoteStructural(std::uint64_t structural,
+                                const CacheKey& key) {
+  MutexLock lock(near_mu_);
+  if (static_cast<long>(near_.size()) >= 4 * max_entries_ &&
+      near_.find(structural) == near_.end()) {
+    // The index outgrew the tier it serves (keys churning faster than
+    // entries): drop it wholesale. Cheap, and only future seeds are lost.
+    near_.clear();
+  }
+  near_[structural] = key;  // latest exact key wins on collision
+}
+
+std::optional<CacheKey> MemoryTier::StructuralLookup(
+    std::uint64_t structural, const CacheKey& exclude) const {
+  MutexLock lock(near_mu_);
+  auto it = near_.find(structural);
+  if (it == near_.end() || it->second == exclude) return std::nullopt;
+  return it->second;
+}
+
+void MemoryTier::CountNear(bool hit) {
+  if (hit) {
+    near_hits_.fetch_add(1, std::memory_order_relaxed);
+    obs::GetCounter("mem_cache.near_hits").Add(1);
+  } else {
+    near_misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::GetCounter("mem_cache.near_misses").Add(1);
+  }
+}
+
+std::optional<core::ScheduleResult> MemoryTier::GetNear(
+    std::uint64_t structural, const CacheKey& exclude) {
+  std::optional<core::ScheduleResult> out;
+  if (std::optional<CacheKey> key = StructuralLookup(structural, exclude)) {
+    out = Get(*key);  // may miss: the LRU can have evicted the entry
+  }
+  CountNear(out.has_value());
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -276,6 +335,25 @@ void TieredCache::Put(const CacheKey& key, const core::ScheduleResult& result) {
 
 void TieredCache::Drain() { writes_.RunAndWait(); }
 
+void TieredCache::NoteStructural(std::uint64_t structural,
+                                 const CacheKey& key) {
+  memory_->NoteStructural(structural, key);
+}
+
+std::optional<core::ScheduleResult> TieredCache::GetNear(
+    std::uint64_t structural, const CacheKey& exclude) {
+  std::optional<core::ScheduleResult> out;
+  if (std::optional<CacheKey> key =
+          memory_->StructuralLookup(structural, exclude)) {
+    // Resolve through the stack's own Get: a memory hit refreshes the LRU,
+    // and a key the memory tier evicted is served from disk and promoted —
+    // the index never strands on eviction.
+    out = Get(*key);
+  }
+  memory_->CountNear(out.has_value());
+  return out;
+}
+
 TierStats TieredCache::tier_stats() const {
   const TierStats mem = memory_->tier_stats();
   const TierStats disk = disk_->tier_stats();
@@ -288,6 +366,8 @@ TierStats TieredCache::tier_stats() const {
   t.oversize = mem.oversize;
   t.entries = mem.entries;
   t.bytes = mem.bytes;
+  t.near_hits = mem.near_hits;
+  t.near_misses = mem.near_misses;
   return t;
 }
 

@@ -78,6 +78,13 @@ CacheKey MakeCacheKey(const DDG& graph, const MachineConfig& m,
                       const core::MirsOptions& opt,
                       const sched::LatencyOverrides& overrides = {});
 
+/// The structural half of MakeCacheKey: graph + machine only, no options
+/// and no overrides. Two requests share a structural hash exactly when
+/// they schedule the same loop on the same machine — the equivalence the
+/// near-key index uses to serve warm-start seeds across differing
+/// options/override cells. Folded to 64 bits (same fold as CacheKeyHash).
+std::uint64_t MakeStructuralHash(const DDG& graph, const MachineConfig& m);
+
 /// Per-tier counters. Flow counters (hits/misses/rejects/writes/evictions/
 /// oversize) are monotonic since construction; residency (entries/bytes)
 /// is the current footprint — only the memory tier accounts residency
@@ -91,6 +98,8 @@ struct TierStats {
   long oversize = 0;   ///< Entries too large to admit (memory tier only).
   long entries = 0;    ///< Resident entry count (memory tier only).
   long bytes = 0;      ///< Resident serialized bytes (memory tier only).
+  long near_hits = 0;    ///< Near-key lookups that produced a seed.
+  long near_misses = 0;  ///< Near-key lookups that found nothing usable.
 };
 
 /// One storage layer of the schedule-cache stack. Implementations must be
@@ -111,6 +120,26 @@ class CacheTier {
   /// Blocks until asynchronously queued work (write-behind) has settled.
   /// A no-op for synchronous tiers.
   virtual void Drain() {}
+
+  /// Remembers `key` as the latest resident entry for structural hash
+  /// `structural` (see MakeStructuralHash). Tiers without a near-key
+  /// index ignore the note.
+  virtual void NoteStructural(std::uint64_t structural,
+                              const CacheKey& key) {
+    (void)structural;
+    (void)key;
+  }
+
+  /// Near-key lookup: the closest resident entry sharing `structural`
+  /// (same graph + machine, differing options/overrides), excluding
+  /// `exclude` (the requester's own exact key, already known to miss).
+  /// Serves warm-start seeds; tiers without an index always miss.
+  virtual std::optional<core::ScheduleResult> GetNear(
+      std::uint64_t structural, const CacheKey& exclude) {
+    (void)structural;
+    (void)exclude;
+    return std::nullopt;
+  }
 
   /// Counters since construction (aggregated across sub-tiers for a
   /// stacked implementation).
@@ -143,6 +172,25 @@ class MemoryTier : public CacheTier {
   void PutSized(const CacheKey& key, const core::ScheduleResult& result,
                 long bytes);
   TierStats tier_stats() const override;
+
+  // ---- near-key index (warm-start seeds) -------------------------------
+  /// structural-hash -> latest exact key noted for it (latest wins on
+  /// collision: the newest neighbour is the freshest seed).
+  void NoteStructural(std::uint64_t structural, const CacheKey& key) override;
+  /// GetNear through this tier only: index lookup + memory Get. A stacked
+  /// cache uses StructuralLookup/CountNear instead, so a remembered key
+  /// whose entry was LRU-evicted from memory can still be served (and
+  /// promoted) from disk.
+  std::optional<core::ScheduleResult> GetNear(std::uint64_t structural,
+                                              const CacheKey& exclude)
+      override;
+  /// The remembered key for `structural`, or nullopt (never `exclude`).
+  /// Does not count a near hit/miss — the caller resolves the key against
+  /// whatever tier(s) it fronts and reports the outcome via CountNear.
+  std::optional<CacheKey> StructuralLookup(std::uint64_t structural,
+                                           const CacheKey& exclude) const;
+  /// Records the outcome of a near-key lookup (counters + obs registry).
+  void CountNear(bool hit);
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
   long max_entries() const { return max_entries_; }
@@ -188,6 +236,16 @@ class MemoryTier : public CacheTier {
   std::atomic<long> oversize_{0};
   std::atomic<long> entries_{0};
   std::atomic<long> bytes_{0};
+
+  /// Near-key index. A single mutex (not sharded): NoteStructural runs
+  /// once per fresh schedule and GetNear once per exact miss — both orders
+  /// of magnitude rarer than Get — so contention is negligible. Bounded by
+  /// wholesale clear at 4x max_entries_ (the index stores 32 bytes per
+  /// slot; losing it only costs future seeds, never correctness).
+  mutable Mutex near_mu_;
+  std::unordered_map<std::uint64_t, CacheKey> near_ HCRF_GUARDED_BY(near_mu_);
+  std::atomic<long> near_hits_{0};
+  std::atomic<long> near_misses_{0};
 };
 
 /// MemoryTier stacked in front of DiskTier with write-behind. Both tiers
@@ -206,8 +264,19 @@ class TieredCache : public CacheTier {
   void Drain() override;
   /// Aggregate view: hits from any tier count, misses/rejects/writes are
   /// the disk tier's (a memory miss that hits disk is not a stack miss),
-  /// evictions/oversize/entries/bytes are the memory tier's.
+  /// evictions/oversize/entries/bytes are the memory tier's (near_hits/
+  /// near_misses too — the index lives there).
   TierStats tier_stats() const override;
+
+  /// The near index lives in the memory tier; notes route there.
+  void NoteStructural(std::uint64_t structural, const CacheKey& key) override;
+  /// Near lookup against the whole stack: the remembered key resolves
+  /// through the stack's own Get, so an entry the memory LRU evicted is
+  /// served from disk and promoted on the way — eviction never strands
+  /// the index.
+  std::optional<core::ScheduleResult> GetNear(std::uint64_t structural,
+                                              const CacheKey& exclude)
+      override;
 
   MemoryTier& memory() { return *memory_; }
   DiskTier& disk() { return *disk_; }

@@ -109,16 +109,29 @@ bool Client::Ping() {
 }
 
 SubmitReply Client::Submit(const std::vector<BatchRequest>& requests) {
+  return SubmitVerb("submit", requests);
+}
+
+SubmitReply Client::SubmitDelta(const std::vector<BatchRequest>& requests) {
+  return SubmitVerb("delta", requests);
+}
+
+SubmitReply Client::SubmitVerb(const std::string& verb,
+                               const std::vector<BatchRequest>& requests) {
   if (static_cast<long>(requests.size()) > wire::kMaxBatchRequests) {
     throw wire::WireError("batch exceeds the protocol request cap");
   }
   wire::Conn conn(Connect());
-  if (!conn.WriteAll("hcrf 1 submit " + std::to_string(requests.size()) +
+  if (!conn.WriteAll("hcrf 1 " + verb + " " + std::to_string(requests.size()) +
                      "\n")) {
-    throw std::runtime_error("submit: connection lost while submitting");
+    throw std::runtime_error(verb + ": connection lost while submitting");
   }
   for (const BatchRequest& req : requests) {
-    wire::WriteRequest(conn, req);
+    if (verb == "delta") {
+      wire::WriteDeltaRequest(conn, req);
+    } else {
+      wire::WriteRequest(conn, req);
+    }
   }
 
   SubmitReply reply;

@@ -43,6 +43,13 @@ class Client {
   /// not transmit them.
   SubmitReply Submit(const std::vector<BatchRequest>& requests);
 
+  /// What-if submission: like Submit, but each request's latency
+  /// overrides travel as an explicit perturbation list and the daemon
+  /// warm-starts from its near-key cache index (seeding a neighbouring
+  /// schedule and repairing the delta instead of rescheduling cold;
+  /// falls back cold when no usable seed exists).
+  SubmitReply SubmitDelta(const std::vector<BatchRequest>& requests);
+
   /// The daemon's obs metrics registry as JSON.
   std::string Stats();
 
@@ -53,6 +60,10 @@ class Client {
  private:
   /// Connects and returns the fd; throws std::runtime_error on failure.
   int Connect() const;
+  /// Submit/SubmitDelta body: verb + request blocks, then the results
+  /// reply.
+  SubmitReply SubmitVerb(const std::string& verb,
+                         const std::vector<BatchRequest>& requests);
 
   std::string socket_path_;
   int read_timeout_ms_;

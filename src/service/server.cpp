@@ -56,6 +56,8 @@ std::string CacheStatsDoc(SchedulerService& session) {
   field("entries", stack.entries);
   field("bytes", stack.bytes);
   field("mem_hits", mem.hits);
+  field("near_hits", mem.near_hits);
+  field("near_misses", mem.near_misses);
   field("disk_entries", census.entries);
   field("disk_bytes", census.bytes);
   doc += "end\n";
@@ -244,18 +246,26 @@ void Server::HandleConnection(int fd) {
       const std::string doc = CacheStatsDoc(session_);
       conn.WriteAll("hcrf 1 cache-stats " + std::to_string(doc.size()) +
                     "\n" + doc);
-    } else if (verb == "submit" && toks.size() == 4) {
+    } else if ((verb == "submit" || verb == "delta") && toks.size() == 4) {
       const std::optional<long> n = io::TryParseLong(toks[3]);
       if (!n || *n < 0 || *n > wire::kMaxBatchRequests) {
-        send_error("bad submit count: " + toks[3]);
+        send_error("bad " + verb + " count: " + toks[3]);
         return;
       }
       std::vector<BatchRequest> requests;
       requests.reserve(static_cast<size_t>(*n));
       for (long i = 0; i < *n; ++i) {
-        requests.push_back(wire::ReadRequest(conn));  // throws WireError
+        // Both readers throw WireError; a delta block additionally carries
+        // its perturbation list and opts the request into warm-start
+        // seeding from the session's near-key index.
+        if (verb == "delta") {
+          requests.push_back(wire::ReadDeltaRequest(conn));
+          requests.back().allow_warm_start = true;
+        } else {
+          requests.push_back(wire::ReadRequest(conn));
+        }
       }
-      span.set_detail("submit " + std::to_string(*n));
+      span.set_detail(verb + " " + std::to_string(*n));
       const BatchReport report = session_.RunBatch(requests);
       std::string head =
           "hcrf 1 results " + std::to_string(report.items.size()) + "\n";

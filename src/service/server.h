@@ -17,6 +17,10 @@
 //       loop <bytes>\n<hcl 1 loop doc>
 //       machine <bytes>\n<hcl 1 machine doc>
 //       options <bytes>\n<hcl 1 options doc>
+//     hcrf 1 delta <n>                   # what-if: request blocks as in
+//       ... request block ...            # submit, each followed by its
+//       overrides <k>                    # perturbation list; the session
+//       override <node> <latency>  (xk)  # warm-starts from near-key seeds
 //
 //   server -> client:
 //     hcrf 1 ok                          # ping

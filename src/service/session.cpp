@@ -33,6 +33,8 @@ TierStats FlowDelta(const TierStats& after, const TierStats& before) {
   d.writes -= before.writes;
   d.evictions -= before.evictions;
   d.oversize -= before.oversize;
+  d.near_hits -= before.near_hits;
+  d.near_misses -= before.near_misses;
   // entries/bytes are residency, not flow: keep the `after` footprint.
   return d;
 }
@@ -126,15 +128,21 @@ BatchReport SchedulerService::RunBatch(
           .count();
     };
     CacheKey key{};
+    std::uint64_t structural = 0;
     if (cache != nullptr) {
       obs::TraceSpan probe_span("phase", "cache-probe");
       const auto p0 = std::chrono::steady_clock::now();
       key = MakeCacheKey(req.loop->ddg, req.machine, req.options,
                          req.overrides);
+      structural = MakeStructuralHash(req.loop->ddg, req.machine);
       if (std::optional<core::ScheduleResult> hit = cache->Get(key)) {
         item.result = *std::move(hit);
         item.ok = item.result.ok;
         item.cache_hit = true;
+        // A resident exact entry is a valid future seed for this loop ×
+        // machine cell: keep the near index current even on pure hits, so
+        // a cold sweep primes later `delta` submissions.
+        cache->NoteStructural(structural, key);
       }
       item.timing.cache_probe_seconds = phase_seconds(p0);
     }
@@ -148,6 +156,20 @@ BatchReport SchedulerService::RunBatch(
       if (config_.speculate_k > 0) {
         mirs.speculate_k = config_.speculate_k;
         mirs.speculate_eager = config_.speculate_eager;
+      }
+      if (req.allow_warm_start && cache != nullptr) {
+        // Near-key probe: the closest resident entry for the same loop ×
+        // machine (differing options/overrides) seeds the engine, which
+        // replays the compatible placements and repairs the rest — or
+        // falls back cold, counted on the result, never silent.
+        obs::TraceSpan near_span("phase", "near-probe");
+        if (std::optional<core::ScheduleResult> seed =
+                cache->GetNear(structural, key)) {
+          if (seed->ok) {
+            mirs.warm_start = std::make_shared<const core::ScheduleResult>(
+                *std::move(seed));
+          }
+        }
       }
       if (!mirs.precomputed_mii) {
         // The MII depends on the graph, the latency table and the global
@@ -164,10 +186,15 @@ BatchReport SchedulerService::RunBatch(
           core::MirsHC(req.loop->ddg, req.machine, mirs, req.overrides);
       item.timing.schedule_seconds = phase_seconds(s0);
       item.ok = item.result.ok;
-      if (cache != nullptr) {
+      if (cache != nullptr && !item.result.warm.used) {
+        // Cold results only: the exact-key cache serves bytes that are
+        // bit-identical to a cold schedule, and a warm-started result
+        // carries the seed's placement history. Fallback results ARE cold
+        // results and cache normally.
         obs::TraceSpan write_span("phase", "serialize");
         const auto w0 = std::chrono::steady_clock::now();
         cache->Put(key, item.result);
+        cache->NoteStructural(structural, key);
         item.timing.serialize_seconds = phase_seconds(w0);
       }
     }
@@ -190,6 +217,7 @@ BatchReport SchedulerService::RunBatch(
       ++report.hits;
     } else {
       ++report.scheduled;
+      if (item.result.warm.used) ++report.warm_starts;
     }
     if (!item.ok) ++report.failed;
     report.timing.Accumulate(item.timing);
@@ -239,6 +267,7 @@ BatchReport SchedulerService::RunManifest(const std::string& manifest_path) {
   report.mem_cache = run.mem_cache;
   report.scheduled = run.scheduled;
   report.hits = run.hits;
+  report.warm_starts = run.warm_starts;
   report.failed += run.failed;
   report.seconds = run.seconds;
   report.timing = run.timing;

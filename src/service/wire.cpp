@@ -163,6 +163,68 @@ BatchRequest ReadRequest(Conn& conn) {
   return req;
 }
 
+void WriteDeltaRequest(Conn& conn, const BatchRequest& request) {
+  conn.WriteAll("request " + request.id + "\n");
+  WritePayload(conn, "loop", io::DumpLoop(*request.loop));
+  WritePayload(conn, "machine", io::DumpMachine(request.machine));
+  WritePayload(conn, "options", io::DumpOptions(request.options));
+  // Only the active (index, latency) pairs travel: zero entries are
+  // behaviorally inert (LatencyOverrides::For falls back), and the server
+  // re-canonicalizes anyway.
+  const std::vector<int>& pl = request.overrides.producer_latency;
+  long active = 0;
+  for (int v : pl) {
+    if (v > 0) ++active;
+  }
+  conn.WriteAll("overrides " + std::to_string(active) + "\n");
+  for (std::size_t i = 0; i < pl.size(); ++i) {
+    if (pl[i] > 0) {
+      conn.WriteAll("override " + std::to_string(i) + " " +
+                    std::to_string(pl[i]) + "\n");
+    }
+  }
+}
+
+BatchRequest ReadDeltaRequest(Conn& conn) {
+  BatchRequest req = ReadRequest(conn);
+  std::string line;
+  if (!conn.ReadLine(&line)) FailTruncated("an 'overrides' count");
+  std::vector<std::string> toks = SplitTokens(line);
+  const int num_slots = req.loop->ddg.NumSlots();
+  std::optional<long> count;
+  if (toks.size() == 2 && toks[0] == "overrides") {
+    count = io::TryParseLong(toks[1]);
+  }
+  if (!count || *count < 0 || *count > num_slots) {
+    throw WireError("expected 'overrides <count <= " +
+                    std::to_string(num_slots) + ">', got: " + line);
+  }
+  for (long k = 0; k < *count; ++k) {
+    if (!conn.ReadLine(&line)) FailTruncated("an 'override' entry");
+    toks = SplitTokens(line);
+    std::optional<long> index;
+    std::optional<long> latency;
+    if (toks.size() == 3 && toks[0] == "override") {
+      index = io::TryParseLong(toks[1]);
+      latency = io::TryParseLong(toks[2]);
+    }
+    // Latencies are bounded by the payload cap's spirit: a perturbation
+    // beyond 1M cycles is a protocol error, not a machine.
+    if (!index || *index < 0 || *index >= num_slots || !latency ||
+        *latency <= 0 || *latency > 1'000'000) {
+      throw WireError("expected 'override <node < " +
+                      std::to_string(num_slots) +
+                      "> <latency in [1, 1000000]>', got: " + line);
+    }
+    std::vector<int>& pl = req.overrides.producer_latency;
+    if (static_cast<long>(pl.size()) <= *index) {
+      pl.resize(static_cast<std::size_t>(*index) + 1, 0);
+    }
+    pl[static_cast<std::size_t>(*index)] = static_cast<int>(*latency);
+  }
+  return req;
+}
+
 void WriteItem(Conn& conn, std::size_t index, const BatchItem& item) {
   conn.WriteAll("item " + std::to_string(index) + " " +
                 (item.ok ? "ok" : "failed") + " " +

@@ -80,6 +80,15 @@ void WritePayload(Conn& conn, const std::string& keyword,
 void WriteRequest(Conn& conn, const BatchRequest& request);
 BatchRequest ReadRequest(Conn& conn);
 
+/// One `delta` request block: a regular request block followed by its
+/// perturbation list (`overrides <k>` then k `override <node> <latency>`
+/// lines — only active entries travel). Unlike WriteRequest this pair
+/// DOES transmit latency overrides: a what-if delta is exactly a base
+/// request plus perturbations. The decoder validates node ids against
+/// the loop and leaves warm-start policy to the server's verb handler.
+void WriteDeltaRequest(Conn& conn, const BatchRequest& request);
+BatchRequest ReadDeltaRequest(Conn& conn);
+
 /// One `item` result block of a `results` reply.
 struct ReplyItem {
   std::string id;  ///< Request index rendered by the server ("0", "1", …).

@@ -21,6 +21,7 @@ namespace fs = std::filesystem;
 using service::CacheKey;
 using service::DiskTier;
 using service::MakeCacheKey;
+using service::MakeStructuralHash;
 using service::MemoryTier;
 using service::TieredCache;
 using service::TierStats;
@@ -233,6 +234,119 @@ TEST_F(CacheTierTest, StackStatsAggregateAcrossTiers) {
   EXPECT_EQ(s.writes, 1);  // disk write
   EXPECT_EQ(s.entries, 1); // memory residency
   EXPECT_GT(s.bytes, 0);
+}
+
+/// A key for `loop` on the standard test machine whose exact half differs
+/// by `max_ii` while the structural half (graph + machine) stays the same
+/// — the shape of a what-if perturbation in the near-key index.
+CacheKey KeyVariant(const workload::Loop& loop, int max_ii) {
+  const MachineConfig m = MachineConfig::WithRF(RFConfig::Parse("4C16S64/2-1"));
+  core::MirsOptions opt;
+  opt.max_ii = max_ii;
+  return MakeCacheKey(loop.ddg, m, opt);
+}
+
+std::uint64_t StructuralOf(const workload::Loop& loop) {
+  const MachineConfig m = MachineConfig::WithRF(RFConfig::Parse("4C16S64/2-1"));
+  return MakeStructuralHash(loop.ddg, m);
+}
+
+TEST_F(CacheTierTest, NearKeyServesClosestEntryAndExcludesSelf) {
+  const workload::Loop loop = workload::MakeHydro();
+  const core::ScheduleResult r = ScheduleKernel(loop);
+  const CacheKey exact = KeyOf(loop);
+  const CacheKey other = KeyVariant(loop, 777);
+  const std::uint64_t structural = StructuralOf(loop);
+
+  MemoryTier tier(MemoryTier::Config{});
+  tier.Put(exact, r);
+  tier.NoteStructural(structural, exact);
+
+  // A differing exact key (same structure) gets the remembered entry.
+  const auto near = tier.GetNear(structural, /*exclude=*/other);
+  ASSERT_TRUE(near.has_value());
+  EXPECT_EQ(io::DumpResult(r), io::DumpResult(*near));
+  // Probing with the remembered key itself is not a near hit: the exact
+  // path already answered (or missed) that key.
+  EXPECT_FALSE(tier.GetNear(structural, /*exclude=*/exact).has_value());
+  // An unknown structural hash is a near miss.
+  EXPECT_FALSE(tier.GetNear(structural + 1, other).has_value());
+
+  const TierStats s = tier.tier_stats();
+  EXPECT_EQ(s.near_hits, 1);
+  EXPECT_EQ(s.near_misses, 2);
+}
+
+TEST_F(CacheTierTest, NearKeyCollisionKeepsLatestExactKey) {
+  const workload::Loop loop = workload::MakeDaxpy();
+  const core::ScheduleResult r = ScheduleKernel(loop);
+  const CacheKey k1 = KeyVariant(loop, 101);
+  const CacheKey k2 = KeyVariant(loop, 102);
+  const CacheKey probe = KeyVariant(loop, 103);
+  const std::uint64_t structural = StructuralOf(loop);
+
+  MemoryTier tier(MemoryTier::Config{});
+  tier.Put(k1, r);
+  tier.Put(k2, r);
+  tier.NoteStructural(structural, k1);
+  tier.NoteStructural(structural, k2);  // same structure: latest wins
+
+  const auto remembered = tier.StructuralLookup(structural, probe);
+  ASSERT_TRUE(remembered.has_value());
+  EXPECT_EQ(remembered->a, k2.a);
+  EXPECT_EQ(remembered->b, k2.b);
+  // With the remembered key excluded, the index has nothing else to offer.
+  EXPECT_FALSE(tier.StructuralLookup(structural, k2).has_value());
+}
+
+TEST_F(CacheTierTest, NearKeyStaysCoherentWithEviction) {
+  // One-entry tier: the second Put evicts the first entry, but the index
+  // still remembers its key. GetNear must then miss (resolving through
+  // the exact path), never serve stale bytes.
+  MemoryTier::Config cfg;
+  cfg.max_entries = 1;
+  cfg.shards = 1;
+  MemoryTier tier(cfg);
+
+  const workload::Loop a = workload::MakeDaxpy();
+  const workload::Loop b = workload::MakeDot();
+  const core::ScheduleResult ra = ScheduleKernel(a);
+  const core::ScheduleResult rb = ScheduleKernel(b);
+
+  tier.Put(KeyOf(a), ra);
+  tier.NoteStructural(StructuralOf(a), KeyOf(a));
+  tier.Put(KeyOf(b), rb);  // evicts a's entry; a's index note survives
+  EXPECT_EQ(tier.tier_stats().evictions, 1);
+
+  const auto near = tier.GetNear(StructuralOf(a), KeyVariant(a, 555));
+  EXPECT_FALSE(near.has_value());
+  EXPECT_EQ(tier.tier_stats().near_misses, 1);
+}
+
+TEST_F(CacheTierTest, NearKeyResolvesThroughDiskAndPromotes) {
+  // Tiered stack with a one-entry memory tier: the noted entry is evicted
+  // from memory but durable on disk. A near probe resolves the remembered
+  // key through the whole stack — disk hit, promoted back into memory —
+  // so eviction never strands the index.
+  const workload::Loop a = workload::MakeDaxpy();
+  const workload::Loop b = workload::MakeDot();
+  const core::ScheduleResult ra = ScheduleKernel(a);
+  const core::ScheduleResult rb = ScheduleKernel(b);
+
+  auto stack = MakeStack(/*mem_entries=*/1, 0, /*write_behind=*/false);
+  stack->Put(KeyOf(a), ra);
+  stack->NoteStructural(StructuralOf(a), KeyOf(a));
+  stack->Put(KeyOf(b), rb);  // a leaves memory, stays on disk
+
+  const auto near = stack->GetNear(StructuralOf(a), KeyVariant(a, 555));
+  ASSERT_TRUE(near.has_value());
+  EXPECT_EQ(io::DumpResult(ra), io::DumpResult(*near));
+  EXPECT_EQ(stack->memory().tier_stats().near_hits, 1);
+  EXPECT_GE(stack->disk().tier_stats().hits, 1);
+  // Promotion interplay: the next exact Get of a's key is memory-served.
+  const long disk_hits = stack->disk().tier_stats().hits;
+  ASSERT_TRUE(stack->Get(KeyOf(a)).has_value());
+  EXPECT_EQ(stack->disk().tier_stats().hits, disk_hits);
 }
 
 TEST_F(CacheTierTest, ConcurrentHammerStaysConsistent) {

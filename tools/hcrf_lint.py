@@ -29,6 +29,15 @@ mode it guards against:
                   exactly one syscall: send(MSG_NOSIGNAL), which cannot
                   create or accept a connection and exists so a peer
                   closing mid-write yields EPIPE instead of SIGPIPE.
+  placement-funnel
+                  Every engine placement/removal must ride the
+                  SchedState::Assign/Unassign funnels, which feed the
+                  incremental pressure tracker and the cluster usage
+                  counters — a direct PartialSchedule::Assign/Unassign
+                  (`sched->Assign(...)`, `schedule.Assign(...)`) outside
+                  src/sched/ silently desyncs both. Warm-start seeding
+                  made this an explicit rule: replayed seed placements
+                  are ordinary placements and must be funneled too.
   header-compile  Every header under src/ must compile on its own (a
                   header that leans on its includer's includes breaks the
                   next refactor).
@@ -88,6 +97,21 @@ SOCKET_ALLOWLIST = {
 
 # Raw thread construction is the thread-pool layer's privilege.
 NAKED_THREAD_ALLOWED_DIRS = ("src/perf/",)
+
+# Direct placement-table writes are the schedule layer's privilege; the
+# engine goes through the SchedState funnels so the pressure tracker and
+# cluster counters never miss a delta.
+PLACEMENT_FUNNEL_ALLOWLIST = {
+    "src/core/sched_state.h":
+        "the funnels themselves: SchedState::Assign/Unassign wrap the "
+        "placement-table write with the pressure-tracker and cluster-"
+        "counter deltas every other engine layer must ride through",
+    "src/io/hcl.cpp":
+        "deserialization: rebuilding a PartialSchedule from a parsed "
+        "result document, where no SchedState (and nothing incremental "
+        "to desync) exists",
+}
+PLACEMENT_FUNNEL_ALLOWED_DIRS = ("src/sched/",)
 
 SOURCE_EXTENSIONS = (".h", ".cpp")
 
@@ -216,6 +240,14 @@ class Linter:
                 self.report(rel, lineno, "naked-thread",
                             "raw std::thread outside perf/; go through "
                             "perf::ThreadPool / perf::SpeculationPool")
+            if (not rel.startswith(PLACEMENT_FUNNEL_ALLOWED_DIRS)
+                    and rel not in PLACEMENT_FUNNEL_ALLOWLIST):
+                if re.search(r"\bsched(?:ule)?\s*(?:->|\.)\s*"
+                             r"(?:Assign|Unassign)\s*\(", line):
+                    self.report(rel, lineno, "placement-funnel",
+                                "direct PartialSchedule placement write "
+                                "outside sched/; go through the "
+                                "SchedState::Assign/Unassign funnels")
             if rel not in SOCKET_ALLOWLIST:
                 if re.search(r"#\s*include\s*<sys/(socket|un)\.h>", line):
                     self.report(rel, lineno, "raw-socket",
@@ -250,6 +282,10 @@ class Linter:
         for rel in SOCKET_ALLOWLIST:
             if not os.path.exists(os.path.join(self.root, rel)):
                 self.report(rel, 1, "raw-socket",
+                            "stale allowlist entry: file no longer exists")
+        for rel in PLACEMENT_FUNNEL_ALLOWLIST:
+            if not os.path.exists(os.path.join(self.root, rel)):
+                self.report(rel, 1, "placement-funnel",
                             "stale allowlist entry: file no longer exists")
 
     # -- header self-sufficiency ------------------------------------------

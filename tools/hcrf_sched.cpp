@@ -112,7 +112,12 @@ commands:
                          if not); reports per-loop latency tails
                          (p50/p95/p99/max) and speculation telemetry
       --out=FILE           write the BENCH_*.json report (default
-                           BENCH_PR7.json; '-' = stdout only)
+                           BENCH_PR10.json; '-' = stdout only)
+      --baseline=FILE      compare against a checked-in BENCH_*.json:
+                           exit 1 when any comparable leg's p95 regresses
+                           by more than 15%% (legs that are incomparable —
+                           e.g. a degraded speculation pool on either
+                           host — are skipped, never failed)
       --rf=A,B,...         organizations to bench (paper notation)
       --reps=N             kernel-suite repetitions per timed mode
       --synth-n=N          synthetic loops per case (default: whole suite)
@@ -159,6 +164,13 @@ commands:
                          manifest locally and submits it over the socket
       <manifest>           manifest to resolve and submit
       --socket=PATH        daemon socket path (required)
+      --delta=N:LAT[,...]  what-if submission: perturb producer latencies
+                           (node N of each loop -> LAT cycles) and submit
+                           as a `delta` request; the daemon warm-starts
+                           from its near-key cache seeds and repairs the
+                           perturbation instead of rescheduling cold.
+                           Node ids are per-loop; an entry beyond a
+                           loop's node count is ignored for that loop
       --ping               health check instead of a manifest
       --stats              daemon metrics registry (JSON) instead
       --cache-stats        daemon cache counters + disk census instead
@@ -430,9 +442,10 @@ int RunManifestOnce(const std::string& manifest,
   }
   if (bopt.cache_mem_entries > 0) {
     std::printf(
-        "mem-cache: %ld hits, %ld writes, %ld evictions, %ld oversize; "
-        "%ld entries, %ld bytes resident\n",
-        report.mem_cache.hits, report.mem_cache.writes,
+        "mem-cache: %ld hits, %ld near hits, %ld near misses, %ld writes, "
+        "%ld evictions, %ld oversize; %ld entries, %ld bytes resident\n",
+        report.mem_cache.hits, report.mem_cache.near_hits,
+        report.mem_cache.near_misses, report.mem_cache.writes,
         report.mem_cache.evictions, report.mem_cache.oversize,
         report.mem_cache.entries, report.mem_cache.bytes);
   }
@@ -844,7 +857,7 @@ perf::ServiceLeg RunServiceTimingLeg() {
 int CmdBench(const Args& args) {
   if (!args.positional.empty() ||
       !CheckFlags(args, {"out", "rf", "reps", "synth-n", "speculate",
-                         "eager", "smoke", "baseline-seconds",
+                         "eager", "smoke", "baseline", "baseline-seconds",
                          "current-seconds", "baseline-note", "trace",
                          "stats"})) {
     return Usage();
@@ -952,9 +965,28 @@ int CmdBench(const Args& args) {
         report.service.cold.serialize, report.service.warm_seconds,
         report.service.warm_hits, report.service.warm.cache_probe);
   }
+  for (const perf::DeltaCase& d : report.delta) {
+    std::printf(
+        "delta    x %-12s %4d loops x%-3d  cold %8.3f s  warm %8.3f s  "
+        "p50 %5.2fx  p95 %5.2fx\n",
+        d.rf.c_str(), d.loops, d.reps, d.cold_seconds, d.warm_seconds,
+        d.P50Speedup(), d.P95Speedup());
+    std::printf(
+        "         repair %ld vs rebuild %ld placements, %ld seeded, "
+        "%d fallbacks, %d skipped, II %s\n",
+        d.repair_placements, d.rebuild_placements, d.seeded, d.fallbacks,
+        d.skipped, d.ii_never_worse ? "never worse" : "WORSE THAN COLD");
+  }
+  if (report.host.degraded) {
+    std::fprintf(stderr,
+                 "bench: warning: speculation pool has no workers "
+                 "(single-core host) — the speculative leg raced inline "
+                 "and its numbers are not comparable across hosts "
+                 "(host marked \"degraded\": true in the report)\n");
+  }
 
   const std::string* out = args.Flag("out");
-  const std::string path = out != nullptr ? *out : "BENCH_PR7.json";
+  const std::string path = out != nullptr ? *out : "BENCH_PR10.json";
   if (path != "-") {
     io::WriteFileAtomic(path, perf::BenchJson(report));
     std::printf("report: %s\n", path.c_str());
@@ -964,6 +996,41 @@ int CmdBench(const Args& args) {
                  "bench: incremental/speculative engine diverged from the "
                  "reference schedules\n");
     return 1;
+  }
+  for (const perf::DeltaCase& d : report.delta) {
+    if (!d.ii_never_worse) {
+      std::fprintf(stderr,
+                   "bench: a warm-started schedule regressed past its cold "
+                   "II on the delta leg\n");
+      return 1;
+    }
+  }
+  if (const std::string* b = args.Flag("baseline")) {
+    const perf::BaselineCheck check =
+        perf::CompareAgainstBaseline(report, io::ReadFile(*b));
+    for (const perf::BaselineCaseCheck& chk : check.checks) {
+      std::printf("baseline %-8s x %-12s %-16s %9.3f -> %9.3f ms  %s\n",
+                  chk.suite.c_str(), chk.rf.c_str(), chk.metric.c_str(),
+                  chk.baseline * 1e3, chk.current * 1e3,
+                  chk.skipped ? "skipped (incomparable)"
+                  : chk.regressed
+                      ? "REGRESSED"
+                      : "ok");
+    }
+    if (!check.ok) {
+      std::fprintf(stderr, "bench: --baseline=%s: %s\n", b->c_str(),
+                   check.error.c_str());
+      return 1;
+    }
+    std::printf("baseline: %d compared, %d skipped, %d regressions (%s)\n",
+                check.compared, check.skipped, check.regressions,
+                b->c_str());
+    if (check.regressions > 0) {
+      std::fprintf(stderr,
+                   "bench: p95 regression of more than 15%% against %s\n",
+                   b->c_str());
+      return 1;
+    }
   }
   return 0;
 }
@@ -1259,7 +1326,7 @@ void PrintWireItem(const std::string& id, const service::wire::ReplyItem& item) 
 // submits the batch over the socket; `--ping` / `--stats` /
 // `--cache-stats` query the daemon instead. Exit 2 = server saturated.
 int CmdSubmit(const Args& args) {
-  if (!CheckFlags(args, {"socket", "ping", "stats", "cache-stats",
+  if (!CheckFlags(args, {"socket", "delta", "ping", "stats", "cache-stats",
                          "out-dir", "quiet", "timeout-ms"})) {
     return Usage();
   }
@@ -1302,6 +1369,36 @@ int CmdSubmit(const Args& args) {
     return 0;
   }
 
+  // `--delta=N:LAT[,...]`: the what-if perturbation list, parsed up
+  // front so a malformed spec fails before anything is submitted.
+  std::vector<std::pair<int, int>> delta;
+  if (const std::string* spec = args.Flag("delta")) {
+    size_t start = 0;
+    while (start <= spec->size()) {
+      const size_t comma = spec->find(',', start);
+      const std::string pair = spec->substr(
+          start,
+          comma == std::string::npos ? std::string::npos : comma - start);
+      if (!pair.empty()) {
+        const size_t colon = pair.find(':');
+        if (colon == std::string::npos) {
+          throw std::runtime_error("--delta: expected NODE:LATENCY, got '" +
+                                   pair + "'");
+        }
+        const int node = ParseIntFlag("delta", pair.substr(0, colon));
+        const int latency = ParseIntFlag("delta", pair.substr(colon + 1));
+        if (node < 0 || latency < 1) {
+          throw std::runtime_error(
+              "--delta: node must be >= 0 and latency >= 1 in '" + pair +
+              "'");
+        }
+        delta.emplace_back(node, latency);
+      }
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+
   const std::string& manifest_path = args.positional[0];
   const std::vector<service::ManifestEntry> entries =
       service::LoadManifestFile(manifest_path);
@@ -1314,9 +1411,23 @@ int CmdSubmit(const Args& args) {
     // has been submitted yet, so there is no partial batch to salvage.
     requests.push_back(service::ResolveManifestEntry(
         entry, base_dir, hw::RFModelMode::kPaperTable));
+    if (args.Flag("delta") != nullptr) {
+      // Node ids are per-loop: an entry beyond this loop's slot count
+      // simply has no node to perturb there.
+      service::BatchRequest& req = requests.back();
+      const NodeId slots = req.loop->ddg.NumSlots();
+      req.overrides.producer_latency.assign(static_cast<size_t>(slots), 0);
+      for (const auto& [node, latency] : delta) {
+        if (node < slots) {
+          req.overrides.producer_latency[static_cast<size_t>(node)] = latency;
+        }
+      }
+    }
   }
 
-  const service::SubmitReply reply = client.Submit(requests);
+  const service::SubmitReply reply = args.Flag("delta") != nullptr
+                                         ? client.SubmitDelta(requests)
+                                         : client.Submit(requests);
   if (reply.busy) {
     std::fprintf(stderr,
                  "submit: server busy (max-inflight reached); retry later\n");
